@@ -1,0 +1,21 @@
+"""Shared experiment suite for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of Mahlke et al. (ISCA
+1995).  The suite memoizes compilations and emulations, so the first
+benchmark that needs a configuration pays for it and the rest reuse it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentSuite
+
+#: workload scale for benchmarking: large enough for stable shapes,
+#: small enough that the full suite regenerates in minutes.
+BENCH_SCALE = 0.7
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite(scale=BENCH_SCALE)

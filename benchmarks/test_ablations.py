@@ -1,0 +1,159 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation disables one compiler feature and measures the effect on a
+small, sensitive subset of workloads:
+
+* OR-tree height reduction (paper Section 3.2) — partial predication's
+  answer to sequential predicate chains;
+* predicate promotion (paper Figure 2) — speculation that removes
+  conversion cmovs and shortens define->use chains;
+* select vs cmov lowering (paper Section 2.2/3.2);
+* excepting vs non-excepting basic conversions (paper Figures 3 vs 4);
+* hyperblock loop unrolling;
+* a branch-misprediction-penalty sweep (the paper's Section 5
+  conjecture: larger penalties amplify predication's advantage).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import ExperimentSuite
+from repro.machine.descriptor import BTBConfig, MachineDescription
+from repro.partial.conversion import ConversionParams
+from repro.regions.unroll import UnrollParams
+from repro.toolchain import Model, ToolchainOptions
+from repro.workloads import get_workload
+
+_SCALE = 0.5
+_SENSITIVE = ["wc", "eqn", "cmp", "qsort"]
+
+
+def _mini_suite(options: ToolchainOptions | None = None
+                ) -> ExperimentSuite:
+    workloads = [get_workload(n) for n in _SENSITIVE]
+    return ExperimentSuite(workloads=workloads, scale=_SCALE,
+                           options=options)
+
+
+def _total_cycles(suite: ExperimentSuite, model: Model,
+                  machine=None) -> int:
+    from repro.machine.descriptor import fig8_machine
+    machine = machine or fig8_machine()
+    return sum(suite.run(w.name, model, machine).cycles
+               for w in suite.workloads)
+
+
+def test_ablation_or_tree(benchmark):
+    """Disabling the OR-tree raises partial predication's cycle count."""
+    def run():
+        on = _mini_suite()
+        off = _mini_suite(ToolchainOptions(enable_or_tree=False))
+        return (_total_cycles(on, Model.CMOV),
+                _total_cycles(off, Model.CMOV))
+
+    with_tree, without_tree = benchmark.pedantic(run, rounds=1,
+                                                 iterations=1)
+    benchmark.extra_info["cycles_with"] = with_tree
+    benchmark.extra_info["cycles_without"] = without_tree
+    assert with_tree <= without_tree * 1.02
+
+
+def test_ablation_promotion(benchmark):
+    """Disabling promotion hurts partial predication (every predicated
+    instruction then needs its cmov) and should never help it."""
+    def run():
+        from repro.machine.descriptor import fig8_machine
+        machine = fig8_machine()
+        on = _mini_suite()
+        off = _mini_suite(ToolchainOptions(enable_promotion=False))
+        return (_total_cycles(on, Model.CMOV),
+                _total_cycles(off, Model.CMOV),
+                on.run("wc", Model.CMOV,
+                       machine).stats.executed_instructions,
+                off.run("wc", Model.CMOV,
+                        machine).stats.executed_instructions)
+
+    with_p, without_p, insts_with, insts_without = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_with"] = with_p
+    benchmark.extra_info["cycles_without"] = without_p
+    assert with_p <= without_p * 1.02
+    # Promotion reduces the converted instruction count (Figure 2).
+    assert insts_with <= insts_without
+
+
+def test_ablation_select_lowering(benchmark):
+    """Select-based lowering must stay correct; with non-excepting
+    conversions it performs comparably to cmov-based lowering."""
+    def run():
+        cmov = _mini_suite()
+        select = _mini_suite(ToolchainOptions(
+            conversion=ConversionParams(use_select=True)))
+        return (_total_cycles(cmov, Model.CMOV),
+                _total_cycles(select, Model.CMOV))
+
+    cycles_cmov, cycles_select = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    benchmark.extra_info["cycles_cmov"] = cycles_cmov
+    benchmark.extra_info["cycles_select"] = cycles_select
+    assert cycles_select <= cycles_cmov * 1.1
+
+
+def test_ablation_excepting_conversions(benchmark):
+    """Without silent instructions, the Figure 4 sequences cost extra
+    instructions; select shortens them (paper Section 3.2)."""
+    def run():
+        silent = _mini_suite()
+        excepting = _mini_suite(ToolchainOptions(
+            conversion=ConversionParams(non_excepting=False)))
+        from repro.machine.descriptor import fig8_machine
+        m = fig8_machine()
+        return (sum(silent.run(w.name, Model.CMOV,
+                               m).stats.executed_instructions
+                    for w in silent.workloads),
+                sum(excepting.run(w.name, Model.CMOV,
+                                  m).stats.executed_instructions
+                    for w in excepting.workloads))
+
+    silent_insts, excepting_insts = benchmark.pedantic(run, rounds=1,
+                                                       iterations=1)
+    benchmark.extra_info["insts_silent"] = silent_insts
+    benchmark.extra_info["insts_excepting"] = excepting_insts
+    assert excepting_insts >= silent_insts
+
+
+def test_ablation_unrolling(benchmark):
+    """Loop unrolling is a large part of every model's ILP."""
+    def run():
+        on = _mini_suite()
+        off = _mini_suite(ToolchainOptions(unroll=None))
+        return (_total_cycles(on, Model.FULLPRED),
+                _total_cycles(off, Model.FULLPRED))
+
+    with_u, without_u = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_with"] = with_u
+    benchmark.extra_info["cycles_without"] = without_u
+    assert with_u < without_u
+
+
+def test_ablation_mispredict_penalty_sweep(benchmark):
+    """Raising the misprediction penalty (2 -> 8 cycles) amplifies full
+    predication's advantage over superblock (paper Section 5)."""
+    def run():
+        suite = _mini_suite()
+        results = {}
+        for penalty in (2, 8):
+            machine = MachineDescription(
+                issue_width=8, branch_issue_limit=1,
+                btb=BTBConfig(mispredict_penalty=penalty),
+                name=f"8-issue,mp{penalty}")
+            sb = _total_cycles(suite, Model.SUPERBLOCK, machine)
+            fp = _total_cycles(suite, Model.FULLPRED, machine)
+            results[penalty] = sb / fp
+        return results
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["advantage_p2"] = round(ratios[2], 3)
+    benchmark.extra_info["advantage_p8"] = round(ratios[8], 3)
+    assert ratios[8] > ratios[2]

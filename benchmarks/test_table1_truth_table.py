@@ -1,0 +1,37 @@
+"""Table 1: the predicate-define truth table.
+
+Not a performance experiment — the bench certifies the semantic core
+(every (type, p_in, cmp) entry) and measures its evaluation cost, since
+the emulator executes it for every predicate define.
+"""
+
+from repro.ir.instruction import PType
+from repro.machine.predicates import UNCHANGED, pred_update
+
+_EXPECTED = {
+    (0, 0): {PType.U: 0, PType.U_BAR: 0, PType.OR: None,
+             PType.OR_BAR: None, PType.AND: None, PType.AND_BAR: None},
+    (0, 1): {PType.U: 0, PType.U_BAR: 0, PType.OR: None,
+             PType.OR_BAR: None, PType.AND: None, PType.AND_BAR: None},
+    (1, 0): {PType.U: 0, PType.U_BAR: 1, PType.OR: None,
+             PType.OR_BAR: 1, PType.AND: 0, PType.AND_BAR: None},
+    (1, 1): {PType.U: 1, PType.U_BAR: 0, PType.OR: 1,
+             PType.OR_BAR: None, PType.AND: None, PType.AND_BAR: 0},
+}
+
+
+def _evaluate_whole_table():
+    results = {}
+    for (p_in, cmp_result), row in _EXPECTED.items():
+        for ptype in PType:
+            results[(p_in, cmp_result, ptype)] = pred_update(
+                ptype, p_in, cmp_result)
+    return results
+
+
+def test_table1_truth_table(benchmark):
+    results = benchmark(_evaluate_whole_table)
+    for (p_in, cmp_result, ptype), value in results.items():
+        expected = _EXPECTED[(p_in, cmp_result)][ptype]
+        assert value == expected, (p_in, cmp_result, ptype)
+    assert len(results) == 24  # 4 input combinations x 6 types

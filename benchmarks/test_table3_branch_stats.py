@@ -1,0 +1,38 @@
+"""Table 3: dynamic branch counts, mispredictions, misprediction rates.
+
+Paper shape: both predicated models remove a large portion of the
+branches; absolute mispredictions usually drop; the misprediction *rate*
+may rise (branch combining concentrates hard-to-predict outcomes onto
+one branch — the paper's grep anomaly).
+"""
+
+from repro.experiments.render import render_table3
+from repro.toolchain import Model
+
+
+def test_table3_branch_statistics(benchmark, suite):
+    stats = benchmark.pedantic(suite.branch_stats, rounds=1, iterations=1)
+    print()
+    print(render_table3(stats))
+
+    total_br = {model: sum(row[model][0] for row in stats.values())
+                for model in Model}
+    total_mp = {model: sum(row[model][1] for row in stats.values())
+                for model in Model}
+    benchmark.extra_info["branches_superblock"] = \
+        total_br[Model.SUPERBLOCK]
+    benchmark.extra_info["branches_fullpred"] = total_br[Model.FULLPRED]
+
+    # Predication removes a substantial share of the dynamic branches
+    # overall, with dramatic per-benchmark reductions (wc/lex/sc-class).
+    assert total_br[Model.FULLPRED] < total_br[Model.SUPERBLOCK] * 0.85
+    big_cuts = sum(1 for row in stats.values()
+                   if row[Model.FULLPRED][0]
+                   < row[Model.SUPERBLOCK][0] * 0.5)
+    assert big_cuts >= 3
+    # Fewer branches -> fewer total mispredictions.
+    assert total_mp[Model.FULLPRED] < total_mp[Model.SUPERBLOCK]
+    # The predicated models have nearly identical branch behaviour
+    # (paper: "very close to the same number of branches").
+    assert abs(total_br[Model.FULLPRED] - total_br[Model.CMOV]) \
+        < total_br[Model.CMOV] * 0.45

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The paper's Figure 6 case study: the grep scan loop.
+
+grep's scan loop is dominated by rarely-taken exit branches; under a
+single branch slot the baseline is branch-bound.  The example compiles
+grep for the 8-issue, 1-branch machine and shows how each model handles
+the branch bottleneck (OR-type defines / OR-trees / branch combining).
+
+Run:  python examples/grep_case_study.py
+"""
+
+from repro.analysis.profile import Profile
+from repro.ir import Opcode
+from repro.ir.opcodes import OpCategory
+from repro.machine.descriptor import fig8_machine, scalar_machine
+from repro.toolchain import (Model, compile_for_model, frontend,
+                             run_compiled)
+from repro.workloads import get_workload
+
+
+def static_mix(program) -> dict[str, int]:
+    mix = {"branches": 0, "pred_defines": 0, "cmov_like": 0,
+           "logic_or_and": 0, "total": 0}
+    for fn in program.functions.values():
+        for block in fn.blocks:
+            for inst in block.instructions:
+                mix["total"] += 1
+                if inst.cat is OpCategory.BRANCH \
+                        or (inst.op is Opcode.JUMP
+                            and inst.pred is not None):
+                    mix["branches"] += 1
+                elif inst.cat is OpCategory.PREDDEF:
+                    mix["pred_defines"] += 1
+                elif inst.cat in (OpCategory.CMOV, OpCategory.SELECT):
+                    mix["cmov_like"] += 1
+                elif inst.op in (Opcode.AND, Opcode.OR, Opcode.AND_NOT,
+                                 Opcode.OR_NOT):
+                    mix["logic_or_and"] += 1
+    return mix
+
+
+def main() -> None:
+    grep = get_workload("grep")
+    inputs = grep.inputs(0.6)
+    base = frontend(grep.source)
+    profile = Profile.collect(base, inputs=inputs)
+    machine = fig8_machine()
+
+    scalar_cycles = None
+    print(f"{'model':<20s}{'cycles':>8s}{'speedup':>9s}{'BR':>8s}"
+          f"{'MP':>6s}{'preddef':>9s}{'cmov':>6s}{'logic':>7s}")
+    for model in Model:
+        compiled = compile_for_model(base, model, profile, machine)
+        result = run_compiled(compiled, inputs=inputs)
+        if scalar_cycles is None:
+            scalar = compile_for_model(base, Model.SUPERBLOCK, profile,
+                                       scalar_machine())
+            scalar_cycles = run_compiled(scalar, inputs=inputs).cycles
+        stats = result.stats
+        mix = static_mix(compiled.program)
+        print(f"{model.value:<20s}{stats.cycles:>8d}"
+              f"{scalar_cycles / stats.cycles:>9.2f}"
+              f"{stats.branches:>8d}{stats.mispredictions:>6d}"
+              f"{mix['pred_defines']:>9d}{mix['cmov_like']:>6d}"
+              f"{mix['logic_or_and']:>7d}")
+    print("\nReading the row differences against the paper's Figure 6:")
+    print(" * Full Predication replaces the scan exits with predicate")
+    print("   defines (the pred_defines column) that issue in parallel.")
+    print(" * Conditional Move re-expresses the same conditions through")
+    print("   cmovs plus and/or logic (the cmov/logic columns), whose")
+    print("   dependence chains the OR-tree optimization flattens.")
+
+
+if __name__ == "__main__":
+    main()

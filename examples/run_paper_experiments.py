@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Produces the text renderings of Figures 8-11 and Tables 2-3 (Table 1 is
+semantic and certified by the test suite), after first checking that all
+three processor models compute identical program results on every
+benchmark.
+
+Run:  python examples/run_paper_experiments.py [scale]
+
+``scale`` (default 1.0) multiplies workload input sizes; 0.5 runs in
+about a minute, 1.0 in a few minutes.  Output is also written to
+RESULTS.txt.
+"""
+
+import sys
+import time
+
+from repro.experiments import ExperimentSuite, render_all
+from repro.machine.descriptor import fig8_machine
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    started = time.time()
+    suite = ExperimentSuite(scale=scale)
+
+    print(f"checking model agreement on {len(suite.workloads)} "
+          f"benchmarks (scale={scale}) ...")
+    for workload in suite.workloads:
+        suite.check_model_agreement(workload.name, fig8_machine())
+        print(f"  {workload.name}: superblock == cmov == full "
+              f"predication")
+
+    text = render_all(suite)
+    print()
+    print(text)
+    with open("RESULTS.txt", "w") as handle:
+        handle.write(text + "\n")
+    print(f"\nwrote RESULTS.txt ({time.time() - started:.0f}s total)")
+
+
+if __name__ == "__main__":
+    main()

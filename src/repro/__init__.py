@@ -1,0 +1,22 @@
+"""repro — reproduction of Mahlke et al., "A Comparison of Full and
+Partial Predicated Execution Support for ILP Processors" (ISCA 1995).
+
+The package implements, from scratch:
+
+* an executable IR for a generic load/store ILP ISA with full- and
+  partial-predication extensions (:mod:`repro.ir`);
+* a MiniC frontend for the benchmark workloads (:mod:`repro.lang`);
+* superblock and hyperblock (if-conversion) region compilers
+  (:mod:`repro.regions`), classic optimizations (:mod:`repro.opt`),
+  partial-predication lowering (:mod:`repro.partial`), and a
+  resource-aware list scheduler (:mod:`repro.schedule`);
+* emulation-driven simulation: a functional interpreter (:mod:`repro.emu`)
+  feeding a cycle-level in-order processor model (:mod:`repro.sim`);
+* the benchmark workloads and experiment harness that regenerate every
+  table and figure of the paper (:mod:`repro.workloads`,
+  :mod:`repro.experiments`).
+
+Entry point: :func:`repro.toolchain.compile_and_simulate`.
+"""
+
+__version__ = "1.0.0"

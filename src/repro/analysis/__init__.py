@@ -1,0 +1,19 @@
+"""Program analyses: CFG, dominators, liveness, loops, profiling."""
+
+from repro.analysis.cfg import (dominates, dominators, immediate_dominators,
+                                predecessors_map, reverse_postorder,
+                                successors_map)
+from repro.analysis.liveness import (Liveness, block_use_def,
+                                     live_before_each, liveness)
+from repro.analysis.loops import Loop, find_loops, innermost_loops
+from repro.analysis.pressure import (PressureStats, function_pressure,
+                                     program_pressure)
+from repro.analysis.profile import Profile
+
+__all__ = [
+    "Liveness", "Loop", "PressureStats", "Profile", "block_use_def", "dominates",
+    "dominators", "find_loops", "immediate_dominators", "innermost_loops",
+    "function_pressure", "live_before_each", "liveness",
+    "predecessors_map", "program_pressure", "reverse_postorder",
+    "successors_map",
+]

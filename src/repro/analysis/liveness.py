@@ -1,0 +1,160 @@
+"""Backward liveness analysis over virtual and predicate registers.
+
+Blocks here are *extended* blocks: superblocks and hyperblocks contain
+mid-block exit branches, so the per-block transfer function walks
+instructions backward and revives each exit target's live-in set at the
+exit's position — a later definite definition must not hide a value the
+exit path needs.
+
+The analysis is also predication-aware.  A guarded definition is not a
+definite kill (the old value survives a false guard), but it does
+satisfy needs that arise only under the *same still-valid guard*: the
+need-set for each register tracks the guards under which it is read, a
+guarded definition removes its own guard from the set, and redefining a
+predicate register promotes needs conditioned on it to unconditional.
+This precision is what lets predicate promotion (paper Figure 2) see
+single-iteration temporaries as loop-dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import successors_map
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import OpCategory
+from repro.ir.operands import PReg, VReg
+
+Reg = VReg | PReg
+#: guard key meaning "needed unconditionally"
+ALWAYS = None
+
+
+@dataclass
+class Liveness:
+    """Per-block live-in/live-out register sets."""
+
+    live_in: dict[str, frozenset[Reg]] = field(default_factory=dict)
+    live_out: dict[str, frozenset[Reg]] = field(default_factory=dict)
+
+    def live_at_exit(self, block: BasicBlock) -> frozenset[Reg]:
+        return self.live_out.get(block.name, frozenset())
+
+
+def _scan_block(insts: list[Instruction], live_out: frozenset[Reg],
+                live_in_map: dict[str, frozenset[Reg]],
+                record: list | None = None) -> set[Reg]:
+    """Backward transfer: registers live before the block.
+
+    ``record``, if given, is filled with the live set *before* each
+    instruction (parallel to ``insts``).
+    """
+    need: dict[Reg, set] = {r: {ALWAYS} for r in live_out}
+    if record is not None:
+        record.clear()
+        record.extend([frozenset()] * len(insts))
+    for i in range(len(insts) - 1, -1, -1):
+        inst = insts[i]
+        defined = inst.defined_regs()
+        # Redefining a predicate register invalidates needs conditioned
+        # on its (new) value: they refer to the value defined *here*,
+        # so for code above this point they are unconditional needs of
+        # whatever feeds this define — conservatively promote to ALWAYS.
+        for d in defined:
+            if isinstance(d, PReg):
+                for guards in need.values():
+                    if d in guards:
+                        guards.discard(d)
+                        guards.add(ALWAYS)
+        if inst.cat is OpCategory.PREDSET:
+            # pred_clear/pred_set definitely define every predicate.
+            for guards in need.values():
+                if any(isinstance(g, PReg) for g in guards):
+                    guards.difference_update(
+                        {g for g in guards if isinstance(g, PReg)})
+                    guards.add(ALWAYS)
+            for r in [r for r in need if isinstance(r, PReg)]:
+                del need[r]
+        # Kills.
+        if not inst.is_conditional_write:
+            for d in defined:
+                need.pop(d, None)
+        elif inst.pred is not None:
+            for d in defined:
+                guards = need.get(d)
+                if guards is not None:
+                    guards.discard(inst.pred)
+                    if not guards:
+                        del need[d]
+        # Uses (the guard itself is in used_regs, under ALWAYS: the
+        # guard must be readable whenever the instruction is fetched).
+        g = inst.pred
+        for r in inst.used_regs():
+            key = ALWAYS if isinstance(r, PReg) and r == g else g
+            need.setdefault(r, set()).add(key)
+        if g is not None:
+            need.setdefault(g, set()).add(ALWAYS)
+        # Mid-block exits revive their target's live-ins, conditioned
+        # on the exit's guard.
+        if inst.is_control and inst.target is not None \
+                and inst.cat is not OpCategory.CALL:
+            for r in live_in_map.get(inst.target, frozenset()):
+                need.setdefault(r, set()).add(g)
+        if record is not None:
+            record[i] = frozenset(need)
+    return set(need)
+
+
+def liveness(fn: Function) -> Liveness:
+    succs = successors_map(fn)
+    live_in: dict[str, frozenset[Reg]] = {b.name: frozenset()
+                                          for b in fn.blocks}
+    live_out: dict[str, frozenset[Reg]] = {b.name: frozenset()
+                                           for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(fn.blocks):
+            name = block.name
+            out: set[Reg] = set()
+            for s in succs[name]:
+                out |= live_in[s]
+            new_in = frozenset(_scan_block(block.instructions,
+                                           frozenset(out), live_in))
+            out_f = frozenset(out)
+            if out_f != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out_f
+                live_in[name] = new_in
+                changed = True
+    return Liveness(live_in=dict(live_in), live_out=dict(live_out))
+
+
+def block_use_def(block: BasicBlock) -> tuple[set[Reg], set[Reg]]:
+    """(upward-exposed uses, definitely-defined regs) for one block.
+
+    Provided for diagnostics and tests; :func:`liveness` uses the
+    position-aware scan directly.
+    """
+    uses = _scan_block(block.instructions, frozenset(), {})
+    defs: set[Reg] = set()
+    for inst in block.instructions:
+        if not inst.is_conditional_write:
+            defs.update(inst.defined_regs())
+        if inst.cat is OpCategory.PREDSET:
+            pass  # defines all predicates, but none are enumerable here
+    return uses, defs
+
+
+def live_before_each(block: BasicBlock, live_out: frozenset[Reg],
+                     live_in_map: dict[str, frozenset[Reg]] | None = None
+                     ) -> list[frozenset[Reg]]:
+    """Registers live immediately *before* each instruction of ``block``.
+
+    ``live_in_map`` supplies live-in sets of branch targets so mid-block
+    exits revive what their targets need.  Returned list is parallel to
+    ``block.instructions``.
+    """
+    record: list = []
+    _scan_block(block.instructions, live_out, live_in_map or {}, record)
+    return record

@@ -1,0 +1,178 @@
+"""Command-line interface: compile, run, and report from the shell.
+
+Subcommands:
+
+* ``compile``  — compile a MiniC file for one model and dump the code;
+* ``run``      — compile + emulate + simulate one file and print stats;
+* ``bench``    — run one registered workload under all three models;
+* ``report``   — regenerate every figure/table (the paper's evaluation);
+* ``list``     — list the registered workloads.
+
+Examples::
+
+    python -m repro compile kernel.c --model fullpred
+    python -m repro run kernel.c --model cmov --width 8 --branches 1
+    python -m repro bench wc --scale 0.5
+    python -m repro report --scale 0.5 -o RESULTS.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.profile import Profile
+from repro.experiments.render import render_all
+from repro.experiments.runner import ExperimentSuite
+from repro.ir.printer import format_program
+from repro.machine.descriptor import MachineDescription, scalar_machine
+from repro.toolchain import (Model, compile_for_model, frontend,
+                             run_compiled)
+from repro.workloads import all_workloads, get_workload
+
+_MODELS = {"superblock": Model.SUPERBLOCK, "cmov": Model.CMOV,
+           "fullpred": Model.FULLPRED}
+
+
+def _machine(args) -> MachineDescription:
+    machine = MachineDescription(issue_width=args.width,
+                                 branch_issue_limit=args.branches,
+                                 name=f"{args.width}-issue,"
+                                      f"{args.branches}-branch")
+    if getattr(args, "real_caches", False):
+        machine = machine.with_real_caches()
+    return machine
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=8,
+                        help="issue width (default 8)")
+    parser.add_argument("--branches", type=int, default=1,
+                        help="branch issue limit (default 1)")
+    parser.add_argument("--real-caches", action="store_true",
+                        help="64K direct-mapped I/D caches instead of "
+                             "perfect memory")
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_compile(args) -> int:
+    source = _read_source(args.file)
+    base = frontend(source)
+    profile = Profile.collect(base, inputs=None)
+    compiled = compile_for_model(base, _MODELS[args.model], profile,
+                                 _machine(args))
+    print(format_program(compiled.program))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    source = _read_source(args.file)
+    base = frontend(source)
+    profile = Profile.collect(base, inputs=None)
+    machine = _machine(args)
+    model = _MODELS[args.model]
+    compiled = compile_for_model(base, model, profile, machine)
+    result = run_compiled(compiled, inputs=None)
+    scalar = run_compiled(
+        compile_for_model(base, Model.SUPERBLOCK, profile,
+                          scalar_machine()))
+    stats = result.stats
+    print(f"model              : {model.value}")
+    print(f"machine            : {machine.name}")
+    print(f"result             : {result.return_value}")
+    print(f"cycles             : {stats.cycles}")
+    print(f"dynamic instrs     : {stats.dynamic_instructions} "
+          f"({stats.suppressed_instructions} nullified)")
+    print(f"branches           : {stats.branches} "
+          f"({stats.mispredictions} mispredicted, "
+          f"{stats.misprediction_rate * 100:.2f}%)")
+    print(f"speedup vs 1-issue : "
+          f"{scalar.stats.cycles / stats.cycles:.2f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    workload = get_workload(args.name)
+    suite = ExperimentSuite(workloads=[workload], scale=args.scale)
+    machine = _machine(args)
+    base = suite.baseline_cycles(workload.name)
+    print(f"{workload.name} ({workload.stands_for}), scale {args.scale}")
+    print(f"{'model':<20s}{'cycles':>9s}{'speedup':>9s}{'instrs':>9s}"
+          f"{'BR':>8s}{'MP':>7s}")
+    for model in Model:
+        run = suite.run(workload.name, model, machine)
+        stats = run.stats
+        print(f"{model.value:<20s}{stats.cycles:>9d}"
+              f"{base / stats.cycles:>9.2f}"
+              f"{stats.executed_instructions:>9d}"
+              f"{stats.branches:>8d}{stats.mispredictions:>7d}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    suite = ExperimentSuite(scale=args.scale)
+    text = render_all(suite)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    for w in all_workloads():
+        print(f"{w.name:<10s} {w.category:<8s} {w.stands_for}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Comparison of Full and Partial "
+                    "Predicated Execution Support for ILP Processors' "
+                    "(ISCA 1995)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a MiniC file and dump IR")
+    p.add_argument("file", help="MiniC source file, or - for stdin")
+    p.add_argument("--model", choices=sorted(_MODELS), default="fullpred")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("run", help="compile, emulate and simulate a file")
+    p.add_argument("file", help="MiniC source file, or - for stdin")
+    p.add_argument("--model", choices=sorted(_MODELS), default="fullpred")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("bench", help="run one workload, all models")
+    p.add_argument("name", help="workload name (see `list`)")
+    p.add_argument("--scale", type=float, default=0.5)
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("report", help="regenerate all figures/tables")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("-o", "--output", help="write to file")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("list", help="list registered workloads")
+    p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Functional emulation: IR interpreter, memory model, trace capture."""
+
+from repro.emu.interpreter import Interpreter, StepLimitExceeded, run_program
+from repro.emu.memory import (EmulationFault, GLOBAL_BASE, Memory, SAFE_ADDR,
+                              layout_globals)
+from repro.emu.trace import ExecutionResult, TraceEvent
+
+__all__ = [
+    "EmulationFault", "ExecutionResult", "GLOBAL_BASE", "Interpreter",
+    "Memory", "SAFE_ADDR", "StepLimitExceeded", "TraceEvent",
+    "layout_globals", "run_program",
+]

@@ -1,0 +1,49 @@
+"""Dynamic trace structures produced by emulation (paper Section 4.1).
+
+The paper's *emulation-driven simulation* executes the compiled code
+functionally and records an instruction trace containing memory address
+information, predicate register contents, and branch directions; the
+trace is then fed to the cycle-level simulator.  A :class:`TraceEvent`
+carries exactly that information for one dynamic instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.ir.instruction import Instruction
+
+
+class TraceEvent(NamedTuple):
+    """One dynamic instruction.
+
+    ``executed`` is False when the instruction's guard predicate was
+    false (the instruction was fetched but nullified).  ``taken`` is
+    meaningful for control instructions; ``addr`` is the effective
+    memory address for executed memory instructions, else -1.
+    """
+
+    inst: Instruction
+    executed: bool
+    taken: bool
+    addr: int
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one emulation run."""
+
+    return_value: int | float
+    dynamic_count: int
+    #: fetched-but-nullified dynamic instructions (subset of dynamic_count)
+    suppressed_count: int
+    trace: list[TraceEvent] | None
+    #: uid -> [not_taken_count, taken_count] for conditional branches
+    branch_outcomes: dict[int, list[int]] = field(default_factory=dict)
+    #: (function, block) -> entry count
+    block_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def executed_count(self) -> int:
+        return self.dynamic_count - self.suppressed_count

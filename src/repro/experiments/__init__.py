@@ -1,0 +1,12 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.experiments.runner import (ExperimentSuite, WorkloadRun,
+                                      mean_speedups, scaled_fig11_machine)
+from repro.experiments.render import (render_all, render_speedup_figure,
+                                      render_table2, render_table3)
+
+__all__ = [
+    "ExperimentSuite", "WorkloadRun", "mean_speedups", "render_all",
+    "render_speedup_figure", "render_table2", "render_table3",
+    "scaled_fig11_machine",
+]

@@ -1,0 +1,19 @@
+"""Executable intermediate representation: a generic load/store ILP ISA
+with full- and partial-predication extensions."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import (BasicBlock, Function, GlobalVar, IRError,
+                               Program)
+from repro.ir.instruction import Instruction, PredDest, PType
+from repro.ir.opcodes import OpCategory, Opcode, category, inverse
+from repro.ir.operands import GlobalAddr, Imm, Operand, PReg, RegClass, VReg
+from repro.ir.printer import format_block, format_function, format_program
+from repro.ir.verifier import ISALevel, VerificationError, verify_program
+
+__all__ = [
+    "BasicBlock", "Function", "GlobalVar", "GlobalAddr", "IRBuilder",
+    "IRError", "ISALevel", "Imm", "Instruction", "OpCategory", "Opcode",
+    "Operand", "PReg", "PType", "PredDest", "Program", "RegClass", "VReg",
+    "VerificationError", "category", "format_block", "format_function",
+    "format_program", "inverse", "verify_program",
+]

@@ -1,0 +1,223 @@
+"""Convenience builder for constructing IR functions.
+
+The builder keeps a current insertion block and provides one method per
+instruction family, returning the destination register so expression
+trees compose naturally:
+
+    b = IRBuilder(fn, fn.new_block("entry"))
+    t = b.add(x, b.imm(1))
+    b.beq(t, b.imm(0), "exit")
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction, PredDest, PType
+from repro.ir.opcodes import OpCategory, Opcode, opcode_for_condition
+from repro.ir.operands import GlobalAddr, Imm, Operand, PReg, RegClass, VReg
+
+
+class IRBuilder:
+    """Incremental construction of instructions into basic blocks."""
+
+    def __init__(self, fn: Function, block: BasicBlock | None = None,
+                 pred: PReg | None = None):
+        self.fn = fn
+        self.block = block if block is not None else fn.entry
+        #: guard applied to all emitted instructions (for predicated code)
+        self.pred = pred
+
+    # ----- positioning ---------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def imm(self, value: int | float) -> Imm:
+        return Imm(value)
+
+    def emit(self, inst: Instruction) -> Instruction:
+        if inst.pred is None and self.pred is not None:
+            inst.pred = self.pred
+        self.block.append(inst)
+        return inst
+
+    # ----- generic emitters ----------------------------------------------
+
+    def _binop(self, op: Opcode, a: Operand, b: Operand,
+               rclass: RegClass = RegClass.INT) -> VReg:
+        dest = self.fn.new_vreg(rclass)
+        self.emit(Instruction(op, dest=dest, srcs=(a, b)))
+        return dest
+
+    def _unop(self, op: Opcode, a: Operand,
+              rclass: RegClass = RegClass.INT) -> VReg:
+        dest = self.fn.new_vreg(rclass)
+        self.emit(Instruction(op, dest=dest, srcs=(a,)))
+        return dest
+
+    # ----- integer ALU ----------------------------------------------------
+
+    def add(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.ADD, a, b)
+
+    def sub(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.SUB, a, b)
+
+    def mul(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.MUL, a, b)
+
+    def div(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.DIV, a, b)
+
+    def rem(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.REM, a, b)
+
+    def and_(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.AND, a, b)
+
+    def or_(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.OR, a, b)
+
+    def xor(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.XOR, a, b)
+
+    def shl(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.SHL, a, b)
+
+    def shr(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.SHR, a, b)
+
+    def neg(self, a: Operand) -> VReg:
+        return self._unop(Opcode.NEG, a)
+
+    def not_(self, a: Operand) -> VReg:
+        return self._unop(Opcode.NOT, a)
+
+    def mov(self, src: Operand, dest: VReg | None = None) -> VReg:
+        if dest is None:
+            dest = self.fn.new_vreg()
+        self.emit(Instruction(Opcode.MOV, dest=dest, srcs=(src,)))
+        return dest
+
+    def mov_to(self, dest: VReg, src: Operand) -> Instruction:
+        op = Opcode.FMOV if dest.is_float else Opcode.MOV
+        return self.emit(Instruction(op, dest=dest, srcs=(src,)))
+
+    def cmp(self, cond: str, a: Operand, b: Operand) -> VReg:
+        return self._binop(opcode_for_condition(OpCategory.CMP, cond), a, b)
+
+    # ----- float ----------------------------------------------------------
+
+    def fadd(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.FADD, a, b, RegClass.FLOAT)
+
+    def fsub(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.FSUB, a, b, RegClass.FLOAT)
+
+    def fmul(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.FMUL, a, b, RegClass.FLOAT)
+
+    def fdiv(self, a: Operand, b: Operand) -> VReg:
+        return self._binop(Opcode.FDIV, a, b, RegClass.FLOAT)
+
+    def fmov(self, src: Operand, dest: VReg | None = None) -> VReg:
+        if dest is None:
+            dest = self.fn.new_vreg(RegClass.FLOAT)
+        self.emit(Instruction(Opcode.FMOV, dest=dest, srcs=(src,)))
+        return dest
+
+    def cvt_if(self, a: Operand) -> VReg:
+        return self._unop(Opcode.CVT_IF, a, RegClass.FLOAT)
+
+    def cvt_fi(self, a: Operand) -> VReg:
+        return self._unop(Opcode.CVT_FI, a)
+
+    def fcmp(self, cond: str, a: Operand, b: Operand) -> VReg:
+        return self._binop(opcode_for_condition(OpCategory.FCMP, cond), a, b)
+
+    # ----- memory ---------------------------------------------------------
+
+    def load(self, base: Operand, offset: Operand,
+             byte: bool = False) -> VReg:
+        op = Opcode.LOAD_B if byte else Opcode.LOAD
+        return self._binop(op, base, offset)
+
+    def fload(self, base: Operand, offset: Operand) -> VReg:
+        return self._binop(Opcode.FLOAD, base, offset, RegClass.FLOAT)
+
+    def store(self, base: Operand, offset: Operand, src: Operand,
+              byte: bool = False) -> Instruction:
+        op = Opcode.STORE_B if byte else Opcode.STORE
+        return self.emit(Instruction(op, srcs=(base, offset, src)))
+
+    def fstore(self, base: Operand, offset: Operand,
+               src: Operand) -> Instruction:
+        return self.emit(Instruction(Opcode.FSTORE, srcs=(base, offset, src)))
+
+    def global_addr(self, name: str, offset: int = 0) -> GlobalAddr:
+        return GlobalAddr(name, offset)
+
+    # ----- control --------------------------------------------------------
+
+    def branch(self, cond: str, a: Operand, b: Operand,
+               target: str) -> Instruction:
+        op = opcode_for_condition(OpCategory.BRANCH, cond)
+        return self.emit(Instruction(op, srcs=(a, b), target=target))
+
+    def beq(self, a: Operand, b: Operand, target: str) -> Instruction:
+        return self.branch("eq", a, b, target)
+
+    def bne(self, a: Operand, b: Operand, target: str) -> Instruction:
+        return self.branch("ne", a, b, target)
+
+    def blt(self, a: Operand, b: Operand, target: str) -> Instruction:
+        return self.branch("lt", a, b, target)
+
+    def bge(self, a: Operand, b: Operand, target: str) -> Instruction:
+        return self.branch("ge", a, b, target)
+
+    def jump(self, target: str) -> Instruction:
+        return self.emit(Instruction(Opcode.JUMP, target=target))
+
+    def call(self, callee: str, args: tuple[Operand, ...] = (),
+             returns_float: bool = False,
+             want_result: bool = True) -> VReg | None:
+        dest = None
+        if want_result:
+            rclass = RegClass.FLOAT if returns_float else RegClass.INT
+            dest = self.fn.new_vreg(rclass)
+        self.emit(Instruction(Opcode.JSR, dest=dest, srcs=tuple(args),
+                              target=callee))
+        return dest
+
+    def ret(self, value: Operand | None = None) -> Instruction:
+        srcs = (value,) if value is not None else ()
+        return self.emit(Instruction(Opcode.RET, srcs=srcs))
+
+    # ----- predication ----------------------------------------------------
+
+    def pred_define(self, cond: str, a: Operand, b: Operand,
+                    pdests: tuple[PredDest, ...],
+                    guard: PReg | None = None) -> Instruction:
+        op = opcode_for_condition(OpCategory.PREDDEF, cond)
+        inst = Instruction(op, srcs=(a, b), pdests=pdests, pred=guard)
+        self.block.append(inst)
+        return inst
+
+    def pred_clear(self) -> Instruction:
+        inst = Instruction(Opcode.PRED_CLEAR)
+        self.block.append(inst)
+        return inst
+
+    def cmov(self, dest: VReg, src: Operand, cond: Operand,
+             complement: bool = False) -> Instruction:
+        if dest.is_float:
+            op = Opcode.FCMOV_COM if complement else Opcode.FCMOV
+        else:
+            op = Opcode.CMOV_COM if complement else Opcode.CMOV
+        return self.emit(Instruction(op, dest=dest, srcs=(src, cond)))
+
+    def select(self, dest: VReg, a: Operand, b: Operand,
+               cond: Operand) -> Instruction:
+        op = Opcode.FSELECT if dest.is_float else Opcode.SELECT
+        return self.emit(Instruction(op, dest=dest, srcs=(a, b, cond)))

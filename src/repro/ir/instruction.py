@@ -1,0 +1,201 @@
+"""IR instructions, including full-predication extensions.
+
+Every instruction may carry a *guard predicate* (``pred``), matching the
+full-predication model in which each opcode gains an extra predicate
+source operand (paper Section 2.1).  Predicate define instructions have up
+to two typed predicate destinations following the HPL PlayDoh semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.ir.opcodes import (OpCategory, Opcode, category, has_side_effects,
+                              is_control, CONDITION)
+from repro.ir.operands import GlobalAddr, Imm, Operand, PReg, VReg
+
+
+class PType(enum.Enum):
+    """Predicate define destination types (paper Table 1).
+
+    ``U``/``U_BAR`` always write; ``OR``/``OR_BAR`` may only set to 1;
+    ``AND``/``AND_BAR`` may only clear to 0.
+    """
+
+    U = "U"
+    U_BAR = "U~"
+    OR = "OR"
+    OR_BAR = "OR~"
+    AND = "AND"
+    AND_BAR = "AND~"
+
+    @property
+    def complement(self) -> "PType":
+        return _COMPLEMENT[self]
+
+    @property
+    def is_bar(self) -> bool:
+        return self in (PType.U_BAR, PType.OR_BAR, PType.AND_BAR)
+
+
+_COMPLEMENT = {
+    PType.U: PType.U_BAR, PType.U_BAR: PType.U,
+    PType.OR: PType.OR_BAR, PType.OR_BAR: PType.OR,
+    PType.AND: PType.AND_BAR, PType.AND_BAR: PType.AND,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class PredDest:
+    """One typed destination of a predicate define instruction."""
+
+    reg: PReg
+    ptype: PType
+
+    def __repr__(self) -> str:
+        return f"{self.reg}<{self.ptype.value}>"
+
+
+_ids = itertools.count()
+
+
+@dataclass(eq=False, slots=True)
+class Instruction:
+    """A single IR instruction.
+
+    Attributes:
+        op: the opcode.
+        dest: destination register, or None.
+        srcs: source operands (registers, immediates, global addresses).
+        pred: guard predicate register, or None for always-execute.
+        pdests: typed predicate destinations (predicate defines only).
+        target: branch/jump target label, or callee name for JSR.
+        speculative: True for the silent (non-excepting) version of the
+            opcode, used for speculated instructions.
+        uid: unique id, stable across copies for trace correlation.
+    """
+
+    op: Opcode
+    dest: VReg | None = None
+    srcs: tuple[Operand, ...] = ()
+    pred: PReg | None = None
+    pdests: tuple[PredDest, ...] = ()
+    target: str | None = None
+    speculative: bool = False
+    #: alias hint: name of the single global object this memory access
+    #: can touch (set by lowerings that obscure the address, e.g. the
+    #: partial-predication $safe_addr store conversion)
+    mem_hint: str | None = None
+    uid: int = field(default_factory=lambda: next(_ids))
+
+    # ----- structural queries -------------------------------------------
+
+    @property
+    def cat(self) -> OpCategory:
+        return category(self.op)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.cat is OpCategory.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return is_control(self.op)
+
+    @property
+    def is_terminator(self) -> bool:
+        """True if control never falls through (unpredicated jump/ret)."""
+        return (self.cat in (OpCategory.JUMP, OpCategory.RET)
+                and self.pred is None)
+
+    @property
+    def is_pred_define(self) -> bool:
+        return self.cat in (OpCategory.PREDDEF, OpCategory.PREDSET)
+
+    @property
+    def is_conditional_write(self) -> bool:
+        """True when the destination may keep its old value: guarded
+        instructions and conditional moves (but not selects, which
+        always write)."""
+        return self.pred is not None or self.cat is OpCategory.CMOV
+
+    @property
+    def condition(self) -> str | None:
+        """Comparison condition name for compare-flavoured opcodes."""
+        return CONDITION.get(self.op)
+
+    def defined_regs(self) -> tuple[VReg | PReg, ...]:
+        """All registers written by this instruction."""
+        regs: list[VReg | PReg] = []
+        if self.dest is not None:
+            regs.append(self.dest)
+        regs.extend(pd.reg for pd in self.pdests)
+        return tuple(regs)
+
+    def used_regs(self) -> tuple[VReg | PReg, ...]:
+        """All registers read by this instruction (guard included)."""
+        regs: list[VReg | PReg] = [s for s in self.srcs
+                                   if isinstance(s, (VReg, PReg))]
+        if self.pred is not None:
+            regs.append(self.pred)
+        # OR/AND-type predicate destinations read-modify-write the register.
+        for pd in self.pdests:
+            if pd.ptype is not PType.U and pd.ptype is not PType.U_BAR:
+                regs.append(pd.reg)
+        # Conditional moves implicitly read their destination: when the
+        # condition blocks the move, the old value must survive.
+        if self.cat is OpCategory.CMOV and self.dest is not None:
+            regs.append(self.dest)
+        return tuple(regs)
+
+    @property
+    def is_pure(self) -> bool:
+        """True if removing the instruction only loses its dest value(s)."""
+        return not has_side_effects(self.op) and not self.is_control
+
+    def copy(self, **overrides: object) -> "Instruction":
+        """Shallow copy with field overrides; keeps the same ``uid``."""
+        fields = dict(op=self.op, dest=self.dest, srcs=self.srcs,
+                      pred=self.pred, pdests=self.pdests, target=self.target,
+                      speculative=self.speculative, mem_hint=self.mem_hint,
+                      uid=self.uid)
+        fields.update(overrides)
+        return Instruction(**fields)  # type: ignore[arg-type]
+
+    def fresh_copy(self, **overrides: object) -> "Instruction":
+        """Copy with a new ``uid`` (for tail duplication)."""
+        inst = self.copy(**overrides)
+        inst.uid = next(_ids)
+        return inst
+
+    # ----- rewriting ----------------------------------------------------
+
+    def replace_srcs(self, mapping: dict[Operand, Operand]) -> None:
+        """Substitute source operands (guard included) in place."""
+        self.srcs = tuple(mapping.get(s, s) for s in self.srcs)
+        if self.pred is not None and self.pred in mapping:
+            new = mapping[self.pred]
+            assert isinstance(new, PReg)
+            self.pred = new
+
+    # ----- display ------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts: list[str] = [self.op.value]
+        if self.speculative:
+            parts[0] += ".s"
+        operands: list[str] = []
+        if self.pdests:
+            operands.extend(repr(pd) for pd in self.pdests)
+        if self.dest is not None:
+            operands.append(repr(self.dest))
+        operands.extend(repr(s) for s in self.srcs)
+        if self.target is not None:
+            operands.append(self.target)
+        text = f"{parts[0]} " + ", ".join(operands) if operands \
+            else parts[0]
+        if self.pred is not None:
+            text += f" ({self.pred})"
+        return text.strip()

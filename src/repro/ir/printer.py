@@ -1,0 +1,34 @@
+"""Textual dump of IR programs, functions and blocks."""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function, Program
+
+
+def format_block(block: BasicBlock, indent: str = "  ",
+                 cycles: dict[int, int] | None = None) -> str:
+    """Render one block; optionally annotate issue cycles by ``uid``."""
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        text = f"{indent}{inst!r}"
+        if cycles is not None and inst.uid in cycles:
+            text = f"{text:<58s}; cycle {cycles[inst.uid]}"
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def format_function(fn: Function,
+                    cycles: dict[int, int] | None = None) -> str:
+    params = ", ".join(repr(p) for p in fn.params)
+    lines = [f"function {fn.name}({params}):"]
+    lines.extend(format_block(b, cycles=cycles) for b in fn.blocks)
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    lines = []
+    for g in program.globals.values():
+        kind = "float" if g.is_float else f"i{g.elem_size * 8}"
+        lines.append(f"global {g.name}: {kind}[{g.count}]")
+    lines.extend(format_function(f) for f in program.functions.values())
+    return "\n\n".join(lines)

@@ -1,0 +1,11 @@
+"""MiniC frontend: lexer, parser, semantic analysis, IR lowering."""
+
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.lower import LowerError, compile_minic, lower_unit
+from repro.lang.parser import ParseError, parse
+from repro.lang.sema import SemaError, SemaInfo, analyze
+
+__all__ = [
+    "LexError", "LowerError", "ParseError", "SemaError", "SemaInfo",
+    "Token", "analyze", "compile_minic", "lower_unit", "parse", "tokenize",
+]

@@ -1,0 +1,183 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----- types ---------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ScalarType:
+    name: str  # 'int', 'char', 'float'
+
+    @property
+    def is_float(self) -> bool:
+        return self.name == "float"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayType:
+    elem: ScalarType
+    size: int
+
+    def __repr__(self) -> str:
+        return f"{self.elem}[{self.size}]"
+
+
+INT = ScalarType("int")
+CHAR = ScalarType("char")
+FLOAT = ScalarType("float")
+
+Type = ScalarType | ArrayType
+
+
+# ----- expressions -----------------------------------------------------------
+
+@dataclass(slots=True)
+class Expr:
+    line: int = 0
+    #: filled in by semantic analysis
+    type: ScalarType | None = None
+
+
+@dataclass(slots=True)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(slots=True)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(slots=True)
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass(slots=True)
+class Index(Expr):
+    array: str = ""
+    index: Expr | None = None
+
+
+@dataclass(slots=True)
+class Unary(Expr):
+    op: str = ""           # '-', '!', '~'
+    operand: Expr | None = None
+
+
+@dataclass(slots=True)
+class Binary(Expr):
+    op: str = ""           # arithmetic/comparison/bitwise operator text
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(slots=True)
+class Logical(Expr):
+    op: str = ""           # '&&' or '||'
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Conditional(Expr):
+    """C ternary ``cond ? a : b``."""
+
+    cond: Expr | None = None
+    then: Expr | None = None
+    otherwise: Expr | None = None
+
+
+# ----- statements -------------------------------------------------------------
+
+@dataclass(slots=True)
+class Stmt:
+    line: int = 0
+
+
+@dataclass(slots=True)
+class Assign(Stmt):
+    """``name = value`` or ``name[index] = value``."""
+
+    target: str = ""
+    index: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: Expr | None = None
+    then: list[Stmt] = field(default_factory=list)
+    otherwise: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(slots=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Stmt):
+    pass
+
+
+# ----- declarations -------------------------------------------------------------
+
+@dataclass(slots=True)
+class VarDecl(Stmt):
+    """Variable declaration (global, local, or parameter)."""
+
+    name: str = ""
+    type: Type = INT
+    init: Expr | None = None
+
+
+@dataclass(slots=True)
+class FuncDecl:
+    name: str = ""
+    return_type: ScalarType = INT
+    params: list[VarDecl] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass(slots=True)
+class TranslationUnit:
+    globals: list[VarDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,502 @@
+"""Lowering from the MiniC AST to the predicate-free baseline IR.
+
+The lowering produces classic branchy code: short-circuit ``&&``/``||``
+become separate conditional branches (one per condition), matching how
+the paper's source benchmarks present themselves to if-conversion.
+
+Storage mapping:
+
+* global scalars and arrays → :class:`~repro.ir.function.GlobalVar`
+  objects (int/char scalars occupy a 4-byte word; char arrays are byte
+  arrays; floats occupy 8 bytes);
+* local scalars and parameters → virtual registers;
+* local arrays → uniquely named static globals (``fn.name``); MiniC
+  forbids recursion through local arrays, which no workload needs.
+"""
+
+from __future__ import annotations
+
+from repro.ir import (Function, GlobalAddr, GlobalVar, Imm, IRBuilder,
+                      Opcode, Operand, Program, RegClass, VReg)
+from repro.ir.function import BasicBlock
+from repro.ir.instruction import Instruction
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.sema import SemaError, SemaInfo, analyze
+
+
+class LowerError(Exception):
+    """Internal lowering failure (should be prevented by sema)."""
+
+
+def _elem_size(t: ast.ScalarType) -> int:
+    if t.is_float:
+        return 8
+    return 1 if t.name == "char" else 4
+
+
+class _FunctionLowerer:
+    def __init__(self, program: Program, info: SemaInfo,
+                 decl: ast.FuncDecl):
+        self.program = program
+        self.info = info
+        self.decl = decl
+        self.fn = Function(decl.name,
+                           returns_float=decl.return_type.is_float)
+        self.builder = IRBuilder(self.fn, self.fn.new_block("entry"))
+        self.vars: dict[str, VReg] = {}
+        self.label_counter = 0
+        #: stack of (break_label, continue_label)
+        self.loop_stack: list[tuple[str, str]] = []
+        self.return_float = decl.return_type.is_float
+
+    # ----- block helpers ---------------------------------------------------
+
+    def new_label(self, hint: str = "L") -> str:
+        self.label_counter += 1
+        return f"{hint}{self.label_counter}"
+
+    def start_block(self, label: str) -> BasicBlock:
+        block = self.fn.new_block(label)
+        self.builder.set_block(block)
+        return block
+
+    def goto(self, label: str) -> None:
+        """End the current block with a jump unless already terminated."""
+        block = self.builder.block
+        if not block.instructions or not block.instructions[-1].is_terminator:
+            self.builder.jump(label)
+
+    # ----- typed operand helpers -----------------------------------------------
+
+    def to_float(self, op: Operand, is_float: bool) -> Operand:
+        if is_float:
+            return op
+        if isinstance(op, Imm):
+            return Imm(float(op.value))
+        return self.builder.cvt_if(op)
+
+    def to_int(self, op: Operand, is_float: bool) -> Operand:
+        if not is_float:
+            return op
+        if isinstance(op, Imm):
+            return Imm(int(op.value))
+        return self.builder.cvt_fi(op)
+
+    def convert(self, op: Operand, from_float: bool,
+                to_float_type: bool) -> Operand:
+        if to_float_type:
+            return self.to_float(op, from_float)
+        return self.to_int(op, from_float)
+
+    # ----- variable access -------------------------------------------------------
+
+    def local_reg(self, decl: ast.VarDecl) -> VReg:
+        reg = self.vars.get(decl.name)
+        if reg is None:
+            rclass = RegClass.FLOAT if (isinstance(decl.type,
+                                                   ast.ScalarType)
+                                        and decl.type.is_float) \
+                else RegClass.INT
+            reg = self.fn.new_vreg(rclass)
+            self.vars[decl.name] = reg
+        return reg
+
+    def _is_local(self, name: str) -> bool:
+        return name in self.info.functions[self.decl.name].locals
+
+    def _static_name(self, name: str) -> str:
+        """Program-level name for a variable (locals arrays are statics)."""
+        if self._is_local(name):
+            return f"{self.decl.name}.{name}"
+        return name
+
+    def read_scalar(self, name: str, line: int) -> tuple[Operand, bool]:
+        """Load a scalar variable; returns (operand, is_float)."""
+        decl = self._var_decl(name)
+        assert isinstance(decl.type, ast.ScalarType)
+        is_float = decl.type.is_float
+        if self._is_local(name):
+            return self.local_reg(decl), is_float
+        addr = GlobalAddr(name)
+        if is_float:
+            return self.builder.fload(addr, Imm(0)), True
+        return self.builder.load(addr, Imm(0)), False
+
+    def write_scalar(self, name: str, value: Operand,
+                     value_is_float: bool) -> None:
+        decl = self._var_decl(name)
+        assert isinstance(decl.type, ast.ScalarType)
+        is_float = decl.type.is_float
+        value = self.convert(value, value_is_float, is_float)
+        if self._is_local(name):
+            reg = self.local_reg(decl)
+            self.builder.mov_to(reg, value)
+            return
+        addr = GlobalAddr(name)
+        if is_float:
+            self.builder.fstore(addr, Imm(0), value)
+        else:
+            self.builder.store(addr, Imm(0), value)
+
+    def _var_decl(self, name: str) -> ast.VarDecl:
+        info = self.info.functions[self.decl.name]
+        if name in info.locals:
+            return info.locals[name]
+        return self.info.globals[name]
+
+    def array_address(self, name: str,
+                      index: ast.Expr) -> tuple[Operand, Operand, int]:
+        """Compute (base, offset_operand, elem_size) for an array access."""
+        decl = self._var_decl(name)
+        assert isinstance(decl.type, ast.ArrayType)
+        elem = _elem_size(decl.type.elem)
+        idx = self.lower_expr(index)
+        base = GlobalAddr(self._static_name(name))
+        if isinstance(idx, Imm):
+            return base, Imm(int(idx.value) * elem), elem
+        if elem == 1:
+            return base, idx, elem
+        shift = 2 if elem == 4 else 3
+        offset = self.builder.shl(idx, Imm(shift))
+        return base, offset, elem
+
+    # ----- expressions --------------------------------------------------------------
+
+    def lower_expr(self, e: ast.Expr | None) -> Operand:
+        assert e is not None
+        if isinstance(e, ast.IntLit):
+            return Imm(e.value)
+        if isinstance(e, ast.FloatLit):
+            return Imm(e.value)
+        if isinstance(e, ast.Name):
+            op, _ = self.read_scalar(e.ident, e.line)
+            return op
+        if isinstance(e, ast.Index):
+            base, offset, elem = self.array_address(e.array, e.index)
+            decl = self._var_decl(e.array)
+            assert isinstance(decl.type, ast.ArrayType)
+            if decl.type.elem.is_float:
+                return self.builder.fload(base, offset)
+            return self.builder.load(base, offset, byte=(elem == 1))
+        if isinstance(e, ast.Unary):
+            return self._lower_unary(e)
+        if isinstance(e, ast.Binary):
+            return self._lower_binary(e)
+        if isinstance(e, ast.Logical):
+            return self._materialize_bool(e)
+        if isinstance(e, ast.Conditional):
+            return self._lower_conditional(e)
+        if isinstance(e, ast.Call):
+            return self._lower_call(e)
+        raise LowerError(f"cannot lower expression {e!r}")
+
+    def _lower_unary(self, e: ast.Unary) -> Operand:
+        operand = self.lower_expr(e.operand)
+        assert e.operand is not None and e.operand.type is not None
+        if e.op == "-":
+            if e.type is ast.FLOAT:
+                operand = self.to_float(operand, e.operand.type.is_float)
+                dest = self.fn.new_vreg(RegClass.FLOAT)
+                self.builder.emit(Instruction(Opcode.FNEG, dest=dest,
+                                              srcs=(operand,)))
+                return dest
+            return self.builder.neg(operand)
+        if e.op == "!":
+            return self.builder.cmp("eq", operand, Imm(0))
+        if e.op == "~":
+            return self.builder.not_(operand)
+        raise LowerError(f"unknown unary {e.op!r}")
+
+    _INT_OPS = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL,
+                "/": Opcode.DIV, "%": Opcode.REM, "&": Opcode.AND,
+                "|": Opcode.OR, "^": Opcode.XOR, "<<": Opcode.SHL,
+                ">>": Opcode.SHR}
+    _FLOAT_OPS = {"+": Opcode.FADD, "-": Opcode.FSUB, "*": Opcode.FMUL,
+                  "/": Opcode.FDIV}
+    _CMP_NAMES = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                  ">": "gt", ">=": "ge"}
+
+    def _lower_binary(self, e: ast.Binary) -> Operand:
+        assert e.left is not None and e.right is not None
+        left = self.lower_expr(e.left)
+        right = self.lower_expr(e.right)
+        lf = e.left.type.is_float
+        rf = e.right.type.is_float
+        if e.op in self._CMP_NAMES:
+            cond = self._CMP_NAMES[e.op]
+            if lf or rf:
+                left = self.to_float(left, lf)
+                right = self.to_float(right, rf)
+                return self.builder.fcmp(cond, left, right)
+            return self.builder.cmp(cond, left, right)
+        if e.type is ast.FLOAT:
+            left = self.to_float(left, lf)
+            right = self.to_float(right, rf)
+            dest = self.fn.new_vreg(RegClass.FLOAT)
+            self.builder.emit(Instruction(self._FLOAT_OPS[e.op], dest=dest,
+                                          srcs=(left, right)))
+            return dest
+        dest = self.fn.new_vreg()
+        self.builder.emit(Instruction(self._INT_OPS[e.op], dest=dest,
+                                      srcs=(left, right)))
+        return dest
+
+    def _materialize_bool(self, e: ast.Expr) -> Operand:
+        """Evaluate a short-circuit expression to 0/1 via control flow."""
+        true_lbl = self.new_label("Bt")
+        false_lbl = self.new_label("Bf")
+        join_lbl = self.new_label("Bj")
+        result = self.fn.new_vreg()
+        self.lower_cond(e, true_lbl, false_lbl)
+        self.start_block(true_lbl)
+        self.builder.mov_to(result, Imm(1))
+        self.goto(join_lbl)
+        self.start_block(false_lbl)
+        self.builder.mov_to(result, Imm(0))
+        self.goto(join_lbl)
+        self.start_block(join_lbl)
+        return result
+
+    def _lower_conditional(self, e: ast.Conditional) -> Operand:
+        assert e.then is not None and e.otherwise is not None
+        then_lbl = self.new_label("Ct")
+        else_lbl = self.new_label("Ce")
+        join_lbl = self.new_label("Cj")
+        is_float = e.type is ast.FLOAT
+        result = self.fn.new_vreg(RegClass.FLOAT if is_float
+                                  else RegClass.INT)
+        self.lower_cond(e.cond, then_lbl, else_lbl)
+        self.start_block(then_lbl)
+        v1 = self.lower_expr(e.then)
+        v1 = self.convert(v1, e.then.type.is_float, is_float)
+        self.builder.mov_to(result, v1)
+        self.goto(join_lbl)
+        self.start_block(else_lbl)
+        v2 = self.lower_expr(e.otherwise)
+        v2 = self.convert(v2, e.otherwise.type.is_float, is_float)
+        self.builder.mov_to(result, v2)
+        self.goto(join_lbl)
+        self.start_block(join_lbl)
+        return result
+
+    def _lower_call(self, e: ast.Call) -> Operand:
+        callee = self.info.functions[e.callee].decl
+        args: list[Operand] = []
+        for arg, param in zip(e.args, callee.params):
+            value = self.lower_expr(arg)
+            assert isinstance(param.type, ast.ScalarType)
+            value = self.convert(value, arg.type.is_float,
+                                 param.type.is_float)
+            args.append(value)
+        dest = self.builder.call(e.callee, tuple(args),
+                                 returns_float=callee.return_type.is_float)
+        assert dest is not None
+        return dest
+
+    # ----- conditions ------------------------------------------------------------------
+
+    def lower_cond(self, e: ast.Expr | None, true_lbl: str,
+                   false_lbl: str) -> None:
+        """Lower ``e`` as a branch condition (short-circuit evaluation).
+
+        Leaves the current block terminated; both labels must be started
+        by the caller afterwards.
+        """
+        assert e is not None
+        if isinstance(e, ast.Logical):
+            mid = self.new_label("Lm")
+            if e.op == "&&":
+                self.lower_cond(e.left, mid, false_lbl)
+            else:
+                self.lower_cond(e.left, true_lbl, mid)
+            self.start_block(mid)
+            self.lower_cond(e.right, true_lbl, false_lbl)
+            return
+        if isinstance(e, ast.Unary) and e.op == "!":
+            self.lower_cond(e.operand, false_lbl, true_lbl)
+            return
+        if isinstance(e, ast.Binary) and e.op in self._CMP_NAMES:
+            assert e.left is not None and e.right is not None
+            left = self.lower_expr(e.left)
+            right = self.lower_expr(e.right)
+            lf = e.left.type.is_float
+            rf = e.right.type.is_float
+            cond = self._CMP_NAMES[e.op]
+            if lf or rf:
+                left = self.to_float(left, lf)
+                right = self.to_float(right, rf)
+                flag = self.builder.fcmp(cond, left, right)
+                self.builder.bne(flag, Imm(0), true_lbl)
+            else:
+                self.builder.branch(cond, left, right, true_lbl)
+            self.builder.jump(false_lbl)
+            return
+        if isinstance(e, ast.IntLit):
+            self.builder.jump(true_lbl if e.value else false_lbl)
+            return
+        value = self.lower_expr(e)
+        if e.type is ast.FLOAT:
+            flag = self.builder.fcmp("ne", value, Imm(0.0))
+            self.builder.bne(flag, Imm(0), true_lbl)
+        else:
+            self.builder.bne(value, Imm(0), true_lbl)
+        self.builder.jump(false_lbl)
+
+    # ----- statements ------------------------------------------------------------------
+
+    def lower_stmts(self, stmts: list[ast.Stmt]) -> None:
+        for s in stmts:
+            self.lower_stmt(s)
+
+    def lower_stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.VarDecl):
+            if isinstance(s.type, ast.ArrayType):
+                # Local arrays become uniquely named static globals.
+                static = GlobalVar(self._static_name(s.name),
+                                   _elem_size(s.type.elem), s.type.size,
+                                   is_float=s.type.elem.is_float)
+                if static.name not in self.program.globals:
+                    self.program.add_global(static)
+            elif s.init is not None:
+                value = self.lower_expr(s.init)
+                reg = self.local_reg(s)
+                value = self.convert(value, s.init.type.is_float,
+                                     s.type.is_float)
+                self.builder.mov_to(reg, value)
+        elif isinstance(s, ast.Assign):
+            self._lower_assign(s)
+        elif isinstance(s, ast.ExprStmt):
+            self.lower_expr(s.expr)
+        elif isinstance(s, ast.If):
+            self._lower_if(s)
+        elif isinstance(s, ast.While):
+            self._lower_while(s)
+        elif isinstance(s, ast.For):
+            self._lower_for(s)
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                value = self.lower_expr(s.value)
+                value = self.convert(value, s.value.type.is_float,
+                                     self.return_float)
+            else:
+                value = Imm(0.0 if self.return_float else 0)
+            self.builder.ret(value)
+            self.start_block(self.new_label("dead"))
+        elif isinstance(s, ast.Break):
+            self.goto(self.loop_stack[-1][0])
+            self.start_block(self.new_label("dead"))
+        elif isinstance(s, ast.Continue):
+            self.goto(self.loop_stack[-1][1])
+            self.start_block(self.new_label("dead"))
+        else:
+            raise LowerError(f"cannot lower statement {s!r}")
+
+    def _lower_assign(self, s: ast.Assign) -> None:
+        assert s.value is not None
+        if s.index is None:
+            value = self.lower_expr(s.value)
+            self.write_scalar(s.target, value, s.value.type.is_float)
+            return
+        decl = self._var_decl(s.target)
+        assert isinstance(decl.type, ast.ArrayType)
+        base, offset, elem = self.array_address(s.target, s.index)
+        value = self.lower_expr(s.value)
+        value = self.convert(value, s.value.type.is_float,
+                             decl.type.elem.is_float)
+        if decl.type.elem.is_float:
+            self.builder.fstore(base, offset, value)
+        else:
+            self.builder.store(base, offset, value, byte=(elem == 1))
+
+    def _lower_if(self, s: ast.If) -> None:
+        then_lbl = self.new_label("It")
+        join_lbl = self.new_label("Ij")
+        else_lbl = self.new_label("Ie") if s.otherwise else join_lbl
+        self.lower_cond(s.cond, then_lbl, else_lbl)
+        self.start_block(then_lbl)
+        self.lower_stmts(s.then)
+        self.goto(join_lbl)
+        if s.otherwise:
+            self.start_block(else_lbl)
+            self.lower_stmts(s.otherwise)
+            self.goto(join_lbl)
+        self.start_block(join_lbl)
+
+    def _lower_while(self, s: ast.While) -> None:
+        head_lbl = self.new_label("Wh")
+        body_lbl = self.new_label("Wb")
+        exit_lbl = self.new_label("Wx")
+        self.goto(head_lbl)
+        self.start_block(head_lbl)
+        self.lower_cond(s.cond, body_lbl, exit_lbl)
+        self.start_block(body_lbl)
+        self.loop_stack.append((exit_lbl, head_lbl))
+        self.lower_stmts(s.body)
+        self.loop_stack.pop()
+        self.goto(head_lbl)
+        self.start_block(exit_lbl)
+
+    def _lower_for(self, s: ast.For) -> None:
+        head_lbl = self.new_label("Fh")
+        body_lbl = self.new_label("Fb")
+        step_lbl = self.new_label("Fs")
+        exit_lbl = self.new_label("Fx")
+        if s.init is not None:
+            self.lower_stmt(s.init)
+        self.goto(head_lbl)
+        self.start_block(head_lbl)
+        if s.cond is not None:
+            self.lower_cond(s.cond, body_lbl, exit_lbl)
+        else:
+            self.goto(body_lbl)
+        self.start_block(body_lbl)
+        self.loop_stack.append((exit_lbl, step_lbl))
+        self.lower_stmts(s.body)
+        self.loop_stack.pop()
+        self.goto(step_lbl)
+        self.start_block(step_lbl)
+        if s.step is not None:
+            self.lower_stmt(s.step)
+        self.goto(head_lbl)
+        self.start_block(exit_lbl)
+
+    # ----- function -----------------------------------------------------------------------
+
+    def lower(self) -> Function:
+        for p in self.decl.params:
+            reg = self.local_reg(p)
+            self.fn.params.append(reg)
+        self.lower_stmts(self.decl.body)
+        # Implicit `return 0` at the end.
+        block = self.builder.block
+        if not block.instructions \
+                or not block.instructions[-1].is_terminator:
+            self.builder.ret(Imm(0.0 if self.return_float else 0))
+        return self.fn
+
+
+def lower_unit(info: SemaInfo) -> Program:
+    """Lower a checked translation unit to an IR program."""
+    program = Program()
+    for g in info.unit.globals:
+        if isinstance(g.type, ast.ArrayType):
+            program.add_global(GlobalVar(g.name, _elem_size(g.type.elem),
+                                         g.type.size,
+                                         is_float=g.type.elem.is_float))
+        else:
+            init = None
+            if g.init is not None:
+                assert isinstance(g.init, (ast.IntLit, ast.FloatLit))
+                init = [g.init.value]
+            size = 8 if g.type.is_float else 4
+            program.add_global(GlobalVar(g.name, size, 1, init=init,
+                                         is_float=g.type.is_float))
+    for f in info.unit.functions:
+        program.add_function(_FunctionLowerer(program, info, f).lower())
+    return program
+
+
+def compile_minic(source: str) -> Program:
+    """Front end in one call: MiniC source text → baseline IR program."""
+    return lower_unit(analyze(parse(source)))

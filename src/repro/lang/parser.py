@@ -1,0 +1,320 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Syntax error with line information."""
+
+
+#: binary operator precedence (higher binds tighter); && / || are handled
+#: separately because they short-circuit.
+_PRECEDENCE = {
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_TYPES = {"int": ast.INT, "char": ast.CHAR, "float": ast.FLOAT}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ----- token helpers ---------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, value: object = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        if not self.check(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(
+                f"line {self.cur.line}: expected {want!r}, "
+                f"found {self.cur.value!r}")
+        return self.advance()
+
+    # ----- top level ----------------------------------------------------------
+
+    def parse(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self.check("eof"):
+            decl_type, name, line = self._type_and_name()
+            if self.check("("):
+                unit.functions.append(
+                    self._function(decl_type, name, line))
+            else:
+                unit.globals.append(self._global_var(decl_type, name, line))
+        return unit
+
+    def _type_and_name(self) -> tuple[ast.ScalarType, str, int]:
+        tok = self.expect("kw")
+        if tok.value not in _TYPES:
+            raise ParseError(f"line {tok.line}: expected type, "
+                             f"found {tok.value!r}")
+        name = self.expect("id")
+        return _TYPES[tok.value], str(name.value), tok.line
+
+    def _array_suffix(self, base: ast.ScalarType) -> ast.Type:
+        if self.accept("["):
+            size = self.expect("num")
+            self.expect("]")
+            return ast.ArrayType(base, int(size.value))
+        return base
+
+    def _global_var(self, base: ast.ScalarType, name: str,
+                    line: int) -> ast.VarDecl:
+        var_type = self._array_suffix(base)
+        init = None
+        if self.accept("="):
+            init = self._expression()
+        self.expect(";")
+        return ast.VarDecl(line=line, name=name, type=var_type, init=init)
+
+    def _function(self, return_type: ast.ScalarType, name: str,
+                  line: int) -> ast.FuncDecl:
+        self.expect("(")
+        params: list[ast.VarDecl] = []
+        if not self.check(")"):
+            while True:
+                ptype, pname, pline = self._type_and_name()
+                params.append(ast.VarDecl(line=pline, name=pname,
+                                          type=ptype))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self._block()
+        return ast.FuncDecl(name=name, return_type=return_type,
+                            params=params, body=body, line=line)
+
+    # ----- statements ------------------------------------------------------------
+
+    def _block(self) -> list[ast.Stmt]:
+        self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self._statement())
+        return stmts
+
+    def _statement(self) -> ast.Stmt:
+        tok = self.cur
+        if tok.kind == "kw":
+            if tok.value in _TYPES:
+                base, name, line = self._type_and_name()
+                var_type = self._array_suffix(base)
+                init = None
+                if self.accept("="):
+                    init = self._expression()
+                self.expect(";")
+                return ast.VarDecl(line=line, name=name, type=var_type,
+                                   init=init)
+            if tok.value == "if":
+                return self._if()
+            if tok.value == "while":
+                return self._while()
+            if tok.value == "for":
+                return self._for()
+            if tok.value == "return":
+                self.advance()
+                value = None if self.check(";") else self._expression()
+                self.expect(";")
+                return ast.Return(line=tok.line, value=value)
+            if tok.value == "break":
+                self.advance()
+                self.expect(";")
+                return ast.Break(line=tok.line)
+            if tok.value == "continue":
+                self.advance()
+                self.expect(";")
+                return ast.Continue(line=tok.line)
+            raise ParseError(f"line {tok.line}: unexpected {tok.value!r}")
+        if tok.kind == "{":
+            # Anonymous block: flatten into an If(1) is overkill; just use
+            # a While(0)?  Simpler: wrap in If with constant-true cond.
+            stmts = self._block()
+            return ast.If(line=tok.line,
+                          cond=ast.IntLit(line=tok.line, value=1),
+                          then=stmts, otherwise=[])
+        return self._simple_statement()
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment or expression statement (no trailing ';' consumed
+        by ``_for``)."""
+        stmt = self._assignment_or_expr()
+        self.expect(";")
+        return stmt
+
+    def _assignment_or_expr(self) -> ast.Stmt:
+        tok = self.cur
+        if tok.kind == "id":
+            # Lookahead for `name =` or `name [ expr ] =`.
+            save = self.pos
+            name = str(self.advance().value)
+            if self.accept("="):
+                value = self._expression()
+                return ast.Assign(line=tok.line, target=name, value=value)
+            if self.check("["):
+                self.advance()
+                index = self._expression()
+                self.expect("]")
+                if self.accept("="):
+                    value = self._expression()
+                    return ast.Assign(line=tok.line, target=name,
+                                      index=index, value=value)
+            self.pos = save
+        expr = self._expression()
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def _if(self) -> ast.If:
+        tok = self.expect("kw", "if")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        then = self._stmt_or_block()
+        otherwise: list[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            otherwise = self._stmt_or_block()
+        return ast.If(line=tok.line, cond=cond, then=then,
+                      otherwise=otherwise)
+
+    def _while(self) -> ast.While:
+        tok = self.expect("kw", "while")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        body = self._stmt_or_block()
+        return ast.While(line=tok.line, cond=cond, body=body)
+
+    def _for(self) -> ast.For:
+        tok = self.expect("kw", "for")
+        self.expect("(")
+        init = None
+        if not self.check(";"):
+            init = self._assignment_or_expr()
+        self.expect(";")
+        cond = None
+        if not self.check(";"):
+            cond = self._expression()
+        self.expect(";")
+        step = None
+        if not self.check(")"):
+            step = self._assignment_or_expr()
+        self.expect(")")
+        body = self._stmt_or_block()
+        return ast.For(line=tok.line, init=init, cond=cond, step=step,
+                       body=body)
+
+    def _stmt_or_block(self) -> list[ast.Stmt]:
+        if self.check("{"):
+            return self._block()
+        return [self._statement()]
+
+    # ----- expressions ---------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._ternary()
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._logical_or()
+        if self.accept("?"):
+            then = self._expression()
+            self.expect(":")
+            otherwise = self._ternary()
+            return ast.Conditional(line=cond.line, cond=cond, then=then,
+                                   otherwise=otherwise)
+        return cond
+
+    def _logical_or(self) -> ast.Expr:
+        left = self._logical_and()
+        while self.check("||"):
+            line = self.advance().line
+            right = self._logical_and()
+            left = ast.Logical(line=line, op="||", left=left, right=right)
+        return left
+
+    def _logical_and(self) -> ast.Expr:
+        left = self._binary(0)
+        while self.check("&&"):
+            line = self.advance().line
+            right = self._binary(0)
+            left = ast.Logical(line=line, op="&&", left=left, right=right)
+        return left
+
+    def _binary(self, min_prec: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self.cur.kind
+            prec = _PRECEDENCE.get(op)
+            if prec is None or prec < min_prec:
+                return left
+            line = self.advance().line
+            right = self._binary(prec + 1)
+            left = ast.Binary(line=line, op=op, left=left, right=right)
+
+    def _unary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind in ("-", "!", "~"):
+            self.advance()
+            operand = self._unary()
+            return ast.Unary(line=tok.line, op=tok.kind, operand=operand)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "num":
+            self.advance()
+            return ast.IntLit(line=tok.line, value=int(tok.value))
+        if tok.kind == "fnum":
+            self.advance()
+            return ast.FloatLit(line=tok.line, value=float(tok.value))
+        if tok.kind == "(":
+            self.advance()
+            expr = self._expression()
+            self.expect(")")
+            return expr
+        if tok.kind == "id":
+            name = str(self.advance().value)
+            if self.accept("("):
+                args: list[ast.Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(line=tok.line, callee=name, args=args)
+            if self.accept("["):
+                index = self._expression()
+                self.expect("]")
+                return ast.Index(line=tok.line, array=name, index=index)
+            return ast.Name(line=tok.line, ident=name)
+        raise ParseError(f"line {tok.line}: unexpected token "
+                         f"{tok.value!r} in expression")
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse()

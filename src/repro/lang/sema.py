@@ -1,0 +1,244 @@
+"""Semantic analysis for MiniC: scopes, symbols and type annotation.
+
+The analysis annotates every expression node with its value type (``int``
+or ``float``; ``char`` values promote to ``int`` when read) and builds the
+symbol tables the IR lowering consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+
+
+class SemaError(Exception):
+    """A semantic (type/scope) error."""
+
+
+@dataclass
+class FunctionInfo:
+    decl: ast.FuncDecl
+    locals: dict[str, ast.VarDecl] = field(default_factory=dict)
+
+
+@dataclass
+class SemaInfo:
+    """Symbol tables produced by :func:`analyze`."""
+
+    unit: ast.TranslationUnit
+    globals: dict[str, ast.VarDecl] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def var_type(self, fn: str, name: str) -> ast.Type:
+        info = self.functions[fn]
+        if name in info.locals:
+            return info.locals[name].type
+        if name in self.globals:
+            return self.globals[name].type
+        raise SemaError(f"undeclared variable {name!r}")
+
+
+def _value_type(t: ast.Type, line: int) -> ast.ScalarType:
+    if isinstance(t, ast.ArrayType):
+        raise SemaError(f"line {line}: array used as a scalar value")
+    return ast.FLOAT if t.is_float else ast.INT
+
+
+class _Checker:
+    def __init__(self, info: SemaInfo):
+        self.info = info
+        self.fn: FunctionInfo | None = None
+        self.loop_depth = 0
+
+    # ----- helpers -----------------------------------------------------------
+
+    def _lookup(self, name: str, line: int) -> ast.VarDecl:
+        assert self.fn is not None
+        if name in self.fn.locals:
+            return self.fn.locals[name]
+        if name in self.info.globals:
+            return self.info.globals[name]
+        raise SemaError(f"line {line}: undeclared variable {name!r}")
+
+    # ----- declarations --------------------------------------------------------
+
+    def check_unit(self) -> None:
+        unit = self.info.unit
+        for g in unit.globals:
+            if g.name in self.info.globals:
+                raise SemaError(f"line {g.line}: duplicate global "
+                                f"{g.name!r}")
+            if g.init is not None:
+                if isinstance(g.type, ast.ArrayType):
+                    raise SemaError(f"line {g.line}: array initializers "
+                                    f"are injected at run time, not in "
+                                    f"source")
+                if not isinstance(g.init, (ast.IntLit, ast.FloatLit)):
+                    raise SemaError(f"line {g.line}: global initializer "
+                                    f"must be a literal")
+            self.info.globals[g.name] = g
+        for f in unit.functions:
+            if f.name in self.info.functions:
+                raise SemaError(f"line {f.line}: duplicate function "
+                                f"{f.name!r}")
+            if f.name in self.info.globals:
+                raise SemaError(f"line {f.line}: {f.name!r} is both a "
+                                f"global and a function")
+            self.info.functions[f.name] = FunctionInfo(f)
+        if "main" not in self.info.functions:
+            raise SemaError("program has no main function")
+        for f in unit.functions:
+            self._check_function(self.info.functions[f.name])
+
+    def _check_function(self, fn: FunctionInfo) -> None:
+        self.fn = fn
+        self.loop_depth = 0
+        for p in fn.decl.params:
+            if isinstance(p.type, ast.ArrayType):
+                raise SemaError(f"line {p.line}: array parameters are not "
+                                f"supported; use a global array")
+            if p.name in fn.locals:
+                raise SemaError(f"line {p.line}: duplicate parameter "
+                                f"{p.name!r}")
+            fn.locals[p.name] = p
+        self._check_stmts(fn.decl.body)
+        self.fn = None
+
+    # ----- statements -------------------------------------------------------------
+
+    def _check_stmts(self, stmts: list[ast.Stmt]) -> None:
+        for s in stmts:
+            self._check_stmt(s)
+
+    def _check_stmt(self, s: ast.Stmt) -> None:
+        assert self.fn is not None
+        if isinstance(s, ast.VarDecl):
+            if s.name in self.fn.locals:
+                raise SemaError(f"line {s.line}: duplicate local "
+                                f"{s.name!r}")
+            if s.name in self.info.functions:
+                raise SemaError(f"line {s.line}: {s.name!r} shadows a "
+                                f"function")
+            self.fn.locals[s.name] = s
+            if s.init is not None:
+                if isinstance(s.type, ast.ArrayType):
+                    raise SemaError(f"line {s.line}: local array "
+                                    f"initializers are not supported")
+                self._check_expr(s.init)
+        elif isinstance(s, ast.Assign):
+            decl = self._lookup(s.target, s.line)
+            if s.index is not None:
+                if not isinstance(decl.type, ast.ArrayType):
+                    raise SemaError(f"line {s.line}: indexing non-array "
+                                    f"{s.target!r}")
+                itype = self._check_expr(s.index)
+                if itype.is_float:
+                    raise SemaError(f"line {s.line}: array index must be "
+                                    f"integer")
+            elif isinstance(decl.type, ast.ArrayType):
+                raise SemaError(f"line {s.line}: cannot assign whole "
+                                f"array {s.target!r}")
+            self._check_expr(s.value)
+        elif isinstance(s, ast.ExprStmt):
+            self._check_expr(s.expr)
+        elif isinstance(s, ast.If):
+            self._check_expr(s.cond)
+            self._check_stmts(s.then)
+            self._check_stmts(s.otherwise)
+        elif isinstance(s, ast.While):
+            self._check_expr(s.cond)
+            self.loop_depth += 1
+            self._check_stmts(s.body)
+            self.loop_depth -= 1
+        elif isinstance(s, ast.For):
+            if s.init is not None:
+                self._check_stmt(s.init)
+            if s.cond is not None:
+                self._check_expr(s.cond)
+            if s.step is not None:
+                self._check_stmt(s.step)
+            self.loop_depth += 1
+            self._check_stmts(s.body)
+            self.loop_depth -= 1
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                self._check_expr(s.value)
+        elif isinstance(s, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(s, ast.Break) else "continue"
+                raise SemaError(f"line {s.line}: {kind} outside a loop")
+        else:
+            raise SemaError(f"unknown statement {s!r}")
+
+    # ----- expressions -----------------------------------------------------------
+
+    def _check_expr(self, e: ast.Expr | None) -> ast.ScalarType:
+        assert e is not None and self.fn is not None
+        if isinstance(e, ast.IntLit):
+            e.type = ast.INT
+        elif isinstance(e, ast.FloatLit):
+            e.type = ast.FLOAT
+        elif isinstance(e, ast.Name):
+            decl = self._lookup(e.ident, e.line)
+            e.type = _value_type(decl.type, e.line)
+        elif isinstance(e, ast.Index):
+            decl = self._lookup(e.array, e.line)
+            if not isinstance(decl.type, ast.ArrayType):
+                raise SemaError(f"line {e.line}: indexing non-array "
+                                f"{e.array!r}")
+            itype = self._check_expr(e.index)
+            if itype.is_float:
+                raise SemaError(f"line {e.line}: array index must be "
+                                f"integer")
+            e.type = ast.FLOAT if decl.type.elem.is_float else ast.INT
+        elif isinstance(e, ast.Unary):
+            t = self._check_expr(e.operand)
+            if e.op in ("!", "~") and t.is_float:
+                raise SemaError(f"line {e.line}: {e.op!r} requires an "
+                                f"integer operand")
+            e.type = ast.INT if e.op in ("!", "~") else t
+        elif isinstance(e, ast.Binary):
+            lt = self._check_expr(e.left)
+            rt = self._check_expr(e.right)
+            if e.op in ("%", "<<", ">>", "&", "|", "^"):
+                if lt.is_float or rt.is_float:
+                    raise SemaError(f"line {e.line}: {e.op!r} requires "
+                                    f"integer operands")
+                e.type = ast.INT
+            elif e.op in ("==", "!=", "<", "<=", ">", ">="):
+                e.type = ast.INT
+            else:
+                e.type = ast.FLOAT if (lt.is_float or rt.is_float) \
+                    else ast.INT
+        elif isinstance(e, ast.Logical):
+            self._check_expr(e.left)
+            self._check_expr(e.right)
+            e.type = ast.INT
+        elif isinstance(e, ast.Conditional):
+            self._check_expr(e.cond)
+            t1 = self._check_expr(e.then)
+            t2 = self._check_expr(e.otherwise)
+            e.type = ast.FLOAT if (t1.is_float or t2.is_float) else ast.INT
+        elif isinstance(e, ast.Call):
+            if e.callee not in self.info.functions:
+                raise SemaError(f"line {e.line}: call to undeclared "
+                                f"function {e.callee!r}")
+            callee = self.info.functions[e.callee].decl
+            if len(e.args) != len(callee.params):
+                raise SemaError(
+                    f"line {e.line}: {e.callee} takes "
+                    f"{len(callee.params)} args, got {len(e.args)}")
+            for arg in e.args:
+                self._check_expr(arg)
+            e.type = ast.FLOAT if callee.return_type.is_float else ast.INT
+        else:
+            raise SemaError(f"unknown expression {e!r}")
+        return e.type
+
+
+def analyze(unit: ast.TranslationUnit) -> SemaInfo:
+    """Type-check ``unit`` and return its symbol tables."""
+    info = SemaInfo(unit)
+    _Checker(info).check_unit()
+    return info

@@ -1,0 +1,16 @@
+"""Machine model: processor descriptions, latencies, predicate semantics."""
+
+from repro.machine.descriptor import (BTBConfig, CacheConfig,
+                                      MachineDescription, fig8_machine,
+                                      fig9_machine, fig10_machine,
+                                      fig11_machine, scalar_machine)
+from repro.machine.latencies import latency
+from repro.machine.predicates import (UNCHANGED, apply_pred_define,
+                                      is_parallel_type, pred_update)
+
+__all__ = [
+    "BTBConfig", "CacheConfig", "MachineDescription", "UNCHANGED",
+    "apply_pred_define", "fig8_machine", "fig9_machine", "fig10_machine",
+    "fig11_machine", "is_parallel_type", "latency", "pred_update",
+    "scalar_machine",
+]

@@ -1,0 +1,107 @@
+"""Machine descriptions for the paper's processor models.
+
+A :class:`MachineDescription` bundles every parameter of the simulated
+processor: issue width, branch issue limit, the latency table, branch
+prediction, and the memory hierarchy (perfect or real caches).  The
+paper's configurations (Figures 8-11) are provided as constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ir.opcodes import Opcode
+from repro.machine.latencies import latency as _pa7100_latency
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Direct-mapped cache parameters (paper Section 4.1)."""
+
+    size_bytes: int = 64 * 1024
+    line_bytes: int = 64
+    miss_penalty: int = 12
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    """Branch target buffer: 1K entries, 2-bit counters, 2-cycle penalty."""
+
+    entries: int = 1024
+    mispredict_penalty: int = 2
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Complete description of a simulated target processor."""
+
+    name: str = "baseline"
+    issue_width: int = 8
+    branch_issue_limit: int = 1
+    #: predicate define -> guarded use minimum distance, in cycles
+    #: (suppression happens at decode/issue, so the predicate must be set
+    #: at least the previous cycle — paper Section 2.1).
+    predicate_use_delay: int = 1
+    perfect_caches: bool = True
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    btb: BTBConfig = field(default_factory=BTBConfig)
+    #: bytes per encoded instruction, for I-cache indexing
+    instruction_bytes: int = 4
+
+    def latency(self, op: Opcode) -> int:
+        return _pa7100_latency(op)
+
+    def with_issue(self, width: int, branches: int) -> "MachineDescription":
+        return replace(self, issue_width=width, branch_issue_limit=branches,
+                       name=f"{width}-issue,{branches}-branch")
+
+    def with_real_caches(self, icache: CacheConfig | None = None,
+                         dcache: CacheConfig | None = None
+                         ) -> "MachineDescription":
+        return replace(self, perfect_caches=False,
+                       icache=icache or self.icache,
+                       dcache=dcache or self.dcache)
+
+
+def scalar_machine() -> MachineDescription:
+    """The 1-issue baseline processor used as the speedup denominator."""
+    return MachineDescription(name="1-issue", issue_width=1,
+                              branch_issue_limit=1)
+
+
+def fig8_machine() -> MachineDescription:
+    """8-issue, 1-branch, perfect caches (Figure 8)."""
+    return MachineDescription(name="8-issue,1-branch", issue_width=8,
+                              branch_issue_limit=1)
+
+
+def fig9_machine() -> MachineDescription:
+    """8-issue, 2-branch, perfect caches (Figure 9)."""
+    return MachineDescription(name="8-issue,2-branch", issue_width=8,
+                              branch_issue_limit=2)
+
+
+def fig10_machine() -> MachineDescription:
+    """4-issue, 1-branch, perfect caches (Figure 10)."""
+    return MachineDescription(name="4-issue,1-branch", issue_width=4,
+                              branch_issue_limit=1)
+
+
+def fig11_machine(icache_bytes: int = 64 * 1024,
+                  dcache_bytes: int = 64 * 1024) -> MachineDescription:
+    """8-issue, 1-branch with real caches (Figure 11).
+
+    Cache sizes are parameters because the repository's workloads are
+    scaled-down kernels: with the paper's 64K caches they fit entirely,
+    so the experiment harness uses proportionally scaled caches (see
+    EXPERIMENTS.md) while the paper's exact geometry remains the default.
+    """
+    m = MachineDescription(name="8-issue,1-branch,real-caches",
+                           issue_width=8, branch_issue_limit=1)
+    return m.with_real_caches(CacheConfig(size_bytes=icache_bytes),
+                              CacheConfig(size_bytes=dcache_bytes))

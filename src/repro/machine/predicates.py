@@ -1,0 +1,65 @@
+"""Predicate define semantics — the truth table of paper Table 1.
+
+A predicate define instruction evaluates a comparison and updates each of
+its (up to two) typed destination predicate registers as a function of the
+input predicate ``p_in`` and the comparison result.  Six of the 81
+possible types are supported, following the HPL PlayDoh semantics the
+paper adopts: unconditional (U), OR, AND, and their complements.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instruction import PType
+
+#: Marker for "leave the destination predicate unchanged".
+UNCHANGED = None
+
+
+def pred_update(ptype: PType, p_in: int, cmp_result: int) -> int | None:
+    """New value for a destination predicate, or ``UNCHANGED``.
+
+    Implements paper Table 1:
+
+    ========  =====  ===  ====  ===  =====  ====  ======
+    ``p_in``  *cmp*  U    U~    OR   OR~    AND   AND~
+    ========  =====  ===  ====  ===  =====  ====  ======
+    0         0      0    0     -    -      -     -
+    0         1      0    0     -    -      -     -
+    1         0      0    1     -    1      0     -
+    1         1      1    0     1    -      -     0
+    ========  =====  ===  ====  ===  =====  ====  ======
+    """
+    p_in = 1 if p_in else 0
+    cmp_result = 1 if cmp_result else 0
+    if ptype is PType.U:
+        return cmp_result if p_in else 0
+    if ptype is PType.U_BAR:
+        return (cmp_result ^ 1) if p_in else 0
+    if ptype is PType.OR:
+        return 1 if (p_in and cmp_result) else UNCHANGED
+    if ptype is PType.OR_BAR:
+        return 1 if (p_in and not cmp_result) else UNCHANGED
+    if ptype is PType.AND:
+        return 0 if (p_in and not cmp_result) else UNCHANGED
+    if ptype is PType.AND_BAR:
+        return 0 if (p_in and cmp_result) else UNCHANGED
+    raise ValueError(f"unknown predicate type {ptype}")
+
+
+def apply_pred_define(ptype: PType, old: int, p_in: int,
+                      cmp_result: int) -> int:
+    """Resulting register value after one define (``old`` if unchanged)."""
+    new = pred_update(ptype, p_in, cmp_result)
+    return old if new is UNCHANGED else new
+
+
+#: OR-type defines may issue simultaneously and in any order on the same
+#: predicate register (wired-OR); likewise AND-types.  U-types always
+#: write, so they may not.
+PARALLEL_TYPES = frozenset({PType.OR, PType.OR_BAR,
+                            PType.AND, PType.AND_BAR})
+
+
+def is_parallel_type(ptype: PType) -> bool:
+    """True if same-register defines of this type are order-independent."""
+    return ptype in PARALLEL_TYPES

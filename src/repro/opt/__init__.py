@@ -1,0 +1,19 @@
+"""Classic scalar optimizations and CFG cleanup."""
+
+from repro.opt.cfg_cleanup import (cleanup_cfg, make_jumps_explicit,
+                                   merge_straightline, normalize_basic_blocks, relayout,
+                                   remove_unreachable, thread_trivial_jumps)
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import eliminate_common_subexpressions
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.fold import fold_constants
+from repro.opt.pipeline import (CLASSIC_PASSES, optimize_program,
+                                run_function_passes)
+
+__all__ = [
+    "CLASSIC_PASSES", "cleanup_cfg", "eliminate_common_subexpressions",
+    "eliminate_dead_code", "fold_constants", "make_jumps_explicit",
+    "merge_straightline", "normalize_basic_blocks", "optimize_program", "propagate_copies",
+    "relayout", "remove_unreachable", "run_function_passes",
+    "thread_trivial_jumps",
+]

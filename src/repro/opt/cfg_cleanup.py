@@ -1,0 +1,214 @@
+"""CFG cleanup: jump canonicalization, unreachable code removal, block
+merging/threading, and fall-through re-layout."""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import predecessors_map, successors_map
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import OpCategory, Opcode
+
+
+def make_jumps_explicit(fn: Function) -> None:
+    """Terminate every block explicitly so layout order carries no
+    control-flow meaning (prerequisite for reordering transforms)."""
+    for i, block in enumerate(fn.blocks):
+        last = block.instructions[-1] if block.instructions else None
+        if last is not None and last.is_terminator:
+            continue
+        if i + 1 < len(fn.blocks):
+            block.append(Instruction(Opcode.JUMP,
+                                     target=fn.blocks[i + 1].name))
+
+
+def remove_unreachable(fn: Function) -> bool:
+    succs = successors_map(fn)
+    reachable: set[str] = set()
+    stack = [fn.entry.name]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        stack.extend(succs[name])
+    if len(reachable) == len(fn.blocks):
+        return False
+    fn.blocks = [b for b in fn.blocks if b.name in reachable]
+    return True
+
+
+def _retarget(fn: Function, mapping: dict[str, str]) -> None:
+    """Rewrite branch targets through ``mapping`` (transitively)."""
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in mapping and label not in seen:
+            seen.add(label)
+            label = mapping[label]
+        return label
+
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if inst.target is not None and inst.cat is not OpCategory.CALL:
+                inst.target = resolve(inst.target)
+
+
+def thread_trivial_jumps(fn: Function) -> bool:
+    """Redirect edges that land on blocks containing only a jump."""
+    mapping: dict[str, str] = {}
+    for block in fn.blocks:
+        if len(block.instructions) == 1:
+            inst = block.instructions[0]
+            if inst.op is Opcode.JUMP and inst.pred is None \
+                    and inst.target != block.name:
+                mapping[block.name] = inst.target
+    # Avoid remapping a label to itself through a cycle of empty blocks.
+    mapping = {k: v for k, v in mapping.items() if k != v}
+    if not mapping:
+        return False
+    # Never remap the entry label (it may also be a jump target).
+    entry = fn.entry.name
+    mapping.pop(entry, None)
+    _retarget(fn, mapping)
+    return True
+
+
+def merge_straightline(fn: Function) -> bool:
+    """Merge B into A when A ends `jump B` and B has exactly one pred.
+
+    Requires explicit jumps (run :func:`make_jumps_explicit` first).
+    """
+    changed = False
+    while True:
+        preds = predecessors_map(fn)
+        merged = False
+        for block in fn.blocks:
+            last = block.instructions[-1] if block.instructions else None
+            if last is None or last.op is not Opcode.JUMP \
+                    or last.pred is not None:
+                continue
+            target = last.target
+            if target == block.name or target == fn.entry.name:
+                continue
+            target_block = fn.block(target)
+            if len(preds[target]) != 1:
+                continue
+            # The final jump must be the *only* edge into the target: a
+            # block may both conditionally branch and jump to the same
+            # label, and merging would strand the branch.
+            references = sum(
+                1 for b in fn.blocks for inst in b.instructions
+                if inst.target == target
+                and inst.cat is not OpCategory.CALL)
+            if references != 1:
+                continue
+            block.instructions.pop()
+            block.instructions.extend(target_block.instructions)
+            fn.blocks.remove(target_block)
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed
+
+
+def relayout(fn: Function) -> None:
+    """Greedy fall-through layout; drops jumps to the next block.
+
+    Chains blocks along their unconditional jump targets so hot paths
+    become fall-throughs, then removes jumps made redundant by layout.
+    """
+    make_jumps_explicit(fn)
+    remaining = {b.name: b for b in fn.blocks}
+    order: list[BasicBlock] = []
+    chain_start = fn.entry.name
+    while remaining:
+        if chain_start not in remaining:
+            chain_start = next(iter(remaining))
+        name = chain_start
+        while name in remaining:
+            block = remaining.pop(name)
+            order.append(block)
+            last = block.instructions[-1] if block.instructions else None
+            if last is not None and last.op is Opcode.JUMP \
+                    and last.pred is None:
+                name = last.target
+            else:
+                break
+        chain_start = ""
+    fn.blocks = order
+    # Remove jump-to-next instructions.
+    for i, block in enumerate(fn.blocks[:-1]):
+        last = block.instructions[-1] if block.instructions else None
+        if last is not None and last.op is Opcode.JUMP \
+                and last.pred is None \
+                and last.target == fn.blocks[i + 1].name:
+            block.instructions.pop()
+
+
+def normalize_basic_blocks(fn: Function,
+                           protect: frozenset[str] | set[str] = frozenset()
+                           ) -> None:
+    """Split blocks so control instructions appear only at block ends.
+
+    After aggressive merging, blocks may contain interior conditional
+    branches (extended blocks).  Region formation needs canonical basic
+    blocks: at most one conditional branch, followed only by an optional
+    terminator.  Splits reuse deterministic derived labels.  Blocks named
+    in ``protect`` (formed hyperblocks/superblocks) are kept whole.
+    """
+    make_jumps_explicit(fn)
+    taken_names = {b.name for b in fn.blocks}
+
+    def fresh_name(base: str, counter: int) -> tuple[str, int]:
+        while True:
+            counter += 1
+            candidate = f"{base}.n{counter}"
+            if candidate not in taken_names:
+                taken_names.add(candidate)
+                return candidate, counter
+
+    result: list[BasicBlock] = []
+    for block in fn.blocks:
+        has_predication = any(
+            inst.pred is not None or inst.pdests
+            or inst.cat is OpCategory.PREDSET
+            for inst in block.instructions)
+        if block.name in protect or has_predication:
+            # Formed hyperblocks stay whole: their interior exits are
+            # part of the region, not block boundaries.
+            result.append(block)
+            continue
+        current = BasicBlock(block.name)
+        result.append(current)
+        split_count = 0
+        insts = block.instructions
+        for i, inst in enumerate(insts):
+            current.append(inst)
+            is_last = i == len(insts) - 1
+            if inst.is_control and not is_last:
+                # Calls always return to the next instruction; they do
+                # not end a basic block.
+                if inst.cat is OpCategory.CALL:
+                    continue
+                nxt = insts[i + 1]
+                # A conditional branch may be followed by its terminator
+                # jump in the same block.
+                if inst.cat is OpCategory.BRANCH and inst.pred is None \
+                        and nxt.is_terminator and i + 1 == len(insts) - 1:
+                    continue
+                name, split_count = fresh_name(block.name, split_count)
+                current = BasicBlock(name)
+                result.append(current)
+    fn.blocks = result
+    make_jumps_explicit(fn)
+
+
+def cleanup_cfg(fn: Function) -> bool:
+    """Full cleanup: canonicalize, thread, prune, merge, re-layout."""
+    make_jumps_explicit(fn)
+    changed = thread_trivial_jumps(fn)
+    changed |= remove_unreachable(fn)
+    changed |= merge_straightline(fn)
+    relayout(fn)
+    return changed

@@ -1,0 +1,50 @@
+"""Global dead code elimination using liveness.
+
+Hyperblocks contain mid-block exit branches, so the backward in-block
+scan revives the exit target's live-in set at every control
+instruction: a value needed only on an early-exit path must stay live
+at that point even if the straight-line code redefines it later.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import liveness
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import OpCategory
+
+
+def eliminate_dead_code(fn: Function) -> bool:
+    """Remove pure instructions whose results are never used."""
+    changed = False
+    while True:
+        live = liveness(fn)
+        round_changed = False
+        for block in fn.blocks:
+            live_now = set(live.live_out[block.name])
+            kept: list[Instruction] = []
+            for inst in reversed(block.instructions):
+                defs = inst.defined_regs()
+                dead = (inst.is_pure and defs
+                        and all(d not in live_now for d in defs))
+                if dead:
+                    round_changed = True
+                    continue
+                if not inst.is_conditional_write:
+                    # Only definite writes kill.
+                    for d in defs:
+                        live_now.discard(d)
+                live_now.update(inst.used_regs())
+                if inst.is_control and inst.target is not None \
+                        and inst.cat is not OpCategory.CALL:
+                    # Mid-block exit: everything its target needs is
+                    # live here, even if redefined later in the block.
+                    live_now.update(live.live_in.get(inst.target,
+                                                     frozenset()))
+                kept.append(inst)
+            kept.reverse()
+            if len(kept) != len(block.instructions):
+                block.instructions = kept
+        if not round_changed:
+            return changed
+        changed = True

@@ -1,0 +1,127 @@
+"""Simple loop-invariant code motion.
+
+Hoists invariant pure computations (and loads from globals that no
+instruction in the loop may store to) out of natural loops into a
+preheader.  Conservative but effective for the benchmark kernels, where
+loop bounds and table bases live in global scalars: without hoisting,
+every model pays a reload on the loop's critical path, flattening the
+differences the paper measures.
+
+Hoisting rules for instruction ``I`` in block ``B`` of loop ``L``:
+
+* ``B`` dominates every block of ``L`` that can reach a backedge
+  (approximated here as: ``B`` is the loop header — the header dominates
+  the whole loop, so the hoisted instruction executes at least as often
+  as before only via the preheader, which is safe for pure code);
+* ``I`` is pure; a may-except ``I`` is hoisted in silent form;
+* every register source of ``I`` is defined outside the loop;
+* ``I``'s destination has exactly one definition inside the loop and is
+  not live into the header from outside the loop's backedges (ensured
+  by single-definition + dominance of uses);
+* loads additionally require that no store or call in the loop can
+  write the loaded global.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import predecessors_map
+from repro.analysis.loops import find_loops
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import MAY_EXCEPT, OpCategory, Opcode
+from repro.ir.operands import GlobalAddr, Imm, VReg
+
+
+def _loop_mem_facts(fn: Function, body: set[str]):
+    """(set of global names stored to, True if any opaque store/call)."""
+    stored: set[str] = set()
+    opaque = False
+    for name in body:
+        for inst in fn.block(name).instructions:
+            if inst.cat is OpCategory.STORE:
+                base = inst.srcs[0]
+                if isinstance(base, GlobalAddr):
+                    stored.add(base.name)
+                else:
+                    opaque = True
+            elif inst.cat is OpCategory.CALL:
+                opaque = True
+    return stored, opaque
+
+
+def _defs_in_loop(fn: Function, body: set[str]) -> dict[VReg, int]:
+    counts: dict[VReg, int] = {}
+    for name in body:
+        for inst in fn.block(name).instructions:
+            for d in inst.defined_regs():
+                if isinstance(d, VReg):
+                    counts[d] = counts.get(d, 0) + 1
+    return counts
+
+
+def hoist_loop_invariants(fn: Function) -> int:
+    """Hoist invariant header instructions to preheaders; returns count."""
+    hoisted_total = 0
+    for loop in find_loops(fn):
+        body = loop.body
+        present = {b.name for b in fn.blocks}
+        if not body <= present:
+            continue
+        header = fn.block(loop.header)
+        stored, opaque = _loop_mem_facts(fn, body)
+        def_counts = _defs_in_loop(fn, body)
+
+        hoistable: list[Instruction] = []
+        for inst in header.instructions:
+            if inst.is_control:
+                break  # only the straight-line prefix of the header
+            if not inst.is_pure or inst.pred is not None:
+                break
+            if inst.dest is None or def_counts.get(inst.dest, 0) != 1:
+                break
+            invariant_srcs = all(
+                isinstance(s, (Imm, GlobalAddr))
+                or (isinstance(s, VReg) and s not in def_counts)
+                for s in inst.srcs)
+            if not invariant_srcs:
+                break
+            if inst.cat is OpCategory.LOAD:
+                base = inst.srcs[0]
+                if opaque or not isinstance(base, GlobalAddr) \
+                        or base.name in stored:
+                    break
+            hoistable.append(inst)
+        if not hoistable:
+            continue
+
+        # Build / find the preheader and retarget outside predecessors.
+        pre_name = f"{loop.header}.pre"
+        counter = 0
+        while any(b.name == pre_name for b in fn.blocks):
+            counter += 1
+            pre_name = f"{loop.header}.pre{counter}"
+        preds = predecessors_map(fn)
+        outside = [p for p in preds[loop.header] if p not in body]
+        if not outside:
+            continue
+        pre = BasicBlock(pre_name)
+        for inst in hoistable:
+            moved = inst.copy()
+            if moved.op in MAY_EXCEPT:
+                moved = moved.copy(speculative=True)
+            pre.append(moved)
+        pre.append(Instruction(Opcode.JUMP, target=loop.header))
+        header.instructions = header.instructions[len(hoistable):]
+        # Insert the preheader right before the header in layout and
+        # retarget explicit edges; outside fall-through predecessors now
+        # fall into the preheader naturally.
+        idx = fn.blocks.index(header)
+        fn.blocks.insert(idx, pre)
+        for pname in outside:
+            pblock = fn.block(pname)
+            for inst in pblock.instructions:
+                if inst.target == loop.header \
+                        and inst.cat is not OpCategory.CALL:
+                    inst.target = pre_name
+        hoisted_total += len(hoistable)
+    return hoisted_total

@@ -1,0 +1,51 @@
+"""Pass manager and the standard classic-optimization pipeline."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.ir.function import Function, Program
+from repro.opt.cfg_cleanup import cleanup_cfg
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import eliminate_common_subexpressions
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.fold import fold_constants
+
+FunctionPass = Callable[[Function], bool]
+
+#: The classic scalar pipeline run before region formation on all three
+#: processor models, and re-run as the post-conversion peephole cleanup
+#: for partial predication.
+CLASSIC_PASSES: list[tuple[str, FunctionPass]] = [
+    ("fold", fold_constants),
+    ("copyprop", propagate_copies),
+    ("cse", eliminate_common_subexpressions),
+    ("copyprop2", propagate_copies),
+    ("dce", eliminate_dead_code),
+    ("cfg", cleanup_cfg),
+]
+
+
+def run_function_passes(fn: Function,
+                        passes: list[tuple[str, FunctionPass]] | None = None,
+                        max_rounds: int = 4) -> bool:
+    """Run passes to a fixpoint (bounded); returns True if anything
+    changed."""
+    if passes is None:
+        passes = CLASSIC_PASSES
+    any_change = False
+    for _ in range(max_rounds):
+        round_change = False
+        for _name, p in passes:
+            if p(fn):
+                round_change = True
+        if not round_change:
+            break
+        any_change = True
+    return any_change
+
+
+def optimize_program(program: Program, max_rounds: int = 4) -> None:
+    """Run the classic pipeline over every function."""
+    for fn in program.functions.values():
+        run_function_passes(fn, max_rounds=max_rounds)

@@ -1,0 +1,14 @@
+"""Partial-predication lowering: basic conversions, peephole cleanup,
+OR-tree height reduction."""
+
+from repro.partial.conversion import (SAFE_VAL, ConversionError,
+                                      ConversionParams,
+                                      convert_program_to_partial,
+                                      convert_to_partial)
+from repro.partial.ortree import reduce_function_or_trees, reduce_or_trees
+
+__all__ = [
+    "SAFE_VAL", "ConversionError", "ConversionParams",
+    "convert_program_to_partial", "convert_to_partial",
+    "reduce_function_or_trees", "reduce_or_trees",
+]

@@ -1,0 +1,374 @@
+"""Full-predication → partial-predication lowering (paper Section 3.2).
+
+The compiler keeps a fully predicated IR regardless of the target's
+actual predication support.  For targets with only conditional moves (or
+selects), every remnant of predication is lowered here:
+
+* predicate registers become ordinary integer virtual registers;
+* predicate define instructions become comparison/logic sequences
+  (Figure 3, ``predicate definition instructions``), with the
+  comparison-inversion peephole built in (complement types use the
+  inverted comparison or ``and_not`` instead of a second compare);
+* guarded arithmetic/logic/loads become speculative computations into a
+  temporary followed by a ``cmov`` (Figure 3); in *excepting* mode the
+  Figure 4 sequences guard the source operands with ``$safe_val`` /
+  ``$safe_addr`` instead of relying on silent instructions;
+* guarded stores redirect their address to ``$safe_addr`` via
+  ``cmov_com``;
+* guarded branches use the paper's compare-inversion trick
+  (``blt s1,s2,L (p)`` → ``ge t,s1,s2; blt t,p,L``), guarded jumps
+  become ``bne p,0,L``, and guarded returns branch to a synthesized
+  return block.
+
+After conversion the code contains no predicate machinery and verifies
+at ISA level PARTIAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.emu.memory import SAFE_ADDR
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instruction import Instruction, PType
+from repro.ir.opcodes import (MAY_EXCEPT, OpCategory, Opcode, category,
+                              inverse, opcode_for_condition)
+from repro.ir.operands import (GlobalAddr, Imm, Operand, PReg,
+                               RegClass, VReg)
+
+
+class ConversionError(Exception):
+    """The instruction cannot be represented with partial predication."""
+
+
+@dataclass(frozen=True)
+class ConversionParams:
+    """Lowering options.
+
+    ``non_excepting`` selects the Figure 3 sequences (silent instructions
+    available, the paper's evaluated configuration); False selects the
+    Figure 4 sequences.  ``use_select`` allows ``select`` instructions,
+    which shorten the excepting sequences by one instruction.
+    """
+
+    non_excepting: bool = True
+    use_select: bool = False
+
+
+#: ``$safe_val``: a source operand value guaranteed not to fault
+#: (divide-by-zero avoidance).
+SAFE_VAL = 1
+
+_PRED_CMP = {
+    Opcode.PRED_EQ: Opcode.CMP_EQ, Opcode.PRED_NE: Opcode.CMP_NE,
+    Opcode.PRED_LT: Opcode.CMP_LT, Opcode.PRED_LE: Opcode.CMP_LE,
+    Opcode.PRED_GT: Opcode.CMP_GT, Opcode.PRED_GE: Opcode.CMP_GE,
+}
+
+
+class _Converter:
+    def __init__(self, fn: Function, params: ConversionParams):
+        self.fn = fn
+        self.params = params
+        self.preg_map: dict[PReg, VReg] = {}
+        self.out: list[Instruction] = []
+        self.extra_blocks: list[BasicBlock] = []
+        self.ret_counter = 0
+
+    # ----- helpers ---------------------------------------------------------
+
+    def preg(self, p: PReg) -> VReg:
+        reg = self.preg_map.get(p)
+        if reg is None:
+            reg = self.fn.new_vreg()
+            self.preg_map[p] = reg
+        return reg
+
+    def map_operand(self, op: Operand) -> Operand:
+        if isinstance(op, PReg):
+            return self.preg(op)
+        return op
+
+    def emit(self, op: Opcode, dest: VReg | None = None,
+             srcs: tuple[Operand, ...] = (), target: str | None = None,
+             speculative: bool = False) -> None:
+        self.out.append(Instruction(op, dest=dest, srcs=srcs,
+                                    target=target, speculative=speculative))
+
+    def tmp(self, rclass: RegClass = RegClass.INT) -> VReg:
+        return self.fn.new_vreg(rclass)
+
+    # ----- predicate defines -------------------------------------------------
+
+    _CMP_EVAL = {"eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+                 "lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+                 "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b}
+
+    def _convert_constant_define(self, inst: Instruction,
+                                 result: bool) -> None:
+        """Define whose comparison is a compile-time constant.
+
+        Contribution defines from unconditional in-region edges have the
+        shape ``pred_eq P<OR>, #0, #0 (pin)``; lowering them to a single
+        logic instruction avoids dead compare/and chains.
+        """
+        pin: Operand = self.preg(inst.pred) if inst.pred is not None \
+            else Imm(1)
+        for pd in inst.pdests:
+            dest = self.preg(pd.reg)
+            ptype = pd.ptype
+            effective = result if not ptype.is_bar else not result
+            base = ptype if not ptype.is_bar else ptype.complement
+            if base is PType.U:
+                # dest = pin & effective
+                src = pin if effective else Imm(0)
+                self.emit(Opcode.MOV, dest=dest, srcs=(src,))
+            elif base is PType.OR:
+                if effective:
+                    self.emit(Opcode.OR, dest=dest, srcs=(dest, pin))
+            else:  # AND family: clear when pin & !effective
+                if not effective:
+                    self.emit(Opcode.AND_NOT, dest=dest,
+                              srcs=(dest, pin))
+
+    def convert_pred_define(self, inst: Instruction) -> None:
+        cmp_op = _PRED_CMP[inst.op]
+        srcs = tuple(self.map_operand(s) for s in inst.srcs)
+        if all(isinstance(s, Imm) for s in srcs):
+            cond = inst.condition
+            assert cond is not None
+            self._convert_constant_define(
+                inst, bool(self._CMP_EVAL[cond](srcs[0].value,
+                                                srcs[1].value)))
+            return
+        pin = self.preg(inst.pred) if inst.pred is not None else None
+        normal_cmp: VReg | None = None
+        inverted_cmp: VReg | None = None
+
+        def get_cmp(complement: bool) -> VReg:
+            # Comparison inversion: complement types reuse the inverted
+            # comparison opcode instead of a second compare + negate.
+            nonlocal normal_cmp, inverted_cmp
+            if complement:
+                if inverted_cmp is None:
+                    inverted_cmp = self.tmp()
+                    self.emit(inverse(cmp_op), dest=inverted_cmp,
+                              srcs=srcs)
+                return inverted_cmp
+            if normal_cmp is None:
+                normal_cmp = self.tmp()
+                self.emit(cmp_op, dest=normal_cmp, srcs=srcs)
+            return normal_cmp
+
+        for pd in inst.pdests:
+            dest = self.preg(pd.reg)
+            ptype = pd.ptype
+            if ptype is PType.U or ptype is PType.U_BAR:
+                if pin is None:
+                    # Compute straight into the predicate's register.
+                    self.emit(inverse(cmp_op) if ptype is PType.U_BAR
+                              else cmp_op, dest=dest, srcs=srcs)
+                elif ptype is PType.U:
+                    self.emit(Opcode.AND, dest=dest,
+                              srcs=(pin, get_cmp(False)))
+                else:  # U_BAR: pin & !cmp
+                    self.emit(Opcode.AND_NOT, dest=dest,
+                              srcs=(pin, get_cmp(False)))
+            elif ptype is PType.OR or ptype is PType.OR_BAR:
+                cond = get_cmp(ptype is PType.OR_BAR)
+                if pin is None:
+                    self.emit(Opcode.OR, dest=dest, srcs=(dest, cond))
+                else:
+                    contrib = self.tmp()
+                    self.emit(Opcode.AND, dest=contrib, srcs=(pin, cond))
+                    self.emit(Opcode.OR, dest=dest, srcs=(dest, contrib))
+            elif ptype is PType.AND or ptype is PType.AND_BAR:
+                if pin is None:
+                    # AND keeps P only while cmp holds; AND~ while !cmp.
+                    cond = get_cmp(ptype is PType.AND_BAR)
+                    self.emit(Opcode.AND, dest=dest, srcs=(dest, cond))
+                else:
+                    # The clobber term is the clear condition:
+                    # AND clears on pin & !cmp, AND~ on pin & cmp.
+                    cond = get_cmp(ptype is PType.AND)
+                    clobber = self.tmp()
+                    self.emit(Opcode.AND, dest=clobber, srcs=(pin, cond))
+                    self.emit(Opcode.AND_NOT, dest=dest,
+                              srcs=(dest, clobber))
+            else:  # pragma: no cover - all six types handled
+                raise ConversionError(f"unknown predicate type {ptype}")
+
+    def convert_pred_set(self, inst: Instruction,
+                         block_pregs: list[PReg]) -> None:
+        value = Imm(1 if inst.op is Opcode.PRED_SET else 0)
+        for p in block_pregs:
+            self.emit(Opcode.MOV, dest=self.preg(p), srcs=(value,))
+
+    # ----- guarded computation -------------------------------------------------
+
+    def _cmov(self, dest: VReg, src: Operand, cond: Operand,
+              complement: bool = False) -> None:
+        if dest.is_float:
+            op = Opcode.FCMOV_COM if complement else Opcode.FCMOV
+        else:
+            op = Opcode.CMOV_COM if complement else Opcode.CMOV
+        self.emit(op, dest=dest, srcs=(src, cond))
+
+    def convert_guarded_compute(self, inst: Instruction) -> None:
+        pv = self.preg(inst.pred)
+        srcs = tuple(self.map_operand(s) for s in inst.srcs)
+        dest = inst.dest
+        assert dest is not None
+        # Guarded moves become a single conditional move.
+        if inst.op in (Opcode.MOV, Opcode.FMOV):
+            self._cmov(dest, srcs[0], pv)
+            return
+        excepting = inst.op in MAY_EXCEPT and not inst.speculative
+        if excepting and not self.params.non_excepting:
+            self._convert_excepting(inst, pv, srcs)
+            return
+        tmp = self.tmp(dest.rclass)
+        self.emit(inst.op, dest=tmp, srcs=srcs,
+                  speculative=excepting or inst.speculative)
+        self._cmov(dest, tmp, pv)
+
+    def _convert_excepting(self, inst: Instruction, pv: VReg,
+                           srcs: tuple[Operand, ...]) -> None:
+        """Figure 4 sequences: guard the faulting source operand."""
+        dest = inst.dest
+        assert dest is not None
+        if inst.cat is OpCategory.LOAD:
+            addr = self.tmp()
+            self.emit(Opcode.ADD, dest=addr, srcs=(srcs[0], srcs[1]))
+            self._cmov(addr, Imm(SAFE_ADDR), pv, complement=True)
+            tmp = self.tmp(dest.rclass)
+            self.emit(inst.op, dest=tmp, srcs=(addr, Imm(0)))
+            self._cmov(dest, tmp, pv)
+            return
+        # Divide/remainder: substitute $safe_val for the divisor.
+        divisor_class = RegClass.FLOAT if inst.op is Opcode.FDIV \
+            else RegClass.INT
+        safe = Imm(float(SAFE_VAL)) if divisor_class is RegClass.FLOAT \
+            else Imm(SAFE_VAL)
+        tmp_src = self.tmp(divisor_class)
+        if self.params.use_select:
+            sel = Opcode.FSELECT if divisor_class is RegClass.FLOAT \
+                else Opcode.SELECT
+            self.emit(sel, dest=tmp_src, srcs=(srcs[1], safe, pv))
+        else:
+            mov = Opcode.FMOV if divisor_class is RegClass.FLOAT \
+                else Opcode.MOV
+            self.emit(mov, dest=tmp_src, srcs=(srcs[1],))
+            self._cmov(tmp_src, safe, pv, complement=True)
+        tmp_dest = self.tmp(dest.rclass)
+        self.emit(inst.op, dest=tmp_dest, srcs=(srcs[0], tmp_src))
+        self._cmov(dest, tmp_dest, pv)
+
+    def convert_guarded_store(self, inst: Instruction) -> None:
+        pv = self.preg(inst.pred)
+        srcs = tuple(self.map_operand(s) for s in inst.srcs)
+        addr = self.tmp()
+        self.emit(Opcode.ADD, dest=addr, srcs=(srcs[0], srcs[1]))
+        if self.params.use_select:
+            self.emit(Opcode.SELECT, dest=addr,
+                      srcs=(addr, Imm(SAFE_ADDR), pv))
+        else:
+            self._cmov(addr, Imm(SAFE_ADDR), pv, complement=True)
+        store = Instruction(inst.op, srcs=(addr, Imm(0), srcs[2]))
+        # The only addresses this store can take are the original object
+        # and $safe_addr; record the object for alias analysis.
+        base = inst.srcs[0]
+        if isinstance(base, GlobalAddr):
+            store.mem_hint = base.name
+        self.out.append(store)
+
+    # ----- guarded control ---------------------------------------------------------
+
+    def convert_guarded_branch(self, inst: Instruction) -> None:
+        pv = self.preg(inst.pred)
+        srcs = tuple(self.map_operand(s) for s in inst.srcs)
+        # Paper Figure 3: invert the compare, then take the branch when
+        # the inverted result (0) is less than the predicate (1).
+        tmp = self.tmp()
+        self.emit(inverse(opcode_for_condition(OpCategory.CMP,
+                                               inst.condition)),
+                  dest=tmp, srcs=srcs)
+        self.emit(Opcode.BLT, srcs=(tmp, pv), target=inst.target)
+
+    def convert_guarded_jump(self, inst: Instruction) -> None:
+        pv = self.preg(inst.pred)
+        self.emit(Opcode.BNE, srcs=(pv, Imm(0)), target=inst.target)
+
+    def convert_guarded_ret(self, inst: Instruction) -> None:
+        pv = self.preg(inst.pred)
+        self.ret_counter += 1
+        name = f"ret.{self.ret_counter}"
+        while any(b.name == name for b in self.fn.blocks) \
+                or any(b.name == name for b in self.extra_blocks):
+            self.ret_counter += 1
+            name = f"ret.{self.ret_counter}"
+        ret_block = BasicBlock(name)
+        ret_block.append(Instruction(
+            Opcode.RET, srcs=tuple(self.map_operand(s)
+                                   for s in inst.srcs)))
+        self.extra_blocks.append(ret_block)
+        self.emit(Opcode.BNE, srcs=(pv, Imm(0)), target=name)
+
+    # ----- driver ---------------------------------------------------------------------
+
+    def convert_block(self, block: BasicBlock) -> None:
+        self.out = []
+        # Predicates needing explicit initialization on pred_clear/set:
+        # those with accumulating (OR/AND) contributions in this block.
+        accumulating: list[PReg] = []
+        seen: set[PReg] = set()
+        for inst in block.instructions:
+            for pd in inst.pdests:
+                if pd.ptype in (PType.OR, PType.OR_BAR, PType.AND,
+                                PType.AND_BAR) and pd.reg not in seen:
+                    seen.add(pd.reg)
+                    accumulating.append(pd.reg)
+        for inst in block.instructions:
+            cat = inst.cat
+            if cat is OpCategory.PREDDEF:
+                self.convert_pred_define(inst)
+            elif cat is OpCategory.PREDSET:
+                self.convert_pred_set(inst, accumulating)
+            elif inst.pred is None:
+                mapped = inst.copy(
+                    srcs=tuple(self.map_operand(s) for s in inst.srcs))
+                self.out.append(mapped)
+            elif cat in (OpCategory.ALU, OpCategory.CMP, OpCategory.FALU,
+                         OpCategory.FCMP, OpCategory.LOAD):
+                self.convert_guarded_compute(inst)
+            elif cat is OpCategory.STORE:
+                self.convert_guarded_store(inst)
+            elif cat is OpCategory.BRANCH:
+                self.convert_guarded_branch(inst)
+            elif cat is OpCategory.JUMP:
+                self.convert_guarded_jump(inst)
+            elif cat is OpCategory.RET:
+                self.convert_guarded_ret(inst)
+            else:
+                raise ConversionError(
+                    f"cannot lower predicated {inst!r} to partial "
+                    f"predication")
+        block.instructions = self.out
+
+
+def convert_to_partial(fn: Function,
+                       params: ConversionParams | None = None) -> None:
+    """Lower all predication in ``fn`` to cmov/select sequences."""
+    if params is None:
+        params = ConversionParams()
+    conv = _Converter(fn, params)
+    for block in list(fn.blocks):
+        conv.convert_block(block)
+    fn.blocks.extend(conv.extra_blocks)
+
+
+def convert_program_to_partial(program: Program,
+                               params: ConversionParams | None = None
+                               ) -> None:
+    for fn in program.functions.values():
+        convert_to_partial(fn, params)

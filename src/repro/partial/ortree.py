@@ -1,0 +1,167 @@
+"""Associativity-based height reduction of logic chains (paper §3.2).
+
+With full predicate support, OR-type defines targeting the same predicate
+issue simultaneously (wired-OR), and AND-type defines likewise.  After
+partial-predication lowering the same computations are sequential
+read-modify-write chains::
+
+    mov  P, 0                     |  <init P>
+    or   P, P, t1                 |  and_not P, P, t1
+    or   P, P, t2                 |  and_not P, P, t2
+    or   P, P, tn                 |  and_not P, P, tn
+
+whose dependence height is ``n``.  Using associativity each chain is
+rebuilt with a balanced tree of fresh temporaries:
+
+* ``or`` chains become an OR tree of the terms (height ``log2(n)``),
+  optionally absorbing a ``mov P, 0`` initializer;
+* ``and`` chains become ``and P, P, <AND-tree of terms>``;
+* ``and_not`` chains use De Morgan:
+  ``P ∧ ¬t1 ∧ … ∧ ¬tn  =  P ∧ ¬(t1 ∨ … ∨ tn)``, i.e. a single
+  ``and_not`` of an OR tree of the terms.
+
+This is the optimization that makes partial predication competitive on
+the grep loop (paper Figure 6) — and its remaining-height contrast with
+full predication's zero-height wired-OR is the paper's core asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Imm, Operand, VReg
+
+
+@dataclass
+class _Chain:
+    reg: VReg
+    op: Opcode                     # OR, AND, or AND_NOT
+    init_index: int | None         # position of `mov P, 0` (OR chains)
+    indices: list[int] = field(default_factory=list)
+    terms: list[Operand] = field(default_factory=list)
+    valid: bool = True
+
+
+_CHAIN_OPS = (Opcode.OR, Opcode.AND, Opcode.AND_NOT)
+
+
+def _find_chains(block: BasicBlock) -> list[_Chain]:
+    chains: dict[VReg, _Chain] = {}
+    completed: list[_Chain] = []
+
+    def close(reg: VReg) -> None:
+        chain = chains.pop(reg, None)
+        if chain is not None and chain.valid and chain.indices:
+            completed.append(chain)
+
+    for i, inst in enumerate(block.instructions):
+        if inst.op is Opcode.MOV and inst.dest is not None \
+                and isinstance(inst.srcs[0], Imm) \
+                and inst.srcs[0].value == 0:
+            # Potential start of an OR chain with explicit zero init.
+            close(inst.dest)
+            chains[inst.dest] = _Chain(inst.dest, Opcode.OR, i)
+            continue
+        if inst.op in _CHAIN_OPS and inst.dest is not None \
+                and inst.srcs[0] == inst.dest \
+                and inst.srcs[1] != inst.dest and inst.pred is None:
+            chain = chains.get(inst.dest)
+            if chain is not None and chain.valid \
+                    and (chain.op is inst.op
+                         or (not chain.indices
+                             and chain.init_index is not None
+                             and inst.op is Opcode.OR)):
+                chain.indices.append(i)
+                chain.terms.append(inst.srcs[1])
+                continue
+            # Operator change or fresh start: accumulate on the current
+            # value (AND / AND_NOT, or OR without explicit init).
+            close(inst.dest)
+            chains[inst.dest] = _Chain(inst.dest, inst.op, None,
+                                       [i], [inst.srcs[1]])
+            continue
+        # Any other instruction touching a chained register closes its
+        # chain at this point: the accumulated value becomes observable,
+        # so only the contributions so far are rebuilt — inserted at the
+        # last contribution's position, before this observer.
+        touched = set(inst.used_regs()) | set(inst.defined_regs())
+        for reg in [r for r in chains if r in touched]:
+            close(reg)
+    for reg in list(chains):
+        close(reg)
+    minimum = 3
+    return [c for c in completed if len(c.terms) >= minimum]
+
+
+def _balanced_tree(fn: Function, op: Opcode,
+                   terms: list[Operand]) -> tuple[list[Instruction],
+                                                  Operand]:
+    """Combine ``terms`` with ``op`` in a balanced tree; returns
+    (instructions, root operand)."""
+    level = list(terms)
+    out: list[Instruction] = []
+    while len(level) > 1:
+        nxt: list[Operand] = []
+        for j in range(0, len(level) - 1, 2):
+            dest = fn.new_vreg()
+            out.append(Instruction(op, dest=dest,
+                                   srcs=(level[j], level[j + 1])))
+            nxt.append(dest)
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return out, level[0]
+
+
+def reduce_or_trees(fn: Function, block: BasicBlock) -> int:
+    """Rebuild eligible logic chains as balanced trees.
+
+    Returns the number of chains transformed.
+    """
+    chains = _find_chains(block)
+    if not chains:
+        return 0
+    remove: set[int] = set()
+    insert_at: dict[int, list[Instruction]] = {}
+    for chain in chains:
+        remove.update(chain.indices)
+        tree: list[Instruction]
+        if chain.op is Opcode.OR:
+            if chain.init_index is not None:
+                remove.add(chain.init_index)
+            tree, root = _balanced_tree(fn, Opcode.OR, chain.terms)
+            if chain.init_index is not None:
+                # P was zero-initialized: the tree value is P's value.
+                tree.append(Instruction(Opcode.MOV, dest=chain.reg,
+                                        srcs=(root,)))
+            else:
+                tree.append(Instruction(Opcode.OR, dest=chain.reg,
+                                        srcs=(chain.reg, root)))
+        elif chain.op is Opcode.AND:
+            tree, root = _balanced_tree(fn, Opcode.AND, chain.terms)
+            tree.append(Instruction(Opcode.AND, dest=chain.reg,
+                                    srcs=(chain.reg, root)))
+        else:  # AND_NOT: De Morgan — single and_not of the OR tree.
+            tree, root = _balanced_tree(fn, Opcode.OR, chain.terms)
+            tree.append(Instruction(Opcode.AND_NOT, dest=chain.reg,
+                                    srcs=(chain.reg, root)))
+        insert_at.setdefault(chain.indices[-1], []).extend(tree)
+
+    new_insts: list[Instruction] = []
+    for i, inst in enumerate(block.instructions):
+        if i in insert_at:
+            new_insts.extend(insert_at[i])
+        if i not in remove:
+            new_insts.append(inst)
+    block.instructions = new_insts
+    return len(chains)
+
+
+def reduce_function_or_trees(fn: Function) -> int:
+    total = 0
+    for block in fn.blocks:
+        total += reduce_or_trees(fn, block)
+    return total

@@ -1,0 +1,19 @@
+"""Region formation: superblocks, hyperblocks (if-conversion), predicate
+promotion, branch combining."""
+
+from repro.regions.branch_combine import (BranchCombineParams,
+                                          combine_branches)
+from repro.regions.hyperblock import (HyperblockParams, form_hyperblocks,
+                                      select_blocks)
+from repro.regions.ifconvert import (IfConversionError, PredInfo,
+                                     if_convert)
+from repro.regions.promotion import promote_all, promote_predicates
+from repro.regions.superblock import (SuperblockParams, form_superblocks,
+                                      select_traces)
+
+__all__ = [
+    "BranchCombineParams", "HyperblockParams", "IfConversionError",
+    "PredInfo", "SuperblockParams", "combine_branches", "form_hyperblocks",
+    "form_superblocks", "if_convert", "promote_all", "promote_predicates",
+    "select_blocks", "select_traces",
+]

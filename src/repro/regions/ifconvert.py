@@ -1,0 +1,292 @@
+"""RK-style if-conversion of a single-entry acyclic region into a
+hyperblock (paper Sections 2.1 and 3.1).
+
+Given a selected set of basic blocks with a unique entry, control flow
+between the selected blocks is eliminated: every block receives a guard
+predicate, intra-region conditional branches become predicate define
+instructions (with U/OR-type destinations per the number of control
+dependences), and branches to unselected blocks remain as (possibly
+predicated) exit branches.  The result is one linear block of predicated
+code, as in the paper's Figure 1.
+
+Blocks must be normalized first (``normalize_basic_blocks``): each block
+is [body..., optional conditional branch, explicit jump/ret terminator].
+
+Case analysis for a block with guard ``g``, conditional branch ``c -> T``
+and terminator ``jump F`` (``entry`` counts as outside, so loop backedges
+are exits):
+
+* T in region, F in region: one predicate define sets ``pT`` from ``c``
+  and ``pF`` from its complement (two typed destinations, as in Figure 1).
+* T in region, F outside: define sets ``pT`` (type per contribution
+  count) and a fresh exit predicate ``pX`` as U-complement; the exit
+  becomes ``jump F (pX)``.
+* T outside, F in region: the branch stays as a predicated exit branch
+  ``b<cmp> T (g)``; F's contribution is simply ``g`` (reaching the point
+  after a not-taken exit implies the exit did not fire), expressed with a
+  constant-true define.
+* T outside, F outside: both stay, predicated on ``g`` (a taken exit
+  leaves the hyperblock, so the trailing jump cannot misfire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import successors_map
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction, PredDest, PType
+from repro.ir.opcodes import OpCategory, Opcode
+from repro.ir.operands import Imm, PReg
+
+
+class IfConversionError(Exception):
+    """The region cannot be if-converted."""
+
+
+@dataclass
+class PredInfo:
+    """Predicate bookkeeping produced by if-conversion.
+
+    ``parents`` records, for each predicate, the guards it was derived
+    under; ``block_pred`` maps original block labels to their guards.
+    Promotion uses the (transitive) parent relation to reason about
+    predicate implication.
+    """
+
+    parents: dict[PReg, set[PReg]] = field(default_factory=dict)
+    block_pred: dict[str, PReg | None] = field(default_factory=dict)
+    uses_or_types: bool = False
+
+    def implies(self, q: PReg | None, p: PReg | None) -> bool:
+        """True if q=1 guarantees p=1 (conservative, via parent chain)."""
+        if p is None:
+            return True
+        if q is None:
+            return False
+        seen: set[PReg] = set()
+        stack = [q]
+        while stack:
+            cur = stack.pop()
+            if cur == p:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.parents.get(cur, ()))
+        return False
+
+
+_PRED_FOR_BRANCH = {
+    Opcode.BEQ: Opcode.PRED_EQ,
+    Opcode.BNE: Opcode.PRED_NE,
+    Opcode.BLT: Opcode.PRED_LT,
+    Opcode.BLE: Opcode.PRED_LE,
+    Opcode.BGT: Opcode.PRED_GT,
+    Opcode.BGE: Opcode.PRED_GE,
+}
+
+
+def _topological_order(region: set[str], entry: str,
+                       succs: dict[str, list[str]]) -> list[str]:
+    """Topological order of the region DAG (edges to ``entry`` are
+    backedges and ignored)."""
+    order: list[str] = []
+    state: dict[str, int] = {}
+
+    def visit(name: str) -> None:
+        stack = [(name, iter(succs[name]))]
+        state[name] = 1
+        while stack:
+            label, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in region or nxt == entry:
+                    continue
+                if state.get(nxt) == 1:
+                    raise IfConversionError(
+                        f"region containing {nxt} is cyclic")
+                if nxt not in state:
+                    state[nxt] = 1
+                    stack.append((nxt, iter(succs[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                state[label] = 2
+                order.append(label)
+                stack.pop()
+
+    visit(entry)
+    order.reverse()
+    return order
+
+
+def _split_block(insts: list[Instruction]):
+    """Split normalized block contents into (body, cond_branch, term)."""
+    if not insts:
+        raise IfConversionError("empty block in region")
+    term = insts[-1]
+    if not (term.op in (Opcode.JUMP, Opcode.RET) and term.pred is None):
+        raise IfConversionError(
+            f"region block not normalized: terminator is {term!r}")
+    rest = insts[:-1]
+    cbr = None
+    if rest and rest[-1].cat is OpCategory.BRANCH:
+        cbr = rest[-1]
+        rest = rest[:-1]
+    for inst in rest:
+        if inst.is_control:
+            raise IfConversionError(
+                f"region block not normalized: interior control {inst!r}")
+    return rest, cbr, term
+
+
+def if_convert(fn: Function, region: set[str],
+               entry: str) -> tuple[BasicBlock, PredInfo]:
+    """If-convert ``region`` (entered only at ``entry``) in place.
+
+    The region blocks are replaced by a single hyperblock named after the
+    entry.  Returns the hyperblock and the predicate bookkeeping.
+    """
+    succs = successors_map(fn)
+    order = _topological_order(region, entry, succs)
+    info = PredInfo()
+
+    def in_region(label: str | None) -> bool:
+        return label is not None and label in region and label != entry
+
+    # Count intra-region contributions per block to choose U vs OR types.
+    contributions: dict[str, int] = {name: 0 for name in order}
+    for name in order:
+        _body, cbr, term = _split_block(fn.block(name).instructions)
+        if cbr is not None and in_region(cbr.target):
+            contributions[cbr.target] += 1
+        if term.op is Opcode.JUMP and in_region(term.target):
+            contributions[term.target] += 1
+
+    # Blocks reached on *every* surviving path need no guard: if control
+    # reaches such a block's position in the linearized hyperblock, no
+    # earlier exit fired, and — because the block dominates every block
+    # placed after it — the original path necessarily passed through it.
+    # This keeps join blocks (e.g. a loop's induction update) unguarded,
+    # exactly as control-dependence-based if-conversion would.
+    pos = {name: k for k, name in enumerate(order)}
+    dom: dict[str, set[str]] = {entry: {entry}}
+    for name in order[1:]:
+        region_preds = [p for p in order
+                        if name in succs[p] and pos[p] < pos[name]]
+        common: set[str] | None = None
+        for p in region_preds:
+            common = set(dom[p]) if common is None else common & dom[p]
+        dom[name] = (common or set()) | {name}
+    unguarded = {name for k, name in enumerate(order)
+                 if all(name in dom[other] for other in order[k + 1:])}
+
+    pred_of: dict[str, PReg | None] = {entry: None}
+    for name in order[1:]:
+        pred_of[name] = None if name in unguarded else fn.new_preg()
+    info.block_pred = dict(pred_of)
+
+    def ptype_for(target: str, complement: bool) -> PType:
+        if contributions[target] > 1:
+            info.uses_or_types = True
+            return PType.OR_BAR if complement else PType.OR
+        return PType.U_BAR if complement else PType.U
+
+    def note_parent(child: str, guard: PReg | None) -> None:
+        preg = pred_of[child]
+        if preg is not None and guard is not None:
+            info.parents.setdefault(preg, set()).add(guard)
+
+    out: list[Instruction] = []
+    exit_indices: list[int] = []
+
+    def emit_exit(inst: Instruction, guard: PReg | None) -> None:
+        exit_indices.append(len(out))
+        out.append(inst.copy(pred=guard))
+
+    def emit_contribution(target: str, guard: PReg | None) -> None:
+        """Set pred(target) from an unconditional in-region edge."""
+        if pred_of[target] is None:
+            return
+        out.append(Instruction(
+            Opcode.PRED_EQ, srcs=(Imm(0), Imm(0)),
+            pdests=(PredDest(pred_of[target], ptype_for(target, False)),),
+            pred=guard))
+        note_parent(target, guard)
+
+    for name in order:
+        guard = pred_of[name]
+        body, cbr, term = _split_block(fn.block(name).instructions)
+        for inst in body:
+            if inst.pred is not None:
+                raise IfConversionError(
+                    f"block {name} already contains predicated code")
+            out.append(inst.copy(pred=guard))
+
+        if cbr is not None and in_region(cbr.target):
+            target = cbr.target
+            pdests = []
+            if pred_of[target] is not None:
+                pdests.append(PredDest(pred_of[target],
+                                       ptype_for(target, False)))
+                note_parent(target, guard)
+            if term.op is Opcode.JUMP and in_region(term.target):
+                # Both paths stay in the region: one define, two dests.
+                fall = term.target
+                if pred_of[fall] is not None:
+                    pdests.append(PredDest(pred_of[fall],
+                                           ptype_for(fall, True)))
+                    note_parent(fall, guard)
+                if pdests:
+                    out.append(Instruction(_PRED_FOR_BRANCH[cbr.op],
+                                           srcs=cbr.srcs,
+                                           pdests=tuple(pdests),
+                                           pred=guard))
+            else:
+                # Fall-through exits: guard it with a fresh U-complement
+                # exit predicate from the same define.
+                p_exit = fn.new_preg()
+                pdests.append(PredDest(p_exit, PType.U_BAR))
+                out.append(Instruction(_PRED_FOR_BRANCH[cbr.op],
+                                       srcs=cbr.srcs,
+                                       pdests=tuple(pdests), pred=guard))
+                emit_exit(term, p_exit)
+        else:
+            if cbr is not None:
+                # Conditional exit branch (target outside or backedge).
+                emit_exit(cbr, guard)
+            if term.op is Opcode.JUMP and in_region(term.target):
+                # Reaching here after any exits means they did not fire,
+                # so the contribution is simply the block guard.
+                emit_contribution(term.target, guard)
+            else:
+                emit_exit(term, guard)
+
+    # The last exit fires whenever control reaches it (see module doc):
+    # make it unpredicated so the hyperblock always terminates.
+    if not exit_indices:
+        raise IfConversionError("region has no exits")
+    last_idx = exit_indices[-1]
+    if last_idx != len(out) - 1:
+        raise IfConversionError("final instruction is not an exit")
+    out[last_idx] = out[last_idx].copy(pred=None)
+
+    # OR-type predicates must be initialized to 0 (paper Figure 1).
+    if info.uses_or_types:
+        out.insert(0, Instruction(Opcode.PRED_CLEAR))
+
+    # Replace the region blocks with the hyperblock.
+    hyper = BasicBlock(entry)
+    hyper.instructions = out
+    new_blocks: list[BasicBlock] = []
+    replaced = False
+    for block in fn.blocks:
+        if block.name == entry:
+            new_blocks.append(hyper)
+            replaced = True
+        elif block.name not in region:
+            new_blocks.append(block)
+    assert replaced
+    fn.blocks = new_blocks
+    return hyper, info

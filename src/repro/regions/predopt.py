@@ -1,0 +1,237 @@
+"""Predicate-level optimizations on hyperblocks.
+
+Two transformations make the full-predication code reach the paper's
+parallel-define behaviour (Sections 2.1 and 3.3):
+
+**Predicate copy propagation** — if-conversion emits constant-comparison
+defines (``pred_eq F<U>, #0, #0 (g)``) for unconditional in-region
+edges; such an ``F`` is identically ``g``, so uses of ``F`` are rewired
+to ``g`` and the copy dies.
+
+**Define-chain parallelization** — short-circuit conditionals lower to
+a serial chain of two-destination defines::
+
+    pred_eq T<OR>, F1<U~>, a, K1 (q)
+    pred_eq T<OR>, F2<U~>, a, K2 (F1)
+    pred_eq T<OR>, F3<U~>, a, K3 (F2)
+
+where each ``F_k`` is used only as the next define's input predicate.
+Because OR-type contributions absorb overlapping conditions
+(``∨(q∧¬c1..¬c_{k-1}∧c_k) = ∨(q∧c_k)``), every define may take ``q``
+directly, and the final fall-through predicate is accumulated with
+parallel AND-type destinations::
+
+    pred_eq T<OR>, F3<U~>,  a, K1 (q)     ; F3 initialized by the head
+    pred_eq T<OR>, F3<AND~>, a, K2 (q)    ; wired-AND, issue together
+    pred_eq T<OR>, F3<AND~>, a, K3 (q)
+
+This reduces the predicate computation's dependence height to a
+constant — the property partial predication cannot replicate, which the
+OR-tree optimization only partially recovers (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction, PredDest, PType
+from repro.ir.opcodes import OpCategory
+from repro.ir.operands import Imm, PReg
+
+
+def _is_constant_true_copy(inst: Instruction) -> bool:
+    """``pred_eq F<U>, #0, #0 (g)``: F becomes a copy of g."""
+    return (inst.cat is OpCategory.PREDDEF
+            and inst.condition == "eq"
+            and len(inst.pdests) == 1
+            and inst.pdests[0].ptype is PType.U
+            and inst.pred is not None
+            and all(isinstance(s, Imm) and s.value == 0 for s in inst.srcs))
+
+
+def propagate_pred_copies(block: BasicBlock) -> int:
+    """Rewire uses of predicate copies to their sources; returns count.
+
+    Applied within one hyperblock: safe when the copied-from predicate
+    is not redefined after the copy and the copy target has no other
+    definition in the block.
+    """
+    insts = block.instructions
+    def_counts: dict[PReg, int] = {}
+    last_def_pos: dict[PReg, int] = {}
+    for i, inst in enumerate(insts):
+        for r in inst.defined_regs():
+            if isinstance(r, PReg):
+                def_counts[r] = def_counts.get(r, 0) + 1
+                last_def_pos[r] = i
+        if inst.cat is OpCategory.PREDSET:
+            # pred_clear/set redefines everything; treat as a barrier by
+            # inflating counts for all known predicates.
+            for r in list(def_counts):
+                def_counts[r] += 1
+
+    replaced = 0
+    mapping: dict[PReg, PReg] = {}
+    for i, inst in enumerate(insts):
+        if _is_constant_true_copy(inst):
+            target = inst.pdests[0].reg
+            source = inst.pred
+            assert source is not None
+            source = mapping.get(source, source)
+            if def_counts.get(target, 0) == 1 \
+                    and last_def_pos.get(source, -1) < i:
+                mapping[target] = source
+                replaced += 1
+    if not mapping:
+        return 0
+
+    def resolve(p: PReg) -> PReg:
+        seen = set()
+        while p in mapping and p not in seen:
+            seen.add(p)
+            p = mapping[p]
+        return p
+
+    for inst in insts:
+        if inst.pred is not None and inst.pred in mapping:
+            inst.pred = resolve(inst.pred)
+        if any(isinstance(s, PReg) and s in mapping for s in inst.srcs):
+            inst.srcs = tuple(resolve(s) if isinstance(s, PReg)
+                              and s in mapping else s for s in inst.srcs)
+    # The copies themselves are now dead if nothing else reads their
+    # targets; leave removal to DCE.
+    return replaced
+
+
+def _chain_shape(inst: Instruction) -> tuple[PReg, PType, PReg, PReg | None] | None:
+    """Match ``pred_X T<OR/OR~>, F<U/U~> ...`` two-destination defines.
+
+    Returns (or_target, or_type's chain complement info) via the tuple
+    (T, F_type, F, pin) or None.
+    """
+    if inst.cat is not OpCategory.PREDDEF or len(inst.pdests) != 2:
+        return None
+    a, b = inst.pdests
+    or_dest = None
+    u_dest = None
+    for pd in (a, b):
+        if pd.ptype in (PType.OR, PType.OR_BAR):
+            or_dest = pd
+        elif pd.ptype in (PType.U, PType.U_BAR):
+            u_dest = pd
+    if or_dest is None or u_dest is None:
+        return None
+    return (or_dest.reg, u_dest.ptype, u_dest.reg, inst.pred)
+
+
+def parallelize_define_chains(fn: Function, block: BasicBlock) -> int:
+    """Flatten serial define chains into parallel OR/AND defines.
+
+    Returns the number of defines rewritten.
+    """
+    insts = block.instructions
+    n = len(insts)
+    # Use counts for each predicate register (as guard or source).
+    use_positions: dict[PReg, list[int]] = {}
+    for i, inst in enumerate(insts):
+        seen_here: set[PReg] = set()
+        if inst.pred is not None:
+            seen_here.add(inst.pred)
+        for s in inst.srcs:
+            if isinstance(s, PReg):
+                seen_here.add(s)
+        for pd in inst.pdests:
+            if pd.ptype not in (PType.U, PType.U_BAR):
+                seen_here.add(pd.reg)  # read-modify-write
+        for r in seen_here:
+            use_positions.setdefault(r, []).append(i)
+
+    def_positions: dict[PReg, list[int]] = {}
+    for i, inst in enumerate(insts):
+        for r in inst.defined_regs():
+            if isinstance(r, PReg):
+                def_positions.setdefault(r, []).append(i)
+
+    rewritten = 0
+    i = 0
+    consumed: set[int] = set()
+    while i < n:
+        if i in consumed:
+            i += 1
+            continue
+        shape = _chain_shape(insts[i])
+        if shape is None:
+            i += 1
+            continue
+        or_target, f_type, f_reg, pin = shape
+        or_type = next(pd.ptype for pd in insts[i].pdests
+                       if pd.ptype in (PType.OR, PType.OR_BAR))
+        chain = [i]
+        cur_f = f_reg
+        while True:
+            uses = use_positions.get(cur_f, [])
+            defs = def_positions.get(cur_f, [])
+            # Intermediate link: F used exactly once (as next pin),
+            # defined exactly once (by this chain's define).
+            if len(uses) != 1 or len(defs) != 1:
+                break
+            j = uses[0]
+            if j <= chain[-1] or j in consumed:
+                break
+            nxt = _chain_shape(insts[j])
+            if nxt is None:
+                break
+            n_target, n_ftype, n_f, n_pin = nxt
+            next_or_type = next(pd.ptype for pd in insts[j].pdests
+                                if pd.ptype in (PType.OR, PType.OR_BAR))
+            if n_target != or_target or n_pin != cur_f \
+                    or n_ftype is not f_type or next_or_type is not or_type:
+                break
+            chain.append(j)
+            cur_f = n_f
+        if len(chain) < 2:
+            i += 1
+            continue
+        # The final fall-through predicate must be defined only by the
+        # chain's last define and read only after it (AND accumulation
+        # completes at the last link's position).
+        final_defs = def_positions.get(cur_f, [])
+        final_uses = use_positions.get(cur_f, [])
+        if final_defs != [chain[-1]] \
+                or any(u <= chain[-1] for u in final_uses):
+            i += 1
+            continue
+        # Rewrite: head keeps its U-type destination, retargeted to the
+        # final fall-through predicate; the rest accumulate with the
+        # matching AND type and take the head's input predicate.
+        final_f = cur_f
+        acc_type = PType.AND_BAR if f_type is PType.U_BAR else PType.AND
+        head = insts[chain[0]]
+        head_pdests = tuple(
+            PredDest(final_f, pd.ptype) if pd.ptype is f_type
+            else pd for pd in head.pdests)
+        insts[chain[0]] = head.copy(pdests=head_pdests)
+        for j in chain[1:]:
+            link = insts[j]
+            new_pdests = tuple(
+                PredDest(final_f, acc_type) if pd.ptype is f_type
+                else pd for pd in link.pdests)
+            insts[j] = link.copy(pdests=new_pdests, pred=pin)
+            rewritten += 1
+        consumed.update(chain)
+        # Positions/use counts are stale after a rewrite; stop this pass
+        # and let the fixpoint driver rescan.
+        return rewritten
+    return rewritten
+
+
+def optimize_hyperblock_predicates(fn: Function,
+                                   block: BasicBlock) -> int:
+    """Run both predicate optimizations until quiescent."""
+    total = 0
+    for _ in range(64):
+        changed = propagate_pred_copies(block)
+        changed += parallelize_define_chains(fn, block)
+        total += changed
+        if not changed:
+            break
+    return total

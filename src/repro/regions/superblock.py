@@ -1,0 +1,265 @@
+"""Superblock formation: profile-driven trace selection + tail duplication.
+
+This implements the baseline ILP compilation technique of the paper
+(Hwu et al., "The Superblock", 1993): hot traces are selected along the
+most likely control-flow edges, side entrances are removed by tail
+duplication, and the trace is merged into a single extended block whose
+interior branches all exit the trace.  The scheduler may then speculate
+instructions above those exit branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.profile import Profile
+from repro.ir import inverse
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import OpCategory, Opcode
+from repro.opt.cfg_cleanup import (make_jumps_explicit,
+                                   normalize_basic_blocks, relayout,
+                                   remove_unreachable)
+
+
+@dataclass(frozen=True)
+class SuperblockParams:
+    """Trace-growing heuristics."""
+
+    #: minimum execution count for a block to seed or join a trace
+    min_count: int = 2
+    #: minimum branch probability to extend the trace along an edge
+    min_probability: float = 0.6
+    #: maximum blocks per trace
+    max_blocks: int = 32
+
+
+def _edge_maps(fn: Function, profile: Profile):
+    edges = profile.edge_counts(fn)
+    best_succ: dict[str, tuple[str, int, int]] = {}
+    out_total: dict[str, int] = {}
+    in_edges: dict[str, list[tuple[str, int]]] = {b.name: []
+                                                  for b in fn.blocks}
+    for (src, dst), count in edges.items():
+        out_total[src] = out_total.get(src, 0) + count
+        in_edges[dst].append((src, count))
+        cur = best_succ.get(src)
+        if cur is None or count > cur[1]:
+            best_succ[src] = (dst, count, 0)
+    return edges, best_succ, out_total, in_edges
+
+
+def select_traces(fn: Function, profile: Profile,
+                  params: SuperblockParams,
+                  protect: frozenset[str] | set[str] = frozenset()
+                  ) -> list[list[str]]:
+    """Profile-driven trace selection; returns block-label traces.
+
+    Blocks in ``protect`` (already-formed regions or predicated code)
+    never join a trace.
+    """
+    edges, best_succ, out_total, in_edges = _edge_maps(fn, profile)
+    visited: set[str] = set(protect)
+    # Self-looping blocks are complete regions (formed loop bodies);
+    # merging one into a trace would orphan its backedge label.
+    for block in fn.blocks:
+        if any(inst.target == block.name for inst in block.instructions
+               if inst.is_control and inst.cat is not OpCategory.CALL):
+            visited.add(block.name)
+
+    def final_edge_only(src: str, dst: str) -> bool:
+        """True if every src->dst edge is in src's final control pair.
+
+        Mid-block (hyperblock) exits to ``dst`` cannot be rewired by
+        trace merging, so such a dst may not follow src in a trace.
+        """
+        insts = fn.block(src).instructions
+        for k, inst in enumerate(insts):
+            if inst.is_control and inst.target == dst \
+                    and inst.cat is not OpCategory.CALL \
+                    and k < len(insts) - 2:
+                return False
+        return True
+
+    traces: list[list[str]] = []
+    blocks_by_count = sorted(
+        fn.blocks,
+        key=lambda b: profile.block_count(fn.name, b.name),
+        reverse=True)
+    for seed in blocks_by_count:
+        if seed.name in visited:
+            continue
+        if profile.block_count(fn.name, seed.name) < params.min_count:
+            break
+        trace = [seed.name]
+        visited.add(seed.name)
+        # Grow forward along the most likely edge.
+        while len(trace) < params.max_blocks:
+            tail = trace[-1]
+            nxt = best_succ.get(tail)
+            if nxt is None:
+                break
+            dst, count = nxt[0], nxt[1]
+            total = out_total.get(tail, 0)
+            if dst in visited or total == 0 \
+                    or count / total < params.min_probability \
+                    or count < params.min_count \
+                    or not final_edge_only(tail, dst):
+                break
+            trace.append(dst)
+            visited.add(dst)
+        # Grow backward along the most likely incoming edge.
+        while len(trace) < params.max_blocks:
+            head = trace[0]
+            candidates = in_edges.get(head, [])
+            if not candidates:
+                break
+            src, count = max(candidates, key=lambda e: e[1])
+            total = out_total.get(src, 0)
+            if src in visited or total == 0 \
+                    or count / total < params.min_probability \
+                    or count < params.min_count \
+                    or best_succ.get(src, ("",))[0] != head \
+                    or not final_edge_only(src, head):
+                break
+            trace.insert(0, src)
+            visited.add(src)
+        if len(trace) > 1:
+            traces.append(trace)
+    return traces
+
+
+def _duplicate_tail(fn: Function, trace: list[str]) -> bool:
+    """Remove side entrances by duplicating the trace tail.
+
+    For the first trace block (after the head) with an external
+    predecessor, the rest of the trace is copied; external predecessors
+    are redirected to the copies.  Returns False if side entrances
+    could not be eliminated (the trace must then be abandoned).
+    """
+    from repro.analysis.cfg import predecessors_map
+
+    # Side entrances move strictly earlier each round, so this is
+    # bounded by the trace length; the cap is a defensive backstop.
+    for _round in range(4 * len(trace) + 8):
+        preds = predecessors_map(fn)
+        cut = None
+        for i, name in enumerate(trace[1:], start=1):
+            external = [p for p in preds[name] if p != trace[i - 1]]
+            if external:
+                cut = i
+                break
+        if cut is None:
+            return True
+        suffix = trace[cut:]
+        copies: dict[str, str] = {}
+        for name in suffix:
+            original = fn.block(name)
+            copy_name = f"{name}.d"
+            counter = 0
+            while any(b.name == copy_name for b in fn.blocks):
+                counter += 1
+                copy_name = f"{name}.d{counter}"
+            copies[name] = copy_name
+            copy = BasicBlock(copy_name)
+            for inst in original.instructions:
+                copy.append(inst.fresh_copy())
+            fn.blocks.append(copy)
+        # Copies branch among themselves for intra-suffix edges.
+        for name in suffix:
+            copy = fn.block(copies[name])
+            for inst in copy.instructions:
+                if inst.target in copies \
+                        and inst.cat is not OpCategory.CALL:
+                    # Keep backedges to the trace head pointing at the
+                    # original (the head has no side-entrance problem),
+                    # but only intra-suffix targets are in `copies`.
+                    inst.target = copies[inst.target]
+        # Redirect external predecessors of the cut block to its copy.
+        cut_name = trace[cut]
+        for pred_name in preds[cut_name]:
+            if pred_name == trace[cut - 1]:
+                continue
+            pred_block = fn.block(pred_name)
+            for inst in pred_block.instructions:
+                if inst.target == cut_name \
+                        and inst.cat is not OpCategory.CALL:
+                    inst.target = copies[cut_name]
+        # The trace itself is now side-entrance free up to `cut`; loop to
+        # check the remaining tail again (copies may still expose later
+        # side entrances, but those belong to the duplicated cold path).
+    return False
+
+
+def _merge_trace(fn: Function, trace: list[str]) -> None:
+    """Concatenate trace blocks into one superblock (the head block)."""
+    head = fn.block(trace[0])
+    merged: list[Instruction] = []
+    for i, name in enumerate(trace):
+        block = fn.block(name)
+        insts = list(block.instructions)
+        is_last = i == len(trace) - 1
+        if not is_last:
+            nxt = trace[i + 1]
+            # After make_jumps_explicit the block ends with a jump or a
+            # return, with an optional conditional branch right before
+            # it.  Rewire so the trace continues by fall-through within
+            # the merged block.
+            last = insts[-1]
+            assert last.pred is None and last.op in (Opcode.JUMP,
+                                                     Opcode.RET), \
+                f"trace block {name} lacks an explicit terminator"
+            branch = insts[-2] if len(insts) >= 2 \
+                and insts[-2].cat is OpCategory.BRANCH else None
+            if last.op is Opcode.JUMP and last.target == nxt:
+                # The conditional branch (if any) exits the trace.
+                insts.pop()
+            elif branch is not None and branch.target == nxt:
+                if last.op is Opcode.RET:
+                    # The off-trace path returns: outline the return so
+                    # the inverted branch has a target.
+                    ret_name = f"{name}.ret"
+                    counter = 0
+                    while any(b.name == ret_name for b in fn.blocks):
+                        counter += 1
+                        ret_name = f"{name}.ret{counter}"
+                    ret_block = BasicBlock(ret_name)
+                    ret_block.append(last)
+                    fn.blocks.append(ret_block)
+                    off_trace = ret_name
+                else:
+                    off_trace = last.target
+                # Invert the branch: the off-trace path becomes the taken
+                # target, the trace continues by fall-through.
+                inverted = branch.copy(op=inverse(branch.op),
+                                       target=off_trace)
+                insts[-2] = inverted
+                insts.pop()
+            else:
+                raise AssertionError(
+                    f"trace successor {nxt} unreachable from {name}")
+        merged.extend(insts)
+        if i > 0:
+            fn.blocks.remove(block)
+    head.instructions = merged
+
+
+def form_superblocks(fn: Function, profile: Profile,
+                     params: SuperblockParams | None = None,
+                     protect: frozenset[str] | set[str] = frozenset()
+                     ) -> list[str]:
+    """Form superblocks in ``fn``; returns the superblock labels."""
+    if params is None:
+        params = SuperblockParams()
+    normalize_basic_blocks(fn, protect)
+    remove_unreachable(fn)
+    traces = select_traces(fn, profile, params, protect)
+    formed: list[str] = []
+    for trace in traces:
+        make_jumps_explicit(fn)
+        if not _duplicate_tail(fn, trace):
+            continue
+        _merge_trace(fn, trace)
+        formed.append(trace[0])
+    relayout(fn)
+    return formed

@@ -1,0 +1,11 @@
+"""Instruction scheduling: dependence DAG + critical-path list scheduler."""
+
+from repro.schedule.dag import DepGraph, build_dag
+from repro.schedule.list_scheduler import (ScheduleResult, schedule_block,
+                                           schedule_function,
+                                           schedule_program)
+
+__all__ = [
+    "DepGraph", "ScheduleResult", "build_dag", "schedule_block",
+    "schedule_function", "schedule_program",
+]

@@ -1,0 +1,11 @@
+"""Cycle-level simulation: BTB, caches, in-order issue pipeline."""
+
+from repro.sim.btb import BranchTargetBuffer
+from repro.sim.cache import DirectMappedCache
+from repro.sim.pipeline import (SimulationStats, assign_addresses,
+                                simulate_trace)
+
+__all__ = [
+    "BranchTargetBuffer", "DirectMappedCache", "SimulationStats",
+    "assign_addresses", "simulate_trace",
+]

@@ -1,0 +1,50 @@
+"""Branch target buffer with 2-bit saturating counters.
+
+The paper's dynamic prediction: a 1K-entry BTB with 2-bit counters and a
+2-cycle misprediction penalty.  Conditional branches predict taken when
+the entry hits and its counter is in a taken state; a BTB miss predicts
+not-taken (no target is known).  Unconditional direct jumps/calls are
+resolved at decode and never mispredict.
+"""
+
+from __future__ import annotations
+
+from repro.machine.descriptor import BTBConfig
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB: tag + 2-bit counter per entry."""
+
+    def __init__(self, config: BTBConfig):
+        self.entries = config.entries
+        self.penalty = config.mispredict_penalty
+        self.tags = [-1] * config.entries
+        self.counters = [1] * config.entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, addr: int, taken: bool) -> bool:
+        """Process one executed conditional branch.
+
+        Returns True if the branch was mispredicted.
+        """
+        index = (addr >> 2) % self.entries
+        if self.tags[index] == addr:
+            predicted_taken = self.counters[index] >= 2
+        else:
+            predicted_taken = False
+        self.predictions += 1
+        mispredicted = predicted_taken != taken
+        if mispredicted:
+            self.mispredictions += 1
+        # Update: allocate on taken branches (a not-taken branch that
+        # misses leaves no useful target to store).
+        if self.tags[index] == addr:
+            if taken:
+                self.counters[index] = min(3, self.counters[index] + 1)
+            else:
+                self.counters[index] = max(0, self.counters[index] - 1)
+        elif taken:
+            self.tags[index] = addr
+            self.counters[index] = 2
+        return mispredicted

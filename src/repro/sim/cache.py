@@ -1,0 +1,38 @@
+"""Direct-mapped caches (paper Section 4.1).
+
+64K direct-mapped instruction and data caches with 64-byte blocks; the
+data cache is write-through with no write-allocate, blocking, with a
+12-cycle miss penalty.
+"""
+
+from __future__ import annotations
+
+from repro.machine.descriptor import CacheConfig
+
+
+class DirectMappedCache:
+    """Tag array only — timing model, data lives in the emulator."""
+
+    def __init__(self, config: CacheConfig):
+        self.line_bytes = config.line_bytes
+        self.num_lines = config.num_lines
+        self.miss_penalty = config.miss_penalty
+        self.tags = [-1] * self.num_lines
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int, allocate: bool = True) -> bool:
+        """Returns True on hit; fills the line on miss if ``allocate``."""
+        line = addr // self.line_bytes
+        index = line % self.num_lines
+        self.accesses += 1
+        if self.tags[index] == line:
+            return True
+        self.misses += 1
+        if allocate:
+            self.tags[index] = line
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

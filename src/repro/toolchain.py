@@ -1,0 +1,227 @@
+"""End-to-end toolchain: the paper's three processor models.
+
+``SUPERBLOCK`` (baseline), ``CMOV`` (partial predication) and
+``FULLPRED`` (full predication) share the frontend, classic optimizer,
+profiler, scheduler, emulator and cycle simulator; they differ in region
+formation and predication lowering exactly as Section 4.1 describes:
+
+* SUPERBLOCK — superblock formation + speculative scheduling;
+* FULLPRED — hyperblock formation (if-conversion), predicate promotion,
+  branch combining;
+* CMOV — the FULLPRED pipeline followed by the full→partial lowering
+  (basic conversions, comparison inversion, post-conversion peephole,
+  OR-tree height reduction).
+
+Speedups are reported against the 1-issue SUPERBLOCK configuration, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.profile import Profile
+from repro.emu.interpreter import run_program
+from repro.emu.trace import ExecutionResult
+from repro.ir.function import Program
+from repro.ir.verifier import ISALevel, verify_program
+from repro.lang.lower import compile_minic
+from repro.machine.descriptor import MachineDescription, scalar_machine
+from repro.opt.cfg_cleanup import normalize_basic_blocks
+from repro.opt.licm import hoist_loop_invariants
+from repro.opt.pipeline import (CLASSIC_PASSES, optimize_program,
+                                run_function_passes)
+from repro.partial.conversion import ConversionParams, convert_to_partial
+from repro.partial.ortree import reduce_function_or_trees
+from repro.regions.branch_combine import (BranchCombineParams,
+                                          combine_branches)
+from repro.regions.hyperblock import HyperblockParams, form_hyperblocks
+from repro.regions.predopt import optimize_hyperblock_predicates
+from repro.regions.promotion import promote_all
+from repro.regions.superblock import SuperblockParams, form_superblocks
+from repro.regions.unroll import UnrollParams, unroll_function_loops
+from repro.schedule.list_scheduler import ScheduleResult, schedule_program
+from repro.sim.pipeline import (SimulationStats, assign_addresses,
+                                simulate_trace)
+
+#: classic passes minus CFG restructuring, for post-formation cleanup
+#: (hyperblocks must not be re-split or re-laid-out once formed).
+PEEPHOLE_PASSES = [p for p in CLASSIC_PASSES if p[0] != "cfg"]
+
+
+class Model(enum.Enum):
+    """The paper's three architectural/compilation models."""
+
+    SUPERBLOCK = "Superblock"
+    CMOV = "Conditional Move"
+    FULLPRED = "Full Predication"
+
+    @property
+    def isa_level(self) -> ISALevel:
+        return {Model.SUPERBLOCK: ISALevel.BASELINE,
+                Model.CMOV: ISALevel.PARTIAL,
+                Model.FULLPRED: ISALevel.FULL}[self]
+
+
+@dataclass
+class ToolchainOptions:
+    """Knobs for ablation experiments; defaults match the paper."""
+
+    superblock: SuperblockParams = field(default_factory=SuperblockParams)
+    hyperblock: HyperblockParams = field(default_factory=HyperblockParams)
+    conversion: ConversionParams = field(default_factory=ConversionParams)
+    branch_combine: BranchCombineParams | None = \
+        field(default_factory=BranchCombineParams)
+    unroll: UnrollParams | None = field(default_factory=UnrollParams)
+    enable_promotion: bool = True
+    enable_or_tree: bool = True
+    verify: bool = True
+
+
+@dataclass
+class CompiledProgram:
+    """A program compiled for one model/machine pair."""
+
+    program: Program
+    model: Model
+    machine: MachineDescription
+    schedule: ScheduleResult
+    addresses: dict[int, int]
+
+    @property
+    def static_size(self) -> int:
+        return self.program.static_size()
+
+
+def frontend(source: str) -> Program:
+    """MiniC source → optimized, normalized baseline IR."""
+    program = compile_minic(source)
+    optimize_program(program)
+    for fn in program.functions.values():
+        hoist_loop_invariants(fn)
+    optimize_program(program)
+    for fn in program.functions.values():
+        normalize_basic_blocks(fn)
+    return program
+
+
+def compile_for_model(base: Program, model: Model, profile: Profile,
+                      machine: MachineDescription,
+                      options: ToolchainOptions | None = None
+                      ) -> CompiledProgram:
+    """Clone ``base`` and compile it for ``model`` on ``machine``.
+
+    ``base`` must come from :func:`frontend` and ``profile`` must have
+    been collected on it (training run).
+    """
+    if options is None:
+        options = ToolchainOptions()
+    program = copy.deepcopy(base)
+
+    for fn in program.functions.values():
+        if model is Model.SUPERBLOCK:
+            form_superblocks(fn, profile, options.superblock)
+            if options.unroll is not None:
+                unroll_function_loops(fn, options.unroll)
+            run_function_passes(fn, PEEPHOLE_PASSES)
+        else:
+            formed = form_hyperblocks(fn, profile, options.hyperblock)
+            for label, _info in formed:
+                optimize_hyperblock_predicates(fn, fn.block(label))
+            if options.enable_promotion:
+                promote_all(fn, formed)
+            if options.branch_combine is not None:
+                for label, _info in formed:
+                    try:
+                        block = fn.block(label)
+                    except Exception:
+                        continue
+                    combine_branches(fn, block, profile,
+                                     options.branch_combine)
+            # The paper's compiler applies superblock techniques to the
+            # remaining code; traces may flow through formed hyperblocks
+            # (normalization keeps predicated blocks whole).
+            form_superblocks(fn, profile, options.superblock)
+            if options.unroll is not None:
+                unroll_function_loops(fn, options.unroll)
+            if model is Model.CMOV:
+                convert_to_partial(fn, options.conversion)
+                if options.enable_or_tree:
+                    reduce_function_or_trees(fn)
+                run_function_passes(fn, PEEPHOLE_PASSES)
+            else:
+                run_function_passes(fn, PEEPHOLE_PASSES)
+
+    if options.verify:
+        verify_program(program, model.isa_level)
+    schedule = schedule_program(program, machine)
+    addresses = assign_addresses(program, machine.instruction_bytes)
+    return CompiledProgram(program=program, model=model, machine=machine,
+                           schedule=schedule, addresses=addresses)
+
+
+@dataclass
+class RunResult:
+    """Emulation + simulation of one compiled program on one machine."""
+
+    compiled: CompiledProgram
+    execution: ExecutionResult
+    stats: SimulationStats
+
+    @property
+    def return_value(self):
+        return self.execution.return_value
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+def run_compiled(compiled: CompiledProgram,
+                 inputs: dict | None = None,
+                 machine: MachineDescription | None = None,
+                 max_steps: int = 50_000_000) -> RunResult:
+    """Emulate the compiled program and simulate its trace.
+
+    ``machine`` may differ from the compile-time machine in memory
+    hierarchy (the schedule is unaffected by caches), enabling
+    perfect-vs-real-cache comparisons without recompiling.
+    """
+    if machine is None:
+        machine = compiled.machine
+    execution = run_program(compiled.program, inputs=inputs,
+                            collect_trace=True, max_steps=max_steps)
+    assert execution.trace is not None
+    stats = simulate_trace(execution.trace, compiled.addresses, machine)
+    return RunResult(compiled=compiled, execution=execution, stats=stats)
+
+
+def compile_and_simulate(source: str, model: Model,
+                         machine: MachineDescription,
+                         inputs: dict | None = None,
+                         train_inputs: dict | None = None,
+                         options: ToolchainOptions | None = None
+                         ) -> RunResult:
+    """One-call pipeline: MiniC source → simulated run for ``model``.
+
+    ``train_inputs`` drive profiling (defaults to the evaluation
+    ``inputs``, matching the paper's measured-run methodology).
+    """
+    base = frontend(source)
+    profile = Profile.collect(base, inputs=train_inputs or inputs)
+    compiled = compile_for_model(base, model, profile, machine, options)
+    return run_compiled(compiled, inputs=inputs)
+
+
+def baseline_cycles(source: str, inputs: dict | None = None,
+                    train_inputs: dict | None = None,
+                    options: ToolchainOptions | None = None) -> int:
+    """Cycle count of the 1-issue SUPERBLOCK processor (the paper's
+    speedup denominator)."""
+    result = compile_and_simulate(source, Model.SUPERBLOCK,
+                                  scalar_machine(), inputs=inputs,
+                                  train_inputs=train_inputs,
+                                  options=options)
+    return result.cycles

@@ -1,0 +1,11 @@
+"""Benchmark workloads: MiniC kernels standing in for the paper's
+SPEC-92 and Unix-utility benchmarks (see DESIGN.md for substitutions)."""
+
+from repro.workloads.base import (DeterministicRandom, Workload,
+                                  all_workloads, get_workload, register,
+                                  workload_names)
+
+__all__ = [
+    "DeterministicRandom", "Workload", "all_workloads", "get_workload",
+    "register", "workload_names",
+]

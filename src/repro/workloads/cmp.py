@@ -1,0 +1,60 @@
+"""cmp — byte-wise file comparison.
+
+Two nearly identical buffers are compared byte by byte; the loop's
+branches are overwhelmingly biased (equal), which is why the paper's
+Table 3 shows predication dropping cmp's mispredictions from thousands
+to almost zero: the compare-and-exit branches fold into predicates.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+char a[8192];
+char b[8192];
+int n;
+int diffs;
+int firstdiff;
+
+int main() {
+  int i;
+  int ca;
+  int cb;
+  int lines;
+  lines = 0;
+  firstdiff = 0 - 1;
+  for (i = 0; i < n; i = i + 1) {
+    ca = a[i];
+    cb = b[i];
+    if (ca == '\\n') lines = lines + 1;
+    if (ca != cb) {
+      diffs = diffs + 1;
+      if (firstdiff < 0) firstdiff = i;
+    }
+  }
+  return diffs * 100000 + (firstdiff + 1) * 10 + lines % 10;
+}
+"""
+
+_WORDS = ["compare", "bytes", "equal", "until", "difference", "found",
+          "stream", "of", "data"]
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(4242)
+    length = max(128, min(8100, int(2800 * scale)))
+    first = bytearray(rng.text(length, _WORDS, newline_every=10))
+    second = bytearray(first)
+    # A handful of scattered differences.
+    for _ in range(max(1, length // 900)):
+        pos = rng.randint(length // 2, length - 1)
+        second[pos] = (second[pos] + 1) % 256
+    return {"a": list(first), "b": list(second), "n": [length]}
+
+
+CMP = register(Workload(
+    name="cmp",
+    description="biased byte-comparison loop",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="Unix cmp",
+))

@@ -1,0 +1,93 @@
+"""compress — dictionary/RLE byte compressor.
+
+A hash-table pair compressor in the spirit of 026.compress: per-byte
+hashing, table probes with hit/miss branches, and occasional run-length
+escapes.  The table probes generate the data-cache traffic that makes
+compress the benchmark hit hardest by real caches in the paper's
+Figure 11.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+char buf[8192];
+char out[8192];
+int htab[1024];
+int hval[1024];
+int n;
+
+int main() {
+  int i;
+  int outpos;
+  int prev;
+  int c;
+  int pair;
+  int h;
+  int run;
+  outpos = 0;
+  prev = 0 - 1;
+  run = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    if (c == prev) {
+      run = run + 1;
+      if (run == 255) {
+        out[outpos] = 27;
+        out[outpos + 1] = run;
+        outpos = outpos + 2;
+        run = 0;
+      }
+    } else {
+      if (run > 3) {
+        out[outpos] = 27;
+        out[outpos + 1] = run;
+        outpos = outpos + 2;
+      } else {
+        while (run > 0) {
+          out[outpos] = prev;
+          outpos = outpos + 1;
+          run = run - 1;
+        }
+      }
+      run = 0;
+      pair = prev * 256 + c;
+      h = (pair * 5 + 17) % 1024;
+      if (h < 0) h = h + 1024;
+      if (htab[h] == pair) {
+        out[outpos] = 128 + hval[h] % 96;
+        outpos = outpos + 1;
+      } else {
+        htab[h] = pair;
+        hval[h] = hval[h] + 1;
+        out[outpos] = c;
+        outpos = outpos + 1;
+      }
+      prev = c;
+    }
+  }
+  return outpos * 7 + out[outpos / 2];
+}
+"""
+
+_WORDS = ["aaaa", "bbbb", "abab", "data", "compressing",
+          "runs", "of", "bytes", "zzzzzzzz", "tables"]
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(2626)
+    length = max(128, min(8100, int(2400 * scale)))
+    text = bytearray(rng.text(length, _WORDS, newline_every=12))
+    # Insert some runs so the RLE paths execute.
+    for _ in range(max(1, length // 300)):
+        pos = rng.randint(0, length - 12)
+        text[pos:pos + 10] = bytes([text[pos]]) * 10
+    return {"buf": list(text), "n": [len(text)]}
+
+
+COMPRESS = register(Workload(
+    name="compress",
+    description="hash-table pair compressor with RLE escapes",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="SPEC-92 026.compress",
+))

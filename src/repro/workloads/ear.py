@@ -1,0 +1,74 @@
+"""ear — cochlear-model filter cascade (floating point).
+
+056.ear runs cascades of second-order filters followed by rectification
+and gain control.  The kernel is a biquad filter bank over an input
+signal, with the half-wave rectification conditional in the inner loop
+— FP-heavy with one biased branch per sample per channel.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+float signal[2048];
+float state1[16];
+float state2[16];
+float coeff_a[16];
+float coeff_b[16];
+float energy[16];
+int nsamples;
+int nchan;
+
+int main() {
+  int s;
+  int ch;
+  float x;
+  float y;
+  float rectified;
+  float agc;
+  float total;
+  for (s = 0; s < nsamples; s = s + 1) {
+    x = signal[s];
+    for (ch = 0; ch < nchan; ch = ch + 1) {
+      y = coeff_a[ch] * x - coeff_b[ch] * state1[ch]
+        - 0.5 * state2[ch];
+      state2[ch] = state1[ch];
+      state1[ch] = y;
+      rectified = y;
+      if (rectified < 0.0) rectified = 0.0;
+      agc = energy[ch];
+      if (agc > 100.0) rectified = rectified / 2.0;
+      energy[ch] = agc * 0.99 + rectified;
+      x = y;
+    }
+  }
+  total = 0.0;
+  for (ch = 0; ch < nchan; ch = ch + 1) {
+    total = total + energy[ch];
+  }
+  return total * 100.0;
+}
+"""
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(56)
+    nchan = 8
+    nsamples = max(16, min(2000, int(320 * scale)))
+    def fval(lo, hi):
+        return lo + (hi - lo) * (rng.randint(0, 10_000) / 10_000.0)
+    return {
+        "signal": [fval(-1.0, 1.0) for _ in range(nsamples)],
+        "coeff_a": [fval(0.4, 0.9) for _ in range(nchan)],
+        "coeff_b": [fval(0.1, 0.5) for _ in range(nchan)],
+        "nsamples": [nsamples], "nchan": [nchan],
+    }
+
+
+EAR = register(Workload(
+    name="ear",
+    description="biquad filter cascade with rectification",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="SPEC-92 056.ear",
+    category="float",
+))

@@ -1,0 +1,66 @@
+"""eqn — equation-formatter tokenizer.
+
+eqn's front end classifies characters and assembles tokens; the kernel
+is a scanner whose per-character classification is a cascade of range
+tests.  The paper's Figure 11 discussion singles out eqn: conditional
+move's larger code footprint raised its instruction-cache miss rate.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+char buf[8192];
+int n;
+int words;
+int numbers;
+int operators;
+int braces;
+int spaces;
+
+int main() {
+  int i;
+  int c;
+  int state;
+  state = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    if (c >= 'a' && c <= 'z') {
+      if (state != 1) { words = words + 1; state = 1; }
+    } else if (c >= 'A' && c <= 'Z') {
+      if (state != 1) { words = words + 1; state = 1; }
+    } else if (c >= '0' && c <= '9') {
+      if (state != 2) { numbers = numbers + 1; state = 2; }
+    } else if (c == '{' || c == '}') {
+      braces = braces + 1;
+      state = 0;
+    } else if (c == '+' || c == '-' || c == '^' || c == '/') {
+      operators = operators + 1;
+      state = 0;
+    } else {
+      spaces = spaces + 1;
+      state = 0;
+    }
+  }
+  return words * 100000 + numbers * 1000 + operators * 100
+       + braces * 10 + spaces % 10;
+}
+"""
+
+_PIECES = ["x", "alpha", "beta", "2", "{", "}", "+", "-", "^", "/",
+           "sum", "12", "over", "sqrt", "pi", "375", "theta"]
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(31415)
+    length = max(128, min(8100, int(2600 * scale)))
+    text = rng.text(length, _PIECES, newline_every=11)
+    return {"buf": list(text), "n": [len(text)]}
+
+
+EQN = register(Workload(
+    name="eqn",
+    description="character-class cascade tokenizer",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="Unix eqn",
+))

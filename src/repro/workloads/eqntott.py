@@ -1,0 +1,70 @@
+"""eqntott — the cmppt bit-vector comparison kernel.
+
+023.eqntott spends most of its time comparing arrays of 2-bit values to
+order truth-table rows; the loop is a chain of biased early-out
+branches, historically the canonical conditional-move showcase.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+int pta[4096];
+int ptb[4096];
+int nterms;
+int width;
+int order;
+
+int cmppt(int a, int b) {
+  int k;
+  int va;
+  int vb;
+  for (k = 0; k < width; k = k + 1) {
+    va = pta[a * width + k];
+    vb = ptb[b * width + k];
+    if (va < vb) return 0 - 1;
+    if (va > vb) return 1;
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int balance;
+  balance = 0;
+  order = 0;
+  for (i = 0; i < nterms; i = i + 1) {
+    order = cmppt(i, i);
+    balance = balance + order;
+    if (order == 0) balance = balance + 1;
+  }
+  return balance;
+}
+"""
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(2323)
+    width = 16
+    nterms = max(8, min(250, int(90 * scale)))
+    pta = []
+    ptb = []
+    for _ in range(nterms * width):
+        value = rng.randint(0, 3)
+        pta.append(value)
+        # Mostly equal, with sparse perturbations near the tail so the
+        # early-out branches are strongly biased.
+        if rng.randint(0, 99) < 6:
+            ptb.append(rng.randint(0, 3))
+        else:
+            ptb.append(value)
+    return {"pta": pta, "ptb": ptb, "nterms": [nterms],
+            "width": [width]}
+
+
+EQNTOTT = register(Workload(
+    name="eqntott",
+    description="2-bit truth-table comparison (cmppt kernel)",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="SPEC-92 023.eqntott",
+))

@@ -1,0 +1,79 @@
+"""espresso — two-level logic minimizer cube operations.
+
+008.espresso manipulates cubes (bit-vector terms): the kernel here is
+cube distance/containment testing over pairs of cubes, a doubly nested
+loop of masked comparisons and conditional counting.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+int cubes[4096];
+int ncubes;
+int width;
+
+int distance(int a, int b) {
+  int k;
+  int d;
+  int va;
+  int vb;
+  int meet;
+  d = 0;
+  for (k = 0; k < width; k = k + 1) {
+    va = cubes[a * width + k];
+    vb = cubes[b * width + k];
+    meet = va & vb;
+    if (meet == 0) d = d + 1;
+  }
+  return d;
+}
+
+int contains(int a, int b) {
+  int k;
+  int va;
+  int vb;
+  for (k = 0; k < width; k = k + 1) {
+    va = cubes[a * width + k];
+    vb = cubes[b * width + k];
+    if ((va & vb) != vb) return 0;
+  }
+  return 1;
+}
+
+int main() {
+  int i;
+  int j;
+  int mergeable;
+  int covered;
+  mergeable = 0;
+  covered = 0;
+  for (i = 0; i < ncubes; i = i + 1) {
+    for (j = i + 1; j < ncubes; j = j + 1) {
+      if (distance(i, j) == 1) mergeable = mergeable + 1;
+      if (contains(i, j)) covered = covered + 1;
+    }
+  }
+  return mergeable * 1000 + covered;
+}
+"""
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(808)
+    width = 8
+    ncubes = max(6, min(64, int(22 * scale)))
+    cubes = []
+    for _ in range(ncubes * width):
+        # Each position is a 2-bit "care" code; 3 = don't care (common).
+        roll = rng.randint(0, 9)
+        cubes.append(3 if roll < 6 else rng.randint(1, 2))
+    return {"cubes": cubes, "ncubes": [ncubes], "width": [width]}
+
+
+ESPRESSO = register(Workload(
+    name="espresso",
+    description="cube distance/containment over bit-vector terms",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="SPEC-92 008.espresso",
+))

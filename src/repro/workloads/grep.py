@@ -1,0 +1,71 @@
+"""grep — pattern scan (the paper's Figure 6 case study).
+
+The hot loop advances through the buffer until one of several rarely
+true conditions fires: first pattern character seen, end of line, end of
+buffer.  With one branch slot the scan is branch-bound; hyperblock
+formation plus branch combining collapses the rare exits into a single
+OR-predicated branch — and makes that combined branch harder to predict
+(the paper's Table 3 grep anomaly).
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+char buf[8192];
+char pat[16];
+int n;
+int plen;
+int matches;
+int lines;
+
+int check(int pos) {
+  int k;
+  for (k = 1; k < plen; k = k + 1) {
+    if (buf[pos + k] != pat[k]) return 0;
+  }
+  return 1;
+}
+
+int main() {
+  int i;
+  int c;
+  int p0;
+  p0 = pat[0];
+  i = 0;
+  while (i < n) {
+    c = buf[i];
+    if (c == p0) {
+      if (check(i)) matches = matches + 1;
+    }
+    if (c == '\\n') lines = lines + 1;
+    if (c == 0) i = n;
+    i = i + 1;
+  }
+  return matches * 10000 + lines;
+}
+"""
+
+_WORDS = ["alpha", "beta", "gamma", "delta", "xylophone", "query",
+          "scan", "buffer", "needle", "haystack", "loop"]
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(1776)
+    length = max(128, min(8100, int(2600 * scale)))
+    text = bytearray(rng.text(length, _WORDS, newline_every=9))
+    pattern = b"needle"
+    # Plant a few matches so the inner check loop runs occasionally.
+    for _ in range(max(1, length // 400)):
+        pos = rng.randint(0, length - len(pattern) - 1)
+        text[pos:pos + len(pattern)] = pattern
+    return {"buf": list(text), "n": [len(text)],
+            "pat": list(pattern), "plen": [len(pattern)]}
+
+
+GREP = register(Workload(
+    name="grep",
+    description="multi-exit pattern scan loop",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="Unix grep (paper Figure 6 example loop)",
+))

@@ -1,0 +1,95 @@
+"""lex — table-driven DFA scanner.
+
+lex-generated scanners run a tight loop of table lookups: classify the
+character, index the transition table, test for accepting states.  The
+loop mixes dependent loads with biased accept/reject branches.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+#: character classes: 0 letter, 1 digit, 2 space, 3 punct
+_N_CLASSES = 4
+_N_STATES = 6
+
+SOURCE = """
+char buf[8192];
+int n;
+int cclass[128];
+int delta[32];
+int accept[8];
+int counts[8];
+
+int main() {
+  int i;
+  int c;
+  int state;
+  int cls;
+  int nxt;
+  state = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    cls = cclass[c % 128];
+    nxt = delta[state * 4 + cls];
+    if (nxt != state) {
+      if (accept[state] != 0) {
+        counts[accept[state]] = counts[accept[state]] + 1;
+      }
+    }
+    state = nxt;
+  }
+  return counts[1] * 10000 + counts[2] * 100 + counts[3];
+}
+"""
+
+
+def _tables():
+    # States: 0 start, 1 in-identifier, 2 in-number, 3 in-space,
+    # 4 in-punct, 5 error-ish (unused sink).
+    delta = [0] * (8 * _N_CLASSES)
+
+    def set_row(state, letter, digit, space, punct):
+        delta[state * 4 + 0] = letter
+        delta[state * 4 + 1] = digit
+        delta[state * 4 + 2] = space
+        delta[state * 4 + 3] = punct
+
+    set_row(0, 1, 2, 3, 4)
+    set_row(1, 1, 1, 3, 4)   # identifiers may contain digits
+    set_row(2, 1, 2, 3, 4)
+    set_row(3, 1, 2, 3, 4)
+    set_row(4, 1, 2, 3, 4)
+    accept = [0, 1, 2, 0, 3, 0, 0, 0]  # ident, number, punct tokens
+    cclass = []
+    for code in range(128):
+        ch = chr(code)
+        if ch.isalpha() or ch == "_":
+            cclass.append(0)
+        elif ch.isdigit():
+            cclass.append(1)
+        elif ch in " \t\n\r":
+            cclass.append(2)
+        else:
+            cclass.append(3)
+    return delta[:32], accept, cclass
+
+
+_PIECES = ["ident", "x1", "42", "count", "+", ";", "(", ")", "1995",
+           "while", "parser", "7", "token"]
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(5150)
+    length = max(128, min(8100, int(2400 * scale)))
+    text = rng.text(length, _PIECES, newline_every=10)
+    delta, accept, cclass = _tables()
+    return {"buf": list(text), "n": [len(text)], "cclass": cclass,
+            "delta": delta, "accept": accept}
+
+
+LEX = register(Workload(
+    name="lex",
+    description="table-driven DFA tokenizer",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="Unix lex",
+))

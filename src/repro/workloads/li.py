@@ -1,0 +1,98 @@
+"""li — expression-tree interpreter.
+
+022.li is a Lisp interpreter: pointer-chasing dispatch over node types.
+The kernel evaluates a random arithmetic/conditional expression forest
+stored in parallel arrays, with recursive dispatch through nested type
+tests — small blocks, unpredictable dispatch branches.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+#: node opcodes
+_CONST, _VAR, _ADD, _SUB, _MUL, _IF, _LT, _NEG = range(8)
+
+SOURCE = """
+int op[4096];
+int lhs[4096];
+int rhs[4096];
+int env[32];
+int nroots;
+int roots[256];
+
+int eval(int node) {
+  int kind;
+  int a;
+  int b;
+  kind = op[node];
+  if (kind == 0) return lhs[node];
+  if (kind == 1) return env[lhs[node] % 32];
+  if (kind == 7) return 0 - eval(lhs[node]);
+  a = eval(lhs[node]);
+  if (kind == 5) {
+    if (a != 0) return eval(rhs[node]);
+    return 0;
+  }
+  b = eval(rhs[node]);
+  if (kind == 2) return a + b;
+  if (kind == 3) return a - b;
+  if (kind == 4) return (a * b) % 65536;
+  if (kind == 6) {
+    if (a < b) return 1;
+    return 0;
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int total;
+  total = 0;
+  for (i = 0; i < nroots; i = i + 1) {
+    total = (total + eval(roots[i])) % 1000003;
+  }
+  return total;
+}
+"""
+
+
+def _build_tree(rng, op, lhs, rhs, depth: int) -> int:
+    index = len(op)
+    if index >= 4000 or depth == 0:
+        if rng.randint(0, 1):
+            op.append(_CONST)
+            lhs.append(rng.randint(0, 99))
+        else:
+            op.append(_VAR)
+            lhs.append(rng.randint(0, 31))
+        rhs.append(0)
+        return index
+    kind = rng.choice([_ADD, _SUB, _MUL, _IF, _LT, _NEG, _ADD, _LT])
+    op.append(kind)
+    lhs.append(0)
+    rhs.append(0)
+    lhs[index] = _build_tree(rng, op, lhs, rhs, depth - 1)
+    if kind != _NEG:
+        rhs[index] = _build_tree(rng, op, lhs, rhs, depth - 1)
+    return index
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(1958)
+    op: list[int] = []
+    lhs: list[int] = []
+    rhs: list[int] = []
+    nroots = max(4, min(256, int(40 * scale)))
+    roots = [_build_tree(rng, op, lhs, rhs, depth=rng.randint(3, 6))
+             for _ in range(nroots)]
+    env = [rng.randint(0, 999) for _ in range(32)]
+    return {"op": op, "lhs": lhs, "rhs": rhs, "env": env,
+            "roots": roots, "nroots": [nroots]}
+
+
+LI = register(Workload(
+    name="li",
+    description="recursive expression-tree evaluator",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="SPEC-92 022.li",
+))

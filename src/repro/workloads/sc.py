@@ -1,0 +1,78 @@
+"""sc — spreadsheet recalculation.
+
+072.sc re-evaluates a grid of cells; the kernel walks a cell table
+whose entries are constants, sums over a neighbor window, or
+conditionals, and iterates the recalculation until values settle.
+The paper notes sc as the one benchmark where conditional-move code
+lost to superblock due to lengthened dependence chains.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+SOURCE = """
+int kind[1024];
+int parm[1024];
+int value[1024];
+int rows;
+int cols;
+int passes;
+
+int main() {
+  int p;
+  int r;
+  int c;
+  int idx;
+  int k;
+  int acc;
+  int left;
+  int up;
+  int total;
+  for (p = 0; p < passes; p = p + 1) {
+    for (r = 0; r < rows; r = r + 1) {
+      for (c = 0; c < cols; c = c + 1) {
+        idx = r * cols + c;
+        k = kind[idx];
+        if (k == 0) {
+          value[idx] = parm[idx];
+        } else if (k == 1) {
+          left = 0;
+          up = 0;
+          if (c > 0) left = value[idx - 1];
+          if (r > 0) up = value[idx - cols];
+          value[idx] = (left + up + parm[idx]) % 100000;
+        } else {
+          left = 0;
+          if (c > 0) left = value[idx - 1];
+          if (left > parm[idx]) value[idx] = left - parm[idx];
+          else value[idx] = parm[idx] - left;
+        }
+      }
+    }
+  }
+  total = 0;
+  for (idx = 0; idx < rows * cols; idx = idx + 1) {
+    total = (total + value[idx]) % 1000003;
+  }
+  return total;
+}
+"""
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(6001)
+    rows = max(4, min(32, int(12 * scale)))
+    cols = max(4, min(32, int(14 * scale)))
+    cells = rows * cols
+    kind = [rng.choice([0, 1, 1, 2]) for _ in range(cells)]
+    parm = [rng.randint(0, 500) for _ in range(cells)]
+    return {"kind": kind, "parm": parm, "rows": [rows], "cols": [cols],
+            "passes": [4]}
+
+
+SC = register(Workload(
+    name="sc",
+    description="spreadsheet grid recalculation with cell dispatch",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="SPEC-92 072.sc",
+))

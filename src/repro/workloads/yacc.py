@@ -1,0 +1,103 @@
+"""yacc — shift/reduce parser loop.
+
+An LR-style automaton over a synthetic token stream: table-driven
+shift/reduce decisions, a state stack in memory, and validity branches
+— the classic parser inner loop that yacc-generated code runs.
+
+The grammar is a small arithmetic expression grammar handled with
+operator precedence (shift if incoming precedence is higher, else
+reduce), so the decision branch is data-dependent.
+"""
+
+from repro.workloads.base import DeterministicRandom, Workload, register
+
+#: tokens: 0 number, 1 '+', 2 '*', 3 '(', 4 ')', 5 end
+SOURCE = """
+int tokens[4096];
+int ntok;
+int stack[256];
+int prec[8];
+
+int main() {
+  int sp;
+  int i;
+  int tok;
+  int shifts;
+  int reduces;
+  int errors;
+  int top;
+  sp = 0;
+  shifts = 0;
+  reduces = 0;
+  errors = 0;
+  for (i = 0; i < ntok; i = i + 1) {
+    tok = tokens[i];
+    if (tok == 0) {
+      stack[sp] = 0;
+      sp = sp + 1;
+      shifts = shifts + 1;
+      if (sp > 250) sp = 1;
+    } else if (tok == 3) {
+      stack[sp] = 3;
+      sp = sp + 1;
+      shifts = shifts + 1;
+      if (sp > 250) sp = 1;
+    } else if (tok == 4) {
+      while (sp > 0 && stack[sp - 1] != 3) {
+        sp = sp - 1;
+        reduces = reduces + 1;
+      }
+      if (sp > 0) sp = sp - 1;
+      else errors = errors + 1;
+    } else {
+      top = 0 - 1;
+      if (sp > 0) top = stack[sp - 1];
+      while (sp > 0 && top != 3 && prec[top] >= prec[tok]) {
+        sp = sp - 1;
+        reduces = reduces + 1;
+        top = 0 - 1;
+        if (sp > 0) top = stack[sp - 1];
+      }
+      stack[sp] = tok;
+      sp = sp + 1;
+      shifts = shifts + 1;
+      if (sp > 250) sp = 1;
+    }
+  }
+  return shifts * 10000 + reduces * 10 + errors;
+}
+"""
+
+
+def _inputs(scale: float):
+    rng = DeterministicRandom(9090)
+    ntok = max(64, min(4000, int(1400 * scale)))
+    tokens = []
+    depth = 0
+    for _ in range(ntok):
+        roll = rng.randint(0, 9)
+        if roll < 4:
+            tokens.append(0)               # number
+        elif roll < 6:
+            tokens.append(1)               # '+'
+        elif roll < 8:
+            tokens.append(2)               # '*'
+        elif roll == 8 and depth < 8:
+            tokens.append(3)               # '('
+            depth += 1
+        elif depth > 0:
+            tokens.append(4)               # ')'
+            depth -= 1
+        else:
+            tokens.append(0)
+    prec = [1, 2, 3, 0, 0, 0, 0, 0]
+    return {"tokens": tokens, "ntok": [len(tokens)], "prec": prec}
+
+
+YACC = register(Workload(
+    name="yacc",
+    description="operator-precedence shift/reduce parser loop",
+    source=SOURCE,
+    build_inputs=_inputs,
+    stands_for="Unix yacc",
+))

@@ -1,0 +1,105 @@
+"""CFG analyses: successor maps, orderings, dominators."""
+
+from repro.analysis.cfg import (dominates, dominators, immediate_dominators,
+                                predecessors_map, reverse_postorder,
+                                successors_map)
+from repro.ir import Function, IRBuilder, Imm, VReg
+
+
+def diamond() -> Function:
+    """entry -> (then | other) -> join -> exit structure."""
+    fn = Function("f")
+    entry = fn.new_block("entry")
+    then = fn.new_block("then")
+    other = fn.new_block("other")
+    join = fn.new_block("join")
+    b = IRBuilder(fn, entry)
+    b.beq(VReg(0), Imm(0), "then")
+    b.jump("other")
+    b.set_block(then)
+    b.jump("join")
+    b.set_block(other)
+    b.jump("join")
+    b.set_block(join)
+    b.ret(Imm(0))
+    return fn
+
+
+def loop_fn() -> Function:
+    fn = Function("f")
+    entry = fn.new_block("entry")
+    head = fn.new_block("head")
+    body = fn.new_block("body")
+    exit_ = fn.new_block("exit")
+    b = IRBuilder(fn, entry)
+    b.jump("head")
+    b.set_block(head)
+    b.blt(VReg(0), Imm(10), "body")
+    b.jump("exit")
+    b.set_block(body)
+    b.jump("head")
+    b.set_block(exit_)
+    b.ret(Imm(0))
+    return fn
+
+
+def test_successors_diamond():
+    fn = diamond()
+    succs = successors_map(fn)
+    assert succs["entry"] == ["then", "other"]
+    assert succs["then"] == ["join"]
+    assert succs["join"] == []
+
+
+def test_predecessors_diamond():
+    preds = predecessors_map(diamond())
+    assert sorted(preds["join"]) == ["other", "then"]
+    assert preds["entry"] == []
+
+
+def test_reverse_postorder_starts_at_entry():
+    order = reverse_postorder(diamond())
+    assert order[0] == "entry"
+    assert order[-1] == "join"
+    assert set(order) == {"entry", "then", "other", "join"}
+
+
+def test_reverse_postorder_excludes_unreachable():
+    fn = diamond()
+    fn.new_block("island").append(
+        __import__("repro.ir", fromlist=["Instruction"]).Instruction(
+            __import__("repro.ir", fromlist=["Opcode"]).Opcode.RET))
+    order = reverse_postorder(fn)
+    assert "island" not in order
+
+
+def test_dominators_diamond():
+    fn = diamond()
+    dom = dominators(fn)
+    assert dom["join"] == {"entry", "join"}
+    assert dom["then"] == {"entry", "then"}
+    assert dominates(dom, "entry", "join")
+    assert not dominates(dom, "then", "join")
+
+
+def test_dominators_loop():
+    fn = loop_fn()
+    dom = dominators(fn)
+    assert dom["body"] == {"entry", "head", "body"}
+    assert dom["exit"] == {"entry", "head", "exit"}
+
+
+def test_immediate_dominators():
+    fn = diamond()
+    idom = immediate_dominators(fn)
+    assert idom["entry"] is None
+    assert idom["then"] == "entry"
+    assert idom["join"] == "entry"
+
+
+def test_immediate_dominators_chain():
+    fn = loop_fn()
+    idom = immediate_dominators(fn)
+    assert idom["head"] == "entry"
+    assert idom["body"] == "head"
+    assert idom["exit"] == "head"

@@ -1,0 +1,69 @@
+"""Profile collection and edge-count reconstruction."""
+
+from repro.analysis.profile import Profile
+from repro.lang import compile_minic
+from repro.opt import normalize_basic_blocks, optimize_program
+
+SRC = """
+int n;
+int main() {
+  int i; int evens;
+  evens = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) evens = evens + 1;
+  }
+  return evens;
+}
+"""
+
+
+def _program():
+    prog = compile_minic(SRC)
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        normalize_basic_blocks(fn)
+    return prog
+
+
+def test_block_counts_scale_with_input():
+    prog = _program()
+    p10 = Profile.collect(prog, inputs={"n": [10]})
+    p50 = Profile.collect(prog, inputs={"n": [50]})
+    fn = prog.functions["main"]
+    hot10 = max(p10.block_count("main", b.name) for b in fn.blocks)
+    hot50 = max(p50.block_count("main", b.name) for b in fn.blocks)
+    assert hot50 > hot10 >= 10
+
+
+def test_taken_probability_bounds():
+    prog = _program()
+    profile = Profile.collect(prog, inputs={"n": [40]})
+    for uid in profile.branch_outcomes:
+        p = profile.taken_probability(uid)
+        assert 0.0 <= p <= 1.0
+    # Unknown branch defaults to 0.5.
+    assert profile.taken_probability(999999) == 0.5
+
+
+def test_edge_counts_conserve_flow():
+    prog = _program()
+    profile = Profile.collect(prog, inputs={"n": [30]})
+    fn = prog.functions["main"]
+    edges = profile.edge_counts(fn)
+    # Flow into each block equals its execution count (except entry).
+    incoming: dict[str, int] = {}
+    for (src, dst), count in edges.items():
+        incoming[dst] = incoming.get(dst, 0) + count
+    for block in fn.blocks:
+        expected = profile.block_count("main", block.name)
+        if block.name == fn.entry.name:
+            continue
+        assert incoming.get(block.name, 0) == expected, block.name
+
+
+def test_profile_from_execution_roundtrip():
+    from repro.emu import run_program
+    prog = _program()
+    result = run_program(prog, inputs={"n": [12]})
+    profile = Profile.from_execution(result)
+    assert profile.block_counts == result.block_counts

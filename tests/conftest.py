@@ -1,0 +1,64 @@
+"""Shared fixtures: small programs, machines, and compilation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.profile import Profile
+from repro.machine.descriptor import MachineDescription
+from repro.toolchain import frontend
+
+WC_SOURCE = """
+char buf[256];
+int n;
+int nl;
+int nw;
+int nc;
+
+int main() {
+  int i;
+  int inword;
+  int c;
+  inword = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    nc = nc + 1;
+    if (c == '\\n') nl = nl + 1;
+    if (c == ' ' || c == '\\n' || c == '\\t') inword = 0;
+    else if (!inword) { inword = 1; nw = nw + 1; }
+  }
+  return nl * 10000 + nw * 100 + nc;
+}
+"""
+
+WC_TEXT = b"the quick brown\nfox jumps over\nthe lazy dog\n"
+
+
+def wc_inputs() -> dict:
+    return {"buf": list(WC_TEXT), "n": [len(WC_TEXT)]}
+
+
+def wc_expected() -> int:
+    lines = WC_TEXT.count(b"\n")
+    words = len(WC_TEXT.split())
+    return lines * 10000 + words * 100 + len(WC_TEXT)
+
+
+@pytest.fixture
+def wc_program():
+    return frontend(WC_SOURCE)
+
+
+@pytest.fixture
+def wc_profile(wc_program):
+    return Profile.collect(wc_program, inputs=wc_inputs())
+
+
+@pytest.fixture
+def machine8() -> MachineDescription:
+    return MachineDescription(issue_width=8, branch_issue_limit=1)
+
+
+@pytest.fixture
+def machine1() -> MachineDescription:
+    return MachineDescription(issue_width=1, branch_issue_limit=1)

@@ -1,0 +1,90 @@
+"""Property-based checks of arithmetic semantics (32-bit wrap, C
+division) against Python reference models."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.emu import run_program
+from repro.ir import (Function, IRBuilder, Imm, Instruction, Opcode,
+                      Program, VReg)
+
+I32 = st.integers(-2**31, 2**31 - 1)
+
+
+def _binop_result(op: Opcode, a: int, b: int):
+    prog = Program()
+    fn = Function("main")
+    prog.add_function(fn)
+    builder = IRBuilder(fn, fn.new_block("entry"))
+    dest = fn.new_vreg()
+    builder.emit(Instruction(op, dest=dest, srcs=(Imm(a), Imm(b))))
+    builder.ret(dest)
+    return run_program(prog).return_value
+
+
+def _w32(x: int) -> int:
+    return ((x + 2**31) % 2**32) - 2**31
+
+
+@given(I32, I32)
+def test_add_wraps(a, b):
+    assert _binop_result(Opcode.ADD, a, b) == _w32(a + b)
+
+
+@given(I32, I32)
+def test_sub_wraps(a, b):
+    assert _binop_result(Opcode.SUB, a, b) == _w32(a - b)
+
+
+@given(I32, I32)
+def test_mul_wraps(a, b):
+    assert _binop_result(Opcode.MUL, a, b) == _w32(a * b)
+
+
+@given(I32, I32.filter(lambda v: v != 0))
+def test_div_truncates_toward_zero(a, b):
+    expected = _w32(int(a / b))
+    assert _binop_result(Opcode.DIV, a, b) == expected
+
+
+@given(I32, I32.filter(lambda v: v != 0))
+def test_rem_matches_c(a, b):
+    expected = _w32(a - int(a / b) * b)
+    assert _binop_result(Opcode.REM, a, b) == expected
+
+
+@given(I32, st.integers(0, 31))
+def test_shifts(a, s):
+    assert _binop_result(Opcode.SHL, a, s) == _w32(a << s)
+    assert _binop_result(Opcode.SHR, a, s) == a >> s  # arithmetic
+
+
+@given(I32, I32)
+def test_bitwise(a, b):
+    assert _binop_result(Opcode.AND, a, b) == (a & b)
+    assert _binop_result(Opcode.OR, a, b) == (a | b)
+    assert _binop_result(Opcode.XOR, a, b) == (a ^ b)
+
+
+@given(st.integers(0, 1), st.integers(0, 1))
+def test_logical_and_not_or_not(a, b):
+    assert _binop_result(Opcode.AND_NOT, a, b) == int(bool(a) and not b)
+    assert _binop_result(Opcode.OR_NOT, a, b) == int(bool(a) or not b)
+
+
+@given(I32, I32)
+def test_comparisons(a, b):
+    assert _binop_result(Opcode.CMP_LT, a, b) == int(a < b)
+    assert _binop_result(Opcode.CMP_GE, a, b) == int(a >= b)
+    assert _binop_result(Opcode.CMP_EQ, a, b) == int(a == b)
+
+
+FLOATS = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+
+
+@given(FLOATS, FLOATS)
+def test_float_add_mul(a, b):
+    import pytest
+    assert _binop_result(Opcode.FADD, a, b) == pytest.approx(a + b)
+    assert _binop_result(Opcode.FMUL, a, b) == pytest.approx(a * b)

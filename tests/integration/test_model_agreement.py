@@ -1,0 +1,55 @@
+"""Cross-model differential testing: the strongest end-to-end check.
+
+Every workload, compiled under all three processor models, must compute
+the same program result — the three compilation pipelines are free to
+transform arbitrarily but never to change semantics.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSuite
+from repro.machine.descriptor import fig8_machine, fig10_machine
+from repro.toolchain import Model
+from repro.workloads import all_workloads, get_workload
+
+_SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale=_SCALE)
+
+
+@pytest.mark.parametrize("name",
+                         [w.name for w in all_workloads()])
+def test_models_agree_8issue(suite, name):
+    suite.check_model_agreement(name, fig8_machine())
+
+
+@pytest.mark.parametrize("name", ["wc", "grep", "qsort", "cccp"])
+def test_models_agree_4issue(suite, name):
+    suite.check_model_agreement(name, fig10_machine())
+
+
+@pytest.mark.parametrize("name",
+                         [w.name for w in all_workloads()])
+def test_every_model_verifies_at_its_isa_level(suite, name):
+    from repro.ir import verify_program
+    for model in Model:
+        compiled = suite._compile(name, model, fig8_machine())
+        verify_program(compiled.program, model.isa_level)
+
+
+def test_predicated_models_reduce_branches_overall(suite):
+    total = {model: 0 for model in Model}
+    for w in suite.workloads:
+        for model in Model:
+            run = suite.run(w.name, model, fig8_machine())
+            total[model] += run.stats.branches
+    assert total[Model.FULLPRED] < total[Model.SUPERBLOCK]
+
+
+def test_workload_inputs_are_deterministic():
+    w = get_workload("wc")
+    assert w.inputs(0.5) == w.inputs(0.5)
+    assert w.inputs(0.5) != w.inputs(1.0)

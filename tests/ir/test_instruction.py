@@ -1,0 +1,101 @@
+"""Instruction structure: defs/uses, guards, copies, display."""
+
+from repro.ir.instruction import Instruction, PredDest, PType
+from repro.ir.opcodes import OpCategory, Opcode
+from repro.ir.operands import Imm, PReg, VReg
+
+
+def _add(dest=0, a=1, b=2, pred=None):
+    return Instruction(Opcode.ADD, dest=VReg(dest),
+                       srcs=(VReg(a), VReg(b)),
+                       pred=PReg(pred) if pred is not None else None)
+
+
+def test_defined_and_used_regs():
+    inst = _add()
+    assert inst.defined_regs() == (VReg(0),)
+    assert set(inst.used_regs()) == {VReg(1), VReg(2)}
+
+
+def test_guard_is_a_use():
+    inst = _add(pred=3)
+    assert PReg(3) in inst.used_regs()
+    assert inst.is_conditional_write
+
+
+def test_pred_define_defs_and_rmw_uses():
+    inst = Instruction(Opcode.PRED_EQ, srcs=(VReg(1), Imm(0)),
+                       pdests=(PredDest(PReg(1), PType.OR),
+                               PredDest(PReg(2), PType.U_BAR)))
+    assert set(inst.defined_regs()) == {PReg(1), PReg(2)}
+    # OR-type destinations read-modify-write; U-types do not.
+    assert PReg(1) in inst.used_regs()
+    assert PReg(2) not in inst.used_regs()
+
+
+def test_cmov_implicitly_reads_dest():
+    inst = Instruction(Opcode.CMOV, dest=VReg(0),
+                       srcs=(VReg(1), VReg(2)))
+    assert VReg(0) in inst.used_regs()
+    assert inst.is_conditional_write
+
+
+def test_select_always_writes():
+    inst = Instruction(Opcode.SELECT, dest=VReg(0),
+                       srcs=(VReg(1), VReg(2), VReg(3)))
+    assert VReg(0) not in inst.used_regs()
+    assert not inst.is_conditional_write
+
+
+def test_copy_keeps_uid_fresh_copy_does_not():
+    inst = _add()
+    same = inst.copy(dest=VReg(9))
+    assert same.uid == inst.uid
+    assert same.dest == VReg(9)
+    fresh = inst.fresh_copy()
+    assert fresh.uid != inst.uid
+
+
+def test_copy_overrides_pred():
+    inst = _add()
+    guarded = inst.copy(pred=PReg(5))
+    assert guarded.pred == PReg(5)
+    assert inst.pred is None
+
+
+def test_terminator_classification():
+    assert Instruction(Opcode.JUMP, target="L").is_terminator
+    assert Instruction(Opcode.RET).is_terminator
+    assert not Instruction(Opcode.JUMP, target="L",
+                           pred=PReg(1)).is_terminator
+    assert not Instruction(Opcode.BEQ, srcs=(VReg(0), Imm(0)),
+                           target="L").is_terminator
+
+
+def test_branch_condition_names():
+    br = Instruction(Opcode.BLT, srcs=(VReg(0), VReg(1)), target="L")
+    assert br.condition == "lt"
+    assert br.is_branch
+    assert br.cat is OpCategory.BRANCH
+
+
+def test_purity():
+    assert _add().is_pure
+    assert not Instruction(Opcode.STORE,
+                           srcs=(VReg(0), Imm(0), VReg(1))).is_pure
+    assert not Instruction(Opcode.JUMP, target="L").is_pure
+    assert not Instruction(Opcode.PRED_CLEAR).is_pure
+
+
+def test_repr_includes_guard_and_spec():
+    inst = _add(pred=2)
+    assert "(p2)" in repr(inst)
+    spec = Instruction(Opcode.LOAD, dest=VReg(0),
+                       srcs=(VReg(1), Imm(0)), speculative=True)
+    assert "load.s" in repr(spec)
+
+
+def test_replace_srcs():
+    inst = _add()
+    inst.replace_srcs({VReg(1): VReg(7)})
+    assert inst.srcs == (VReg(7), VReg(2))

@@ -1,0 +1,84 @@
+"""Opcode metadata: categories, inverses, side effects."""
+
+import pytest
+
+from repro.ir.opcodes import (COMMUTATIVE, CONDITION, MAY_EXCEPT,
+                              OpCategory, Opcode, category,
+                              has_side_effects, inverse, is_control,
+                              opcode_for_condition, swapped, writes_float)
+
+
+def test_every_opcode_has_a_category():
+    for op in Opcode:
+        assert isinstance(category(op), OpCategory)
+
+
+def test_condition_families_are_complete():
+    for cat in (OpCategory.CMP, OpCategory.FCMP, OpCategory.BRANCH,
+                OpCategory.PREDDEF):
+        for cond in ("eq", "ne", "lt", "le", "gt", "ge"):
+            op = opcode_for_condition(cat, cond)
+            assert category(op) is cat
+            assert CONDITION[op] == cond
+
+
+@pytest.mark.parametrize("op,expected", [
+    (Opcode.CMP_EQ, Opcode.CMP_NE),
+    (Opcode.CMP_LT, Opcode.CMP_GE),
+    (Opcode.CMP_GT, Opcode.CMP_LE),
+    (Opcode.BEQ, Opcode.BNE),
+    (Opcode.BLT, Opcode.BGE),
+    (Opcode.FCMP_LE, Opcode.FCMP_GT),
+])
+def test_inverse(op, expected):
+    assert inverse(op) is expected
+    assert inverse(expected) is op
+
+
+def test_inverse_is_involution():
+    for op in CONDITION:
+        assert inverse(inverse(op)) is op
+
+
+def test_swapped():
+    assert swapped(Opcode.CMP_LT) is Opcode.CMP_GT
+    assert swapped(Opcode.CMP_EQ) is Opcode.CMP_EQ
+    for op in CONDITION:
+        assert swapped(swapped(op)) is op
+
+
+def test_commutative_subset():
+    assert Opcode.ADD in COMMUTATIVE
+    assert Opcode.SUB not in COMMUTATIVE
+    assert Opcode.SHL not in COMMUTATIVE
+    assert Opcode.CMP_LT not in COMMUTATIVE
+
+
+def test_may_except_covers_memory_and_divide():
+    assert Opcode.LOAD in MAY_EXCEPT
+    assert Opcode.DIV in MAY_EXCEPT
+    assert Opcode.FDIV in MAY_EXCEPT
+    assert Opcode.ADD not in MAY_EXCEPT
+    assert Opcode.STORE not in MAY_EXCEPT  # guarded via $safe_addr
+
+
+def test_side_effects():
+    assert has_side_effects(Opcode.STORE)
+    assert has_side_effects(Opcode.JSR)
+    assert has_side_effects(Opcode.PRED_CLEAR)
+    assert not has_side_effects(Opcode.ADD)
+    assert not has_side_effects(Opcode.PRED_EQ)
+
+
+def test_is_control():
+    for op in (Opcode.BEQ, Opcode.JUMP, Opcode.JSR, Opcode.RET):
+        assert is_control(op)
+    for op in (Opcode.ADD, Opcode.CMOV, Opcode.PRED_EQ):
+        assert not is_control(op)
+
+
+def test_writes_float():
+    assert writes_float(Opcode.FADD)
+    assert writes_float(Opcode.CVT_IF)
+    assert not writes_float(Opcode.CVT_FI)
+    assert not writes_float(Opcode.FCMP_LT)  # comparison result is int

@@ -1,0 +1,61 @@
+"""Textual IR rendering tests."""
+
+from repro.ir import (Function, GlobalVar, IRBuilder, Imm, Instruction,
+                      Opcode, PReg, PredDest, Program, PType, VReg,
+                      format_block, format_function, format_program)
+
+
+def _sample_function() -> Function:
+    fn = Function("sample")
+    b = IRBuilder(fn, fn.new_block("entry"))
+    t = b.add(VReg(10), Imm(1))
+    b.emit(Instruction(Opcode.MOV, dest=VReg(0), srcs=(t,),
+                       pred=PReg(2)))
+    b.ret(VReg(0))
+    return fn
+
+
+def test_format_block_lists_instructions():
+    fn = _sample_function()
+    text = format_block(fn.entry)
+    assert text.startswith("entry:")
+    assert "add" in text and "(p2)" in text
+
+
+def test_format_block_with_cycle_annotations():
+    fn = _sample_function()
+    cycles = {inst.uid: k for k, inst in
+              enumerate(fn.entry.instructions)}
+    text = format_block(fn.entry, cycles=cycles)
+    assert "; cycle 0" in text and "; cycle 2" in text
+
+
+def test_format_function_includes_params():
+    fn = Function("f", params=[VReg(0), VReg(1)])
+    b = IRBuilder(fn, fn.new_block("entry"))
+    b.ret(VReg(0))
+    text = format_function(fn)
+    assert "function f(r0, r1):" in text
+
+
+def test_format_program_includes_globals():
+    prog = Program()
+    prog.add_global(GlobalVar("tab", 4, 8))
+    prog.add_global(GlobalVar("w", 8, 2, is_float=True))
+    fn = Function("main")
+    prog.add_function(fn)
+    b = IRBuilder(fn, fn.new_block("entry"))
+    b.ret(Imm(0))
+    text = format_program(prog)
+    assert "global tab: i32[8]" in text
+    assert "global w: float[2]" in text
+    assert "function main" in text
+
+
+def test_pred_define_rendering():
+    inst = Instruction(Opcode.PRED_EQ, srcs=(VReg(1), Imm(0)),
+                       pdests=(PredDest(PReg(1), PType.OR),
+                               PredDest(PReg(2), PType.U_BAR)),
+                       pred=PReg(3))
+    text = repr(inst)
+    assert "p1<OR>" in text and "p2<U~>" in text and "(p3)" in text

@@ -1,0 +1,85 @@
+"""MiniC lexer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("int x while whilex")
+    assert [t.kind for t in toks[:-1]] == ["kw", "id", "kw", "id"]
+
+
+def test_numbers():
+    toks = tokenize("0 42 12345")
+    assert [t.value for t in toks[:-1]] == [0, 42, 12345]
+    assert all(t.kind == "num" for t in toks[:-1])
+
+
+def test_float_literals():
+    toks = tokenize("1.5 0.25 3.0")
+    assert [t.kind for t in toks[:-1]] == ["fnum", "fnum", "fnum"]
+    assert toks[0].value == 1.5
+
+
+def test_integer_followed_by_dot_method():
+    # "1." without digits is an int then an error char, not a float.
+    with pytest.raises(LexError):
+        tokenize("1.")
+
+
+def test_char_literals_and_escapes():
+    toks = tokenize(r"'a' '\n' '\t' '\0' '\\'")
+    assert [t.value for t in toks[:-1]] == [97, 10, 9, 0, 92]
+    assert all(t.kind == "num" for t in toks[:-1])
+
+
+def test_unterminated_char():
+    with pytest.raises(LexError):
+        tokenize("'a")
+
+
+def test_maximal_munch_operators():
+    toks = tokenize("a<<=b")  # '<<' then '=' (no <<= operator)
+    assert [t.kind for t in toks[:-1]] == ["id", "<<", "=", "id"]
+    toks = tokenize("a<=b")
+    assert [t.kind for t in toks[:-1]] == ["id", "<=", "id"]
+
+
+def test_logical_operators():
+    assert kinds("a && b || !c")[:-1] == ["id", "&&", "id", "||", "!",
+                                          "id"]
+
+
+def test_comments_are_skipped():
+    toks = tokenize("a // line comment\nb /* block\ncomment */ c")
+    assert [t.value for t in toks[:-1]] == ["a", "b", "c"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_line_numbers_advance():
+    toks = tokenize("a\nb\n\nc")
+    assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_eof_token_present():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == "eof"

@@ -1,0 +1,144 @@
+"""MiniC parser tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import ParseError, parse
+
+
+def first_fn(src):
+    unit = parse(src)
+    return unit.functions[0]
+
+
+def test_global_and_function():
+    unit = parse("int g; int main() { return g; }")
+    assert len(unit.globals) == 1
+    assert unit.globals[0].name == "g"
+    assert unit.functions[0].name == "main"
+
+
+def test_array_global():
+    unit = parse("char buf[128]; int main() { return 0; }")
+    g = unit.globals[0]
+    assert isinstance(g.type, ast.ArrayType)
+    assert g.type.size == 128
+    assert g.type.elem == ast.CHAR
+
+
+def test_global_initializer():
+    unit = parse("int n = 5; int main() { return n; }")
+    assert isinstance(unit.globals[0].init, ast.IntLit)
+    assert unit.globals[0].init.value == 5
+
+
+def test_precedence_mul_over_add():
+    fn = first_fn("int main() { return 1 + 2 * 3; }")
+    ret = fn.body[0]
+    assert isinstance(ret, ast.Return)
+    assert isinstance(ret.value, ast.Binary)
+    assert ret.value.op == "+"
+    assert isinstance(ret.value.right, ast.Binary)
+    assert ret.value.right.op == "*"
+
+
+def test_precedence_comparison_over_bitand():
+    fn = first_fn("int main() { return 1 & 2 == 3; }")
+    # '==' binds tighter than '&' (C-style).
+    assert fn.body[0].value.op == "&"
+
+
+def test_logical_short_circuit_structure():
+    fn = first_fn("int main() { if (1 && 2 || 3) return 1; return 0; }")
+    cond = fn.body[0].cond
+    assert isinstance(cond, ast.Logical)
+    assert cond.op == "||"
+    assert isinstance(cond.left, ast.Logical)
+    assert cond.left.op == "&&"
+
+
+def test_unary_operators():
+    fn = first_fn("int main() { return -!~1; }")
+    expr = fn.body[0].value
+    assert isinstance(expr, ast.Unary) and expr.op == "-"
+    assert expr.operand.op == "!"
+    assert expr.operand.operand.op == "~"
+
+
+def test_ternary():
+    fn = first_fn("int main() { return 1 ? 2 : 3; }")
+    assert isinstance(fn.body[0].value, ast.Conditional)
+
+
+def test_assignment_vs_expression_statement():
+    fn = first_fn("int main() { int x; x = 1; x + 2; return x; }")
+    assert isinstance(fn.body[1], ast.Assign)
+    assert isinstance(fn.body[2], ast.ExprStmt)
+
+
+def test_array_assignment():
+    fn = first_fn("int a[4]; int main() { a[2] = 9; return a[2]; }")
+    stmt = fn.body[0]
+    assert isinstance(stmt, ast.Assign)
+    assert stmt.index is not None
+
+
+def test_if_else_chain():
+    fn = first_fn("""
+    int main() {
+      int x;
+      if (x) x = 1;
+      else if (x > 2) x = 2;
+      else x = 3;
+      return x;
+    }""")
+    top = fn.body[1]
+    assert isinstance(top, ast.If)
+    assert isinstance(top.otherwise[0], ast.If)
+
+
+def test_while_and_for():
+    fn = first_fn("""
+    int main() {
+      int i; int s;
+      for (i = 0; i < 10; i = i + 1) s = s + i;
+      while (s > 0) { s = s - 3; break; }
+      return s;
+    }""")
+    assert isinstance(fn.body[2], ast.For)
+    assert isinstance(fn.body[3], ast.While)
+    assert isinstance(fn.body[3].body[1], ast.Break)
+
+
+def test_for_with_empty_clauses():
+    fn = first_fn("int main() { int i; for (;;) break; return i; }")
+    loop = fn.body[1]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_call_with_args():
+    fn = first_fn("""
+    int add(int a, int b) { return a + b; }
+    int main() { return add(1, 2 * 3); }
+    """)
+    # first function is 'add'
+    assert fn.name == "add"
+
+
+def test_params_parsed():
+    unit = parse("int f(int a, float b) { return a; } "
+                 "int main() { return f(1, 2.0); }")
+    params = unit.functions[0].params
+    assert [p.name for p in params] == ["a", "b"]
+    assert params[1].type == ast.FLOAT
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("int main() { return 1 + ; }")
+    with pytest.raises(ParseError):
+        parse("int main() { if (1) }")
+    with pytest.raises(ParseError):
+        parse("int main() { return 0 }")
+    with pytest.raises(ParseError):
+        parse("banana main() { }")

@@ -1,0 +1,125 @@
+"""MiniC semantic analysis tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.sema import SemaError, analyze
+
+
+def check(src):
+    return analyze(parse(src))
+
+
+def test_undeclared_variable():
+    with pytest.raises(SemaError, match="undeclared"):
+        check("int main() { return x; }")
+
+
+def test_duplicate_global():
+    with pytest.raises(SemaError, match="duplicate"):
+        check("int g; int g; int main() { return 0; }")
+
+
+def test_duplicate_local():
+    with pytest.raises(SemaError, match="duplicate"):
+        check("int main() { int x; int x; return 0; }")
+
+
+def test_missing_main():
+    with pytest.raises(SemaError, match="main"):
+        check("int f() { return 0; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(SemaError, match="takes"):
+        check("int f(int a) { return a; } int main() { return f(); }")
+
+
+def test_call_undeclared_function():
+    with pytest.raises(SemaError, match="undeclared function"):
+        check("int main() { return g(1); }")
+
+
+def test_indexing_scalar_rejected():
+    with pytest.raises(SemaError, match="non-array"):
+        check("int x; int main() { return x[0]; }")
+
+
+def test_whole_array_assignment_rejected():
+    with pytest.raises(SemaError):
+        check("int a[4]; int main() { a = 3; return 0; }")
+
+
+def test_float_array_index_rejected():
+    with pytest.raises(SemaError, match="index"):
+        check("int a[4]; float f; int main() { return a[f]; }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(SemaError, match="break"):
+        check("int main() { break; return 0; }")
+
+
+def test_continue_inside_loop_ok():
+    check("int main() { int i; while (i) { continue; } return 0; }")
+
+
+def test_modulo_requires_ints():
+    with pytest.raises(SemaError):
+        check("float f; int main() { return f % 2; }")
+
+
+def test_bitops_require_ints():
+    with pytest.raises(SemaError):
+        check("float f; int main() { return f & 1; }")
+
+
+def test_type_annotation_int_float():
+    info = check("""
+    float f;
+    int main() { int x; x = 2; return x + 1; }
+    """)
+    fn = info.functions["main"].decl
+    ret = fn.body[-1]
+    assert ret.value.type == ast.INT
+
+
+def test_mixed_arithmetic_promotes_to_float():
+    info = check("float f; int main() { int x; f = x + 1.5; return 0; }")
+    fn = info.functions["main"].decl
+    assign = fn.body[1]
+    assert assign.value.type == ast.FLOAT
+
+
+def test_comparison_yields_int():
+    info = check("float f; int main() { return f < 2.0; }")
+    ret = info.functions["main"].decl.body[0]
+    assert ret.value.type == ast.INT
+
+
+def test_char_reads_promote_to_int():
+    info = check("char b[4]; int main() { return b[0]; }")
+    ret = info.functions["main"].decl.body[0]
+    assert ret.value.type == ast.INT
+
+
+def test_array_parameters_rejected():
+    # The grammar itself has no array-parameter syntax.
+    with pytest.raises(Exception):
+        check("int f(int a[10]) { return 0; } int main() { return 0; }")
+
+
+def test_array_used_as_scalar_rejected():
+    with pytest.raises(SemaError):
+        check("int a[4]; int main() { return a + 1; }")
+
+
+def test_global_array_initializer_rejected():
+    with pytest.raises(SemaError):
+        check("int a[4] = 3; int main() { return 0; }")
+
+
+def test_shadowing_function_name_rejected():
+    with pytest.raises(SemaError, match="shadows"):
+        check("int f() { return 0; } int main() { int f; return 0; }")

@@ -1,0 +1,71 @@
+"""Machine descriptions and the PA-7100-style latency table."""
+
+from repro.ir.opcodes import Opcode
+from repro.machine.descriptor import (CacheConfig, MachineDescription,
+                                      fig8_machine, fig9_machine,
+                                      fig10_machine, fig11_machine,
+                                      scalar_machine)
+from repro.machine.latencies import latency
+
+
+def test_paper_machine_constructors():
+    assert (fig8_machine().issue_width,
+            fig8_machine().branch_issue_limit) == (8, 1)
+    assert (fig9_machine().issue_width,
+            fig9_machine().branch_issue_limit) == (8, 2)
+    assert (fig10_machine().issue_width,
+            fig10_machine().branch_issue_limit) == (4, 1)
+    assert scalar_machine().issue_width == 1
+    for m in (fig8_machine(), fig9_machine(), fig10_machine(),
+              scalar_machine()):
+        assert m.perfect_caches
+
+
+def test_fig11_has_real_caches_with_paper_geometry():
+    m = fig11_machine()
+    assert not m.perfect_caches
+    assert m.icache.size_bytes == 64 * 1024
+    assert m.icache.line_bytes == 64
+    assert m.dcache.miss_penalty == 12
+
+
+def test_btb_defaults_match_paper():
+    m = fig8_machine()
+    assert m.btb.entries == 1024
+    assert m.btb.mispredict_penalty == 2
+
+
+def test_with_issue_returns_new_description():
+    base = fig8_machine()
+    narrow = base.with_issue(2, 1)
+    assert narrow.issue_width == 2
+    assert base.issue_width == 8  # immutable
+
+
+def test_cache_config_lines():
+    assert CacheConfig(size_bytes=64 * 1024, line_bytes=64).num_lines \
+        == 1024
+
+
+def test_latency_table_shape():
+    # Single-cycle integer core operations.
+    for op in (Opcode.ADD, Opcode.AND, Opcode.CMP_LT, Opcode.CMOV,
+               Opcode.PRED_EQ, Opcode.STORE):
+        assert latency(op) == 1, op
+    # Load-use delay of one.
+    assert latency(Opcode.LOAD) == 2
+    # FP pipeline: add/multiply 2, iterative divide long.
+    assert latency(Opcode.FADD) == 2
+    assert latency(Opcode.FMUL) == 2
+    assert latency(Opcode.FDIV) >= 8
+    assert latency(Opcode.DIV) >= 8
+    # Integer multiply via the FP unit.
+    assert latency(Opcode.MUL) >= 2
+
+
+def test_machine_latency_delegates():
+    assert fig8_machine().latency(Opcode.LOAD) == 2
+
+
+def test_predicate_use_delay_default():
+    assert MachineDescription().predicate_use_delay == 1

@@ -1,0 +1,125 @@
+"""Exhaustive tests of the predicate-define truth table (paper Table 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.instruction import PType
+from repro.machine.predicates import (UNCHANGED, apply_pred_define,
+                                      is_parallel_type, pred_update)
+
+#: (p_in, cmp) -> expected new value per type; None means unchanged.
+#: Transcribed directly from paper Table 1.
+TABLE1 = {
+    (0, 0): {PType.U: 0, PType.U_BAR: 0, PType.OR: None,
+             PType.OR_BAR: None, PType.AND: None, PType.AND_BAR: None},
+    (0, 1): {PType.U: 0, PType.U_BAR: 0, PType.OR: None,
+             PType.OR_BAR: None, PType.AND: None, PType.AND_BAR: None},
+    (1, 0): {PType.U: 0, PType.U_BAR: 1, PType.OR: None,
+             PType.OR_BAR: 1, PType.AND: 0, PType.AND_BAR: None},
+    (1, 1): {PType.U: 1, PType.U_BAR: 0, PType.OR: 1,
+             PType.OR_BAR: None, PType.AND: None, PType.AND_BAR: 0},
+}
+
+
+@pytest.mark.parametrize("p_in", [0, 1])
+@pytest.mark.parametrize("cmp_result", [0, 1])
+@pytest.mark.parametrize("ptype", list(PType))
+def test_truth_table_matches_paper(p_in, cmp_result, ptype):
+    expected = TABLE1[(p_in, cmp_result)][ptype]
+    assert pred_update(ptype, p_in, cmp_result) == expected
+
+
+@pytest.mark.parametrize("ptype", list(PType))
+@pytest.mark.parametrize("old", [0, 1])
+def test_apply_preserves_old_when_unchanged(ptype, old):
+    for p_in in (0, 1):
+        for cmp_result in (0, 1):
+            new = apply_pred_define(ptype, old, p_in, cmp_result)
+            raw = pred_update(ptype, p_in, cmp_result)
+            if raw is UNCHANGED:
+                assert new == old
+            else:
+                assert new == raw
+
+
+def test_u_types_always_write():
+    """U and U~ define the destination for every input combination."""
+    for ptype in (PType.U, PType.U_BAR):
+        for p_in in (0, 1):
+            for cmp_result in (0, 1):
+                assert pred_update(ptype, p_in, cmp_result) is not UNCHANGED
+
+
+def test_or_types_only_set():
+    """OR-types may only write 1 (wired-OR property)."""
+    for ptype in (PType.OR, PType.OR_BAR):
+        for p_in in (0, 1):
+            for cmp_result in (0, 1):
+                value = pred_update(ptype, p_in, cmp_result)
+                assert value in (UNCHANGED, 1)
+
+
+def test_and_types_only_clear():
+    """AND-types may only write 0 (wired-AND property)."""
+    for ptype in (PType.AND, PType.AND_BAR):
+        for p_in in (0, 1):
+            for cmp_result in (0, 1):
+                value = pred_update(ptype, p_in, cmp_result)
+                assert value in (UNCHANGED, 0)
+
+
+def test_complement_pairs():
+    assert PType.U.complement is PType.U_BAR
+    assert PType.OR.complement is PType.OR_BAR
+    assert PType.AND.complement is PType.AND_BAR
+    for ptype in PType:
+        assert ptype.complement.complement is ptype
+
+
+def test_parallel_types():
+    assert not is_parallel_type(PType.U)
+    assert not is_parallel_type(PType.U_BAR)
+    for ptype in (PType.OR, PType.OR_BAR, PType.AND, PType.AND_BAR):
+        assert is_parallel_type(ptype)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                min_size=1, max_size=8),
+       st.permutations(range(8)))
+def test_or_defines_are_order_independent(contribs, perm):
+    """Sequences of OR-type defines commute (paper Section 2.1)."""
+    order = [i for i in perm if i < len(contribs)]
+
+    def run(sequence):
+        value = 0
+        for p_in, cmp_result in sequence:
+            value = apply_pred_define(PType.OR, value, p_in, cmp_result)
+        return value
+
+    natural = run(contribs)
+    permuted = run([contribs[i] for i in order] +
+                   [c for i, c in enumerate(contribs) if i not in order])
+    assert natural == permuted
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                min_size=1, max_size=8))
+def test_or_equals_disjunction(contribs):
+    """After clearing, OR-accumulation equals the boolean disjunction."""
+    value = 0
+    for p_in, cmp_result in contribs:
+        value = apply_pred_define(PType.OR, value, p_in, cmp_result)
+    assert value == (1 if any(p and c for p, c in contribs) else 0)
+
+
+@given(st.integers(0, 1),
+       st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                min_size=1, max_size=8))
+def test_and_equals_conjunction(initial, contribs):
+    """AND-accumulation clears exactly when some pin∧¬cmp holds."""
+    value = initial
+    for p_in, cmp_result in contribs:
+        value = apply_pred_define(PType.AND, value, p_in, cmp_result)
+    cleared = any(p and not c for p, c in contribs)
+    assert value == (0 if cleared else initial)

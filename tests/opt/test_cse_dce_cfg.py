@@ -1,0 +1,203 @@
+"""CSE, DCE and CFG cleanup."""
+
+from repro.ir import (BasicBlock, Function, GlobalAddr, Imm, Instruction,
+                      Opcode, PReg, VReg)
+from repro.opt.cfg_cleanup import (cleanup_cfg, make_jumps_explicit,
+                                   merge_straightline,
+                                   normalize_basic_blocks, relayout,
+                                   remove_unreachable,
+                                   thread_trivial_jumps)
+from repro.opt.cse import eliminate_common_subexpressions
+from repro.opt.dce import eliminate_dead_code
+
+
+def fn_with(insts) -> Function:
+    fn = Function("f")
+    block = fn.new_block("entry")
+    block.instructions = list(insts)
+    block.append(Instruction(Opcode.RET, srcs=(VReg(99),)))
+    return fn
+
+
+def test_cse_merges_duplicate_expressions():
+    fn = fn_with([
+        Instruction(Opcode.ADD, dest=VReg(0), srcs=(VReg(8), VReg(9))),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(8), VReg(9))),
+    ])
+    assert eliminate_common_subexpressions(fn)
+    second = fn.entry.instructions[1]
+    assert second.op is Opcode.MOV
+    assert second.srcs == (VReg(0),)
+
+
+def test_cse_respects_commutativity():
+    fn = fn_with([
+        Instruction(Opcode.ADD, dest=VReg(0), srcs=(VReg(8), VReg(9))),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(9), VReg(8))),
+    ])
+    assert eliminate_common_subexpressions(fn)
+    assert fn.entry.instructions[1].op is Opcode.MOV
+
+
+def test_cse_not_for_noncommutative_swap():
+    fn = fn_with([
+        Instruction(Opcode.SUB, dest=VReg(0), srcs=(VReg(8), VReg(9))),
+        Instruction(Opcode.SUB, dest=VReg(1), srcs=(VReg(9), VReg(8))),
+    ])
+    eliminate_common_subexpressions(fn)
+    assert fn.entry.instructions[1].op is Opcode.SUB
+
+
+def test_cse_invalidated_by_operand_redefinition():
+    fn = fn_with([
+        Instruction(Opcode.ADD, dest=VReg(0), srcs=(VReg(8), VReg(9))),
+        Instruction(Opcode.MOV, dest=VReg(8), srcs=(Imm(0),)),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(8), VReg(9))),
+    ])
+    eliminate_common_subexpressions(fn)
+    assert fn.entry.instructions[2].op is Opcode.ADD
+
+
+def test_cse_loads_blocked_by_store():
+    addr = GlobalAddr("g")
+    fn = fn_with([
+        Instruction(Opcode.LOAD, dest=VReg(0), srcs=(addr, Imm(0))),
+        Instruction(Opcode.STORE, srcs=(addr, Imm(0), VReg(5))),
+        Instruction(Opcode.LOAD, dest=VReg(1), srcs=(addr, Imm(0))),
+    ])
+    eliminate_common_subexpressions(fn)
+    assert fn.entry.instructions[2].op is Opcode.LOAD
+
+
+def test_cse_loads_merge_without_store():
+    addr = GlobalAddr("g")
+    fn = fn_with([
+        Instruction(Opcode.LOAD, dest=VReg(0), srcs=(addr, Imm(0))),
+        Instruction(Opcode.LOAD, dest=VReg(1), srcs=(addr, Imm(0))),
+    ])
+    assert eliminate_common_subexpressions(fn)
+    assert fn.entry.instructions[1].op is Opcode.MOV
+
+
+def test_cse_skips_self_update():
+    fn = fn_with([
+        Instruction(Opcode.ADD, dest=VReg(8), srcs=(VReg(8), Imm(1))),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(8), Imm(1))),
+    ])
+    eliminate_common_subexpressions(fn)
+    assert fn.entry.instructions[1].op is Opcode.ADD
+
+
+def test_dce_removes_dead_pure_code():
+    fn = fn_with([
+        Instruction(Opcode.ADD, dest=VReg(0), srcs=(Imm(1), Imm(2))),
+        Instruction(Opcode.MOV, dest=VReg(99), srcs=(Imm(7),)),
+    ])
+    assert eliminate_dead_code(fn)
+    ops = [i.op for i in fn.entry.instructions]
+    assert Opcode.ADD not in ops
+
+
+def test_dce_keeps_stores_and_dead_chain():
+    fn = fn_with([
+        Instruction(Opcode.ADD, dest=VReg(0), srcs=(Imm(1), Imm(2))),
+        Instruction(Opcode.MUL, dest=VReg(1), srcs=(VReg(0), Imm(3))),
+        Instruction(Opcode.MOV, dest=VReg(99), srcs=(Imm(7),)),
+        Instruction(Opcode.STORE, srcs=(GlobalAddr("g"), Imm(0),
+                                        VReg(99))),
+    ])
+    eliminate_dead_code(fn)
+    ops = [i.op for i in fn.entry.instructions]
+    # Whole dead chain gone, store retained.
+    assert ops == [Opcode.MOV, Opcode.STORE, Opcode.RET]
+
+
+def test_dce_keeps_exit_path_values():
+    """A value needed only on a mid-block exit path must survive even if
+    redefined later in the block (the cccp regression)."""
+    fn = Function("f")
+    entry = fn.new_block("entry")
+    entry.append(Instruction(Opcode.MOV, dest=VReg(0), srcs=(Imm(1),)))
+    entry.append(Instruction(Opcode.BEQ, srcs=(VReg(5), Imm(0)),
+                             target="cold"))
+    entry.append(Instruction(Opcode.MOV, dest=VReg(0), srcs=(Imm(2),)))
+    entry.append(Instruction(Opcode.RET, srcs=(VReg(0),)))
+    cold = fn.new_block("cold")
+    cold.append(Instruction(Opcode.RET, srcs=(VReg(0),)))
+    eliminate_dead_code(fn)
+    assert fn.block("entry").instructions[0].op is Opcode.MOV
+    assert len(fn.block("entry").instructions) == 4
+
+
+def test_remove_unreachable():
+    fn = Function("f")
+    fn.new_block("entry").append(Instruction(Opcode.RET))
+    fn.new_block("island").append(Instruction(Opcode.RET))
+    assert remove_unreachable(fn)
+    assert [b.name for b in fn.blocks] == ["entry"]
+
+
+def test_thread_trivial_jumps():
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.BEQ, srcs=(VReg(0), Imm(0)),
+                         target="hop"))
+    a.append(Instruction(Opcode.RET))
+    hop = fn.new_block("hop")
+    hop.append(Instruction(Opcode.JUMP, target="end"))
+    fn.new_block("end").append(Instruction(Opcode.RET))
+    assert thread_trivial_jumps(fn)
+    assert fn.block("a").instructions[0].target == "end"
+
+
+def test_merge_straightline():
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.MOV, dest=VReg(0), srcs=(Imm(1),)))
+    a.append(Instruction(Opcode.JUMP, target="b"))
+    b = fn.new_block("b")
+    b.append(Instruction(Opcode.RET, srcs=(VReg(0),)))
+    assert merge_straightline(fn)
+    assert len(fn.blocks) == 1
+    assert fn.entry.instructions[-1].op is Opcode.RET
+
+
+def test_normalize_splits_interior_branches():
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.BEQ, srcs=(VReg(0), Imm(0)), target="a"))
+    a.append(Instruction(Opcode.MOV, dest=VReg(1), srcs=(Imm(2),)))
+    a.append(Instruction(Opcode.RET, srcs=(VReg(1),)))
+    normalize_basic_blocks(fn)
+    assert len(fn.blocks) == 2
+    first = fn.blocks[0]
+    assert first.instructions[-1].op is Opcode.JUMP
+    assert first.instructions[-2].op is Opcode.BEQ
+
+
+def test_relayout_drops_jump_to_next():
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.JUMP, target="b"))
+    b = fn.new_block("b")
+    b.append(Instruction(Opcode.RET))
+    relayout(fn)
+    assert all(i.op is not Opcode.JUMP
+               for blk in fn.blocks for i in blk.instructions)
+
+
+def test_cleanup_cfg_end_to_end():
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.BEQ, srcs=(VReg(0), Imm(0)),
+                         target="thread"))
+    a.append(Instruction(Opcode.JUMP, target="tail"))
+    thread = fn.new_block("thread")
+    thread.append(Instruction(Opcode.JUMP, target="tail"))
+    tail = fn.new_block("tail")
+    tail.append(Instruction(Opcode.RET))
+    fn.new_block("dead").append(Instruction(Opcode.RET))
+    cleanup_cfg(fn)
+    names = [b.name for b in fn.blocks]
+    assert "dead" not in names
+    assert "thread" not in names

@@ -1,0 +1,136 @@
+"""Constant folding and copy propagation."""
+
+from repro.ir import (BasicBlock, Function, Imm, Instruction, Opcode,
+                      PReg, VReg)
+from repro.opt.copyprop import propagate_copies
+from repro.opt.fold import fold_constants
+
+
+def fn_with(insts) -> Function:
+    fn = Function("f")
+    block = fn.new_block("entry")
+    block.instructions = list(insts)
+    block.append(Instruction(Opcode.RET, srcs=()))
+    return fn
+
+
+def test_fold_add():
+    fn = fn_with([Instruction(Opcode.ADD, dest=VReg(0),
+                              srcs=(Imm(2), Imm(3)))])
+    assert fold_constants(fn)
+    inst = fn.entry.instructions[0]
+    assert inst.op is Opcode.MOV
+    assert inst.srcs == (Imm(5),)
+
+
+def test_fold_wraps_32_bits():
+    fn = fn_with([Instruction(Opcode.ADD, dest=VReg(0),
+                              srcs=(Imm(0x7FFFFFFF), Imm(1)))])
+    fold_constants(fn)
+    assert fn.entry.instructions[0].srcs == (Imm(-0x80000000),)
+
+
+def test_fold_c_division():
+    fn = fn_with([Instruction(Opcode.DIV, dest=VReg(0),
+                              srcs=(Imm(-7), Imm(2)))])
+    fold_constants(fn)
+    assert fn.entry.instructions[0].srcs == (Imm(-3),)
+
+
+def test_fold_preserves_divide_by_zero():
+    fn = fn_with([Instruction(Opcode.DIV, dest=VReg(0),
+                              srcs=(Imm(1), Imm(0)))])
+    fold_constants(fn)
+    assert fn.entry.instructions[0].op is Opcode.DIV
+
+
+def test_fold_comparison():
+    fn = fn_with([Instruction(Opcode.CMP_LT, dest=VReg(0),
+                              srcs=(Imm(1), Imm(2)))])
+    fold_constants(fn)
+    assert fn.entry.instructions[0].srcs == (Imm(1),)
+
+
+def test_algebraic_identities():
+    cases = [
+        (Opcode.ADD, (VReg(1), Imm(0)), (VReg(1),)),
+        (Opcode.MUL, (VReg(1), Imm(1)), (VReg(1),)),
+        (Opcode.MUL, (VReg(1), Imm(0)), (Imm(0),)),
+        (Opcode.OR, (Imm(0), VReg(1)), (VReg(1),)),
+        (Opcode.SHL, (VReg(1), Imm(0)), (VReg(1),)),
+    ]
+    for op, srcs, expected in cases:
+        fn = fn_with([Instruction(op, dest=VReg(0), srcs=srcs)])
+        assert fold_constants(fn), op
+        folded = fn.entry.instructions[0]
+        assert folded.op is Opcode.MOV
+        assert folded.srcs == expected
+
+
+def test_fold_constant_branch_taken():
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.BEQ, srcs=(Imm(1), Imm(1)), target="b"))
+    a.append(Instruction(Opcode.RET))
+    b = fn.new_block("b")
+    b.append(Instruction(Opcode.RET))
+    fold_constants(fn)
+    assert fn.block("a").instructions[0].op is Opcode.JUMP
+
+
+def test_fold_constant_branch_not_taken():
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.BEQ, srcs=(Imm(1), Imm(2)), target="b"))
+    a.append(Instruction(Opcode.RET))
+    fn.new_block("b").append(Instruction(Opcode.RET))
+    fold_constants(fn)
+    assert fn.block("a").instructions[0].op is Opcode.RET
+
+
+def test_fold_float():
+    fn = fn_with([Instruction(Opcode.FADD, dest=VReg(0),
+                              srcs=(Imm(1.5), Imm(2.25)))])
+    fold_constants(fn)
+    folded = fn.entry.instructions[0]
+    assert folded.op is Opcode.FMOV
+    assert folded.srcs == (Imm(3.75),)
+
+
+def test_copyprop_through_mov():
+    fn = fn_with([
+        Instruction(Opcode.MOV, dest=VReg(0), srcs=(VReg(9),)),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(0), Imm(1))),
+    ])
+    assert propagate_copies(fn)
+    assert fn.entry.instructions[1].srcs == (VReg(9), Imm(1))
+
+
+def test_copyprop_constant():
+    fn = fn_with([
+        Instruction(Opcode.MOV, dest=VReg(0), srcs=(Imm(7),)),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(0), VReg(0))),
+    ])
+    propagate_copies(fn)
+    assert fn.entry.instructions[1].srcs == (Imm(7), Imm(7))
+
+
+def test_copyprop_killed_by_redefinition():
+    fn = fn_with([
+        Instruction(Opcode.MOV, dest=VReg(0), srcs=(VReg(9),)),
+        Instruction(Opcode.MOV, dest=VReg(9), srcs=(Imm(0),)),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(0), Imm(1))),
+    ])
+    propagate_copies(fn)
+    # r0's copy source r9 was clobbered: the use must NOT be rewritten.
+    assert fn.entry.instructions[2].srcs == (VReg(0), Imm(1))
+
+
+def test_copyprop_ignores_guarded_movs():
+    fn = fn_with([
+        Instruction(Opcode.MOV, dest=VReg(0), srcs=(VReg(9),),
+                    pred=PReg(1)),
+        Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(0), Imm(1))),
+    ])
+    propagate_copies(fn)
+    assert fn.entry.instructions[1].srcs == (VReg(0), Imm(1))

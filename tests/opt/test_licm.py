@@ -1,0 +1,100 @@
+"""Loop-invariant code motion tests."""
+
+from repro.analysis.loops import find_loops
+from repro.emu import run_program
+from repro.ir import Opcode
+from repro.lang import compile_minic
+from repro.opt import optimize_program
+from repro.opt.licm import hoist_loop_invariants
+
+SRC = """
+int limit;
+int total;
+int main() {
+  int i;
+  for (i = 0; i < limit; i = i + 1) {
+    total = total + i;
+  }
+  return total;
+}
+"""
+
+
+def test_limit_load_hoisted_to_preheader():
+    prog = compile_minic(SRC)
+    optimize_program(prog)
+    fn = prog.functions["main"]
+    inputs = {"limit": [50]}
+    golden = run_program(prog, inputs=inputs).return_value
+    hoisted = hoist_loop_invariants(fn)
+    assert hoisted >= 1
+    # A preheader block exists and holds the hoisted load.
+    pre = [b for b in fn.blocks if ".pre" in b.name]
+    assert pre
+    assert any(i.op is Opcode.LOAD for i in pre[0].instructions)
+    # The loop header no longer reloads the loop bound.
+    loops = find_loops(fn)
+    header = fn.block(loops[0].header)
+    assert run_program(prog, inputs=inputs).return_value == golden
+    del header
+
+
+def test_hoisting_reduces_dynamic_count():
+    prog = compile_minic(SRC)
+    optimize_program(prog)
+    inputs = {"limit": [80]}
+    before = run_program(prog, inputs=inputs).dynamic_count
+    hoist_loop_invariants(prog.functions["main"])
+    after = run_program(prog, inputs=inputs).dynamic_count
+    assert after < before
+
+
+def test_stored_global_not_hoisted():
+    src = """
+    int bound;
+    int main() {
+      int i; int acc;
+      acc = 0;
+      for (i = 0; i < bound; i = i + 1) {
+        acc = acc + bound;
+        if (i == 3) bound = 10;
+      }
+      return acc;
+    }
+    """
+    prog = compile_minic(src)
+    optimize_program(prog)
+    inputs = {"bound": [30]}
+    golden = run_program(prog, inputs=inputs).return_value
+    hoist_loop_invariants(prog.functions["main"])
+    assert run_program(prog, inputs=inputs).return_value == golden
+    assert golden == run_program(prog, inputs=inputs).return_value
+
+
+def test_call_in_loop_blocks_load_hoisting():
+    src = """
+    int g;
+    int bump() { g = g + 1; return g; }
+    int main() {
+      int i; int acc;
+      acc = 0;
+      for (i = 0; i < 5; i = i + 1) {
+        acc = acc + g;
+        bump();
+      }
+      return acc;
+    }
+    """
+    prog = compile_minic(src)
+    optimize_program(prog)
+    golden = run_program(prog).return_value
+    hoist_loop_invariants(prog.functions["main"])
+    assert run_program(prog).return_value == golden
+    assert golden == 0 + 1 + 2 + 3 + 4
+
+
+def test_zero_trip_loop_stays_correct():
+    prog = compile_minic(SRC)
+    optimize_program(prog)
+    hoist_loop_invariants(prog.functions["main"])
+    assert run_program(prog, inputs={"limit": [0]}).return_value == 0

@@ -1,0 +1,204 @@
+"""Basic conversions (paper Figure 3): full-pred IR -> cmov sequences."""
+
+import pytest
+
+from repro.emu import run_program
+from repro.emu.memory import SAFE_ADDR
+from repro.ir import (Function, GlobalVar, IRBuilder, ISALevel, Imm,
+                      Instruction, Opcode, PReg, PredDest, Program, PType,
+                      VReg, verify_program)
+from repro.ir.opcodes import OpCategory
+from repro.partial.conversion import (ConversionParams, convert_to_partial)
+
+
+def _program_with(builder_fn) -> Program:
+    prog = Program()
+    prog.add_global(GlobalVar("g", 4, 4))
+    fn = Function("main")
+    prog.add_function(fn)
+    b = IRBuilder(fn, fn.new_block("entry"))
+    builder_fn(b, fn)
+    return prog
+
+
+def _convert_and_run(prog, inputs=None, params=None):
+    convert_to_partial(prog.functions["main"], params)
+    verify_program(prog, ISALevel.PARTIAL)
+    return run_program(prog, inputs=inputs)
+
+
+@pytest.mark.parametrize("flag_value,expected", [(1, 42), (0, 7)])
+def test_guarded_arith_becomes_speculate_plus_cmov(flag_value, expected):
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_define("eq", Imm(flag_value), Imm(1),
+                      (PredDest(p, PType.U),))
+        dest = b.mov(Imm(7))
+        b.emit(Instruction(Opcode.ADD, dest=dest, srcs=(Imm(40), Imm(2)),
+                           pred=p))
+        b.ret(dest)
+
+    prog = _program_with(body)
+    golden = run_program(prog).return_value
+    assert golden == expected
+    result = _convert_and_run(prog)
+    assert result.return_value == expected
+    # The converted code contains a conditional move and no predicates.
+    ops = [i.op for i in prog.functions["main"].all_instructions()]
+    assert Opcode.CMOV in ops
+
+
+@pytest.mark.parametrize("flag_value", [0, 1])
+def test_guarded_store_uses_safe_addr(flag_value):
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_define("eq", Imm(flag_value), Imm(1),
+                      (PredDest(p, PType.U),))
+        b.emit(Instruction(Opcode.STORE,
+                           srcs=(b.global_addr("g"), Imm(0), Imm(99)),
+                           pred=p))
+        out = b.load(b.global_addr("g"), Imm(0))
+        b.ret(out)
+
+    prog = _program_with(body)
+    result = _convert_and_run(prog)
+    assert result.return_value == (99 if flag_value else 0)
+    ops = [i.op for i in prog.functions["main"].all_instructions()]
+    # cmov_com redirects the address to $safe_addr when suppressed.
+    assert Opcode.CMOV_COM in ops
+    assert Opcode.STORE in ops
+
+
+def test_guarded_load_is_silent():
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_define("eq", Imm(0), Imm(1), (PredDest(p, PType.U),))
+        dest = b.mov(Imm(5))
+        load = Instruction(Opcode.LOAD, dest=dest,
+                           srcs=(b.global_addr("g"), Imm(0)), pred=p)
+        b.emit(load)
+        b.ret(dest)
+
+    prog = _program_with(body)
+    _convert_and_run(prog)
+    loads = [i for i in prog.functions["main"].all_instructions()
+             if i.cat is OpCategory.LOAD]
+    assert all(i.speculative for i in loads)
+
+
+@pytest.mark.parametrize("a,bv", [(0, 0), (0, 1), (1, 0), (1, 1)])
+def test_or_type_define_conversion(a, bv):
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_clear()
+        b.pred_define("eq", Imm(a), Imm(1), (PredDest(p, PType.OR),))
+        b.pred_define("eq", Imm(bv), Imm(1), (PredDest(p, PType.OR),))
+        dest = b.mov(Imm(0))
+        b.emit(Instruction(Opcode.MOV, dest=dest, srcs=(Imm(1),), pred=p))
+        b.ret(dest)
+
+    prog = _program_with(body)
+    result = _convert_and_run(prog)
+    assert result.return_value == (1 if (a or bv) else 0)
+
+
+@pytest.mark.parametrize("pin,cmp_true", [(0, 0), (0, 1), (1, 0), (1, 1)])
+@pytest.mark.parametrize("ptype", list(PType))
+def test_every_ptype_with_guard_matches_table1(pin, cmp_true, ptype):
+    """The lowered logic must agree with Table 1 for every type."""
+    from repro.machine.predicates import apply_pred_define
+
+    def body(b, fn):
+        p_in = fn.new_preg()
+        p_out = fn.new_preg()
+        b.pred_define("eq", Imm(pin), Imm(1), (PredDest(p_in, PType.U),))
+        # Seed p_out with 0 via clear (both models start cleared).
+        b.pred_clear_dummy = None
+        b.pred_define("eq", Imm(cmp_true), Imm(1),
+                      (PredDest(p_out, ptype),), guard=p_in)
+        dest = b.mov(Imm(0))
+        b.emit(Instruction(Opcode.MOV, dest=dest, srcs=(Imm(1),),
+                           pred=p_out))
+        b.ret(dest)
+
+    prog = _program_with(body)
+    golden = run_program(prog).return_value
+    expected = apply_pred_define(ptype, 0, pin, cmp_true)
+    assert golden == expected
+    result = _convert_and_run(prog)
+    assert result.return_value == golden
+
+
+@pytest.mark.parametrize("value", [3, 20])
+def test_guarded_branch_trick(value):
+    """blt src1,src2,L (p)  ->  ge t,src1,src2; blt t,p,L  (Figure 3)."""
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_define("eq", Imm(1), Imm(1), (PredDest(p, PType.U),))
+        br = Instruction(Opcode.BLT, srcs=(Imm(value), Imm(10)),
+                         target="low", pred=p)
+        b.emit(br)
+        b.ret(Imm(100))
+        b.set_block(fn.new_block("low"))
+        b.ret(Imm(200))
+
+    prog = _program_with(body)
+    golden = run_program(prog).return_value
+    assert golden == (200 if value < 10 else 100)
+    result = _convert_and_run(prog)
+    assert result.return_value == golden
+
+
+def test_guarded_ret_outlined():
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_define("eq", Imm(1), Imm(1), (PredDest(p, PType.U),))
+        b.emit(Instruction(Opcode.RET, srcs=(Imm(55),), pred=p))
+        b.ret(Imm(77))
+
+    prog = _program_with(body)
+    result = _convert_and_run(prog)
+    assert result.return_value == 55
+
+
+def test_excepting_divide_uses_safe_val():
+    """Figure 4: without silent instructions the divisor is guarded."""
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_define("eq", Imm(0), Imm(1), (PredDest(p, PType.U),))
+        zero = b.mov(Imm(0))
+        dest = b.mov(Imm(9))
+        b.emit(Instruction(Opcode.DIV, dest=dest, srcs=(Imm(8), zero),
+                           pred=p))
+        b.ret(dest)
+
+    prog = _program_with(body)
+    params = ConversionParams(non_excepting=False)
+    result = _convert_and_run(prog, params=params)
+    # Guard false: dest unchanged, and no fault despite divisor 0.
+    assert result.return_value == 9
+    divs = [i for i in prog.functions["main"].all_instructions()
+            if i.op is Opcode.DIV]
+    assert divs and not any(d.speculative for d in divs)
+
+
+def test_select_mode_uses_select():
+    def body(b, fn):
+        p = fn.new_preg()
+        b.pred_define("eq", Imm(1), Imm(1), (PredDest(p, PType.U),))
+        b.emit(Instruction(Opcode.STORE,
+                           srcs=(b.global_addr("g"), Imm(0), Imm(5)),
+                           pred=p))
+        out = b.load(b.global_addr("g"), Imm(0))
+        b.ret(out)
+
+    prog = _program_with(body)
+    params = ConversionParams(use_select=True)
+    result = _convert_and_run(prog, params=params)
+    assert result.return_value == 5
+    ops = [i.op for i in prog.functions["main"].all_instructions()]
+    assert Opcode.SELECT in ops
+
+
+def test_safe_addr_is_low_reserved_slot():
+    assert SAFE_ADDR == 32

@@ -1,0 +1,110 @@
+"""OR-tree / AND-chain height reduction (paper Section 3.2)."""
+
+from repro.emu import run_program
+from repro.ir import (Function, IRBuilder, Imm, Instruction, Opcode,
+                      Program, VReg)
+from repro.partial.ortree import reduce_or_trees
+
+
+def _chain_program(n_terms: int, op: Opcode, values: list[int],
+                   init_zero: bool = True):
+    """P = init; P = P <op> t_i for random-ish term values."""
+    prog = Program()
+    fn = Function("main")
+    prog.add_function(fn)
+    b = IRBuilder(fn, fn.new_block("entry"))
+    terms = [b.mov(Imm(v)) for v in values]
+    acc = fn.new_vreg()
+    if init_zero:
+        b.emit(Instruction(Opcode.MOV, dest=acc, srcs=(Imm(0),)))
+    else:
+        b.emit(Instruction(Opcode.MOV, dest=acc, srcs=(Imm(1),)))
+    for t in terms:
+        b.emit(Instruction(op, dest=acc, srcs=(acc, t)))
+    b.ret(acc)
+    return prog, fn
+
+
+def _height(block, target) -> int:
+    """Dependence height of the final value of ``target``."""
+    depth: dict = {}
+    for inst in block.instructions:
+        if inst.dest is None:
+            continue
+        d = 0
+        for s in inst.srcs:
+            if isinstance(s, VReg) and s in depth:
+                d = max(d, depth[s])
+        depth[inst.dest] = d + 1
+    return depth.get(target, 0)
+
+
+def test_or_chain_becomes_log_depth():
+    values = [0, 1, 0, 0, 1, 0, 0, 0]
+    prog, fn = _chain_program(8, Opcode.OR, values)
+    golden = run_program(prog).return_value
+    block = fn.entry
+    ret_src = block.instructions[-1].srcs[0]
+    before = _height(block, ret_src)
+    changed = reduce_or_trees(fn, block)
+    assert changed == 1
+    after = _height(block, ret_src)
+    assert after < before
+    assert run_program(prog).return_value == golden
+
+
+def test_and_chain_reduced():
+    values = [1, 1, 1, 1, 1, 0, 1]
+    prog, fn = _chain_program(7, Opcode.AND, values, init_zero=False)
+    golden = run_program(prog).return_value
+    changed = reduce_or_trees(fn, fn.entry)
+    assert changed == 1
+    assert run_program(prog).return_value == golden
+
+
+def test_and_not_chain_uses_de_morgan():
+    values = [0, 0, 1, 0, 0]
+    prog, fn = _chain_program(5, Opcode.AND_NOT, values,
+                              init_zero=False)
+    golden = run_program(prog).return_value
+    changed = reduce_or_trees(fn, fn.entry)
+    assert changed == 1
+    # De Morgan: one and_not of an OR tree.
+    and_nots = [i for i in fn.entry.instructions
+                if i.op is Opcode.AND_NOT]
+    assert len(and_nots) == 1
+    assert run_program(prog).return_value == golden
+
+
+def test_short_chains_left_alone():
+    prog, fn = _chain_program(2, Opcode.OR, [1, 0])
+    assert reduce_or_trees(fn, fn.entry) == 0
+
+
+def test_chain_frozen_by_interleaved_read():
+    """A read of the accumulator between contributions blocks rebuild."""
+    prog = Program()
+    fn = Function("main")
+    prog.add_function(fn)
+    b = IRBuilder(fn, fn.new_block("entry"))
+    t1, t2, t3 = (b.mov(Imm(v)) for v in (1, 0, 1))
+    acc = fn.new_vreg()
+    b.emit(Instruction(Opcode.MOV, dest=acc, srcs=(Imm(0),)))
+    b.emit(Instruction(Opcode.OR, dest=acc, srcs=(acc, t1)))
+    snoop = b.add(acc, Imm(100))   # mid-chain observer
+    b.emit(Instruction(Opcode.OR, dest=acc, srcs=(acc, t2)))
+    b.emit(Instruction(Opcode.OR, dest=acc, srcs=(acc, t3)))
+    total = b.add(acc, snoop)
+    b.ret(total)
+    golden = run_program(prog).return_value
+    assert reduce_or_trees(fn, fn.entry) == 0
+    assert run_program(prog).return_value == golden
+
+
+def test_or_values_preserved_for_all_patterns():
+    for bits in range(16):
+        values = [(bits >> k) & 1 for k in range(4)]
+        prog, fn = _chain_program(4, Opcode.OR, values)
+        golden = run_program(prog).return_value
+        reduce_or_trees(fn, fn.entry)
+        assert run_program(prog).return_value == golden, values

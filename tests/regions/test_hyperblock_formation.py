@@ -1,0 +1,137 @@
+"""Hyperblock formation end-to-end: selection, conversion, semantics."""
+
+import copy
+
+from repro.analysis.profile import Profile
+from repro.emu import run_program
+from repro.ir import ISALevel, verify_program
+from repro.ir.opcodes import OpCategory
+from repro.lang import compile_minic
+from repro.opt import normalize_basic_blocks, optimize_program
+from repro.regions.hyperblock import (HyperblockParams, form_hyperblocks,
+                                      select_blocks)
+
+LOOP_SRC = """
+char buf[512];
+int n;
+int a; int b; int c;
+int main() {
+  int i; int ch;
+  for (i = 0; i < n; i = i + 1) {
+    ch = buf[i];
+    if (ch == 'a') a = a + 1;
+    else if (ch == 'b') b = b + 1;
+    else c = c + 1;
+  }
+  return a * 10000 + b * 100 + c;
+}
+"""
+
+
+def _prepared(src=LOOP_SRC, inputs=None):
+    prog = compile_minic(src)
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        normalize_basic_blocks(fn)
+    profile = Profile.collect(prog, inputs=inputs)
+    return prog, profile
+
+
+def _inputs():
+    data = ([ord("a")] * 3 + [ord("b")] * 2 + [ord("z")] * 5) * 30
+    return {"buf": data, "n": [len(data)]}
+
+
+def test_hot_loop_becomes_one_hyperblock():
+    inputs = _inputs()
+    prog, profile = _prepared(inputs=inputs)
+    fn = prog.functions["main"]
+    before_branches = sum(1 for i in fn.all_instructions()
+                          if i.cat is OpCategory.BRANCH)
+    formed = form_hyperblocks(fn, profile)
+    assert len(formed) == 1
+    after_branches = sum(1 for i in fn.all_instructions()
+                         if i.cat is OpCategory.BRANCH)
+    assert after_branches < before_branches
+
+
+def test_semantics_preserved():
+    inputs = _inputs()
+    prog, profile = _prepared(inputs=inputs)
+    golden = run_program(prog, inputs=inputs).return_value
+    formed = form_hyperblocks(prog.functions["main"], profile)
+    assert formed
+    verify_program(prog, ISALevel.FULL)
+    assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_call_blocks_excluded():
+    src = """
+    int n;
+    int total;
+    int helper(int x) { return x * 2; }
+    int main() {
+      int i;
+      for (i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0) total = total + helper(i);
+        else total = total + 1;
+      }
+      return total;
+    }
+    """
+    inputs = {"n": [200]}
+    prog, profile = _prepared(src, inputs)
+    golden = run_program(prog, inputs=inputs).return_value
+    fn = prog.functions["main"]
+    form_hyperblocks(fn, profile)
+    # Any formed region must not contain a call instruction under a
+    # guard (calls are hazardous; they stay outside).
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if inst.cat is OpCategory.CALL:
+                assert inst.pred is None
+    verify_program(prog, ISALevel.FULL)
+    assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_cold_loops_skipped():
+    inputs = _inputs()
+    prog, profile = _prepared(inputs=inputs)
+    fn = prog.functions["main"]
+    params = HyperblockParams(min_entry_count=10_000_000)
+    formed = form_hyperblocks(fn, profile, params)
+    assert formed == []
+
+
+def test_select_blocks_drops_side_entered():
+    inputs = _inputs()
+    prog, profile = _prepared(inputs=inputs)
+    fn = prog.functions["main"]
+    from repro.analysis.loops import find_loops
+    loops = find_loops(fn)
+    assert loops
+    loop = loops[0]
+    selected = select_blocks(fn, loop.header, set(loop.body), profile,
+                             HyperblockParams())
+    # Selection is closed: every selected block is reachable from the
+    # header inside the selection, with no external predecessors.
+    from repro.analysis.cfg import predecessors_map
+    preds = predecessors_map(fn)
+    for label in selected:
+        if label == loop.header:
+            continue
+        assert all(p in selected for p in preds[label]), label
+
+
+def test_oversaturation_bound_trims_regions():
+    inputs = _inputs()
+    prog, profile = _prepared(inputs=inputs)
+    fn = prog.functions["main"]
+    from repro.analysis.loops import find_loops
+    loop = find_loops(fn)[0]
+    tight = HyperblockParams(max_expansion_ratio=0.1)
+    selected = select_blocks(fn, loop.header, set(loop.body), profile,
+                             tight)
+    loose = select_blocks(fn, loop.header, set(loop.body), profile,
+                          HyperblockParams())
+    assert len(selected) <= len(loose)

@@ -1,0 +1,183 @@
+"""If-conversion unit tests, including the paper's Figure 1 example."""
+
+import pytest
+
+from repro.emu import run_program
+from repro.ir import (Function, GlobalVar, IRBuilder, Imm, Instruction,
+                      Opcode, Program, PType, VReg)
+from repro.ir.opcodes import OpCategory
+from repro.opt.cfg_cleanup import (make_jumps_explicit,
+                                   normalize_basic_blocks)
+from repro.regions.ifconvert import (IfConversionError, if_convert)
+
+
+def figure1_program() -> tuple[Program, Function]:
+    """The paper's Figure 1(a):
+
+        if (a == 0 || b == 0) j = j + 1;
+        else if (c != 0) k = k + 1; else k = k - 1;
+        i = i + 1;
+    """
+    prog = Program()
+    for g in ("a", "b", "c", "i", "j", "k"):
+        prog.add_global(GlobalVar(g, 4, 1))
+    fn = Function("main")
+    prog.add_function(fn)
+    for name in ("entry", "test_b", "then", "L1", "L2", "L3"):
+        fn.new_block(name)
+    b = IRBuilder(fn, fn.block("entry"))
+    a = b.load(b.global_addr("a"), Imm(0))
+    b.beq(a, Imm(0), "then")
+    b.jump("test_b")
+    b.set_block(fn.block("test_b"))
+    bb = b.load(b.global_addr("b"), Imm(0))
+    b.beq(bb, Imm(0), "then")
+    b.jump("L1")
+    b.set_block(fn.block("then"))
+    j = b.load(b.global_addr("j"), Imm(0))
+    b.store(b.global_addr("j"), Imm(0), b.add(j, Imm(1)))
+    b.jump("L3")
+    b.set_block(fn.block("L1"))
+    c = b.load(b.global_addr("c"), Imm(0))
+    b.bne(c, Imm(0), "L2")
+    k1 = b.load(b.global_addr("k"), Imm(0))
+    b.store(b.global_addr("k"), Imm(0), b.sub(k1, Imm(1)))
+    b.jump("L3")
+    b.set_block(fn.block("L2"))
+    k2 = b.load(b.global_addr("k"), Imm(0))
+    b.store(b.global_addr("k"), Imm(0), b.add(k2, Imm(1)))
+    b.jump("L3")
+    b.set_block(fn.block("L3"))
+    i = b.load(b.global_addr("i"), Imm(0))
+    b.store(b.global_addr("i"), Imm(0), b.add(i, Imm(1)))
+    jv = b.load(b.global_addr("j"), Imm(0))
+    kv = b.load(b.global_addr("k"), Imm(0))
+    iv = b.load(b.global_addr("i"), Imm(0))
+    b.ret(b.add(b.mul(jv, Imm(100)), b.add(b.mul(kv, Imm(10)), iv)))
+    return prog, fn
+
+
+def _reference(a, bvalue, c):
+    j = k = i = 0
+    if a == 0 or bvalue == 0:
+        j += 1
+    elif c != 0:
+        k += 1
+    else:
+        k -= 1
+    i += 1
+    return j * 100 + k * 10 + i
+
+
+@pytest.mark.parametrize("a", [0, 1])
+@pytest.mark.parametrize("bvalue", [0, 1])
+@pytest.mark.parametrize("c", [0, 1])
+def test_figure1_semantics_preserved(a, bvalue, c):
+    prog, fn = figure1_program()
+    normalize_basic_blocks(fn)
+    region = {"entry", "test_b", "then", "L1", "L1.n1", "L2", "L3"}
+    if_convert(fn, region, "entry")
+    inputs = {"a": [a], "b": [bvalue], "c": [c]}
+    result = run_program(prog, inputs=inputs)
+    assert result.return_value == _reference(a, bvalue, c)
+
+
+def test_figure1_produces_or_type_defines():
+    """'then' has two control contributions -> OR-type predicates and a
+    pred_clear, while the join (L3, `i = i + 1`) stays unpredicated —
+    exactly the paper's Figure 1(c)."""
+    prog, fn = figure1_program()
+    normalize_basic_blocks(fn)
+    region = {"entry", "test_b", "then", "L1", "L1.n1", "L2", "L3"}
+    hyper, info = if_convert(fn, region, "entry")
+    assert info.uses_or_types
+    assert hyper.instructions[0].op is Opcode.PRED_CLEAR
+    or_defines = [i for i in hyper.instructions
+                  if i.cat is OpCategory.PREDDEF
+                  and any(pd.ptype in (PType.OR, PType.OR_BAR)
+                          for pd in i.pdests)]
+    assert len(or_defines) >= 2
+    assert info.block_pred["L3"] is None
+    assert info.block_pred["then"] is not None
+
+
+def test_figure1_single_hyperblock_replaces_region():
+    prog, fn = figure1_program()
+    normalize_basic_blocks(fn)
+    region = {"entry", "test_b", "then", "L1", "L1.n1", "L2", "L3"}
+    if_convert(fn, region, "entry")
+    names = [b.name for b in fn.blocks]
+    assert names == ["entry"]
+
+
+def test_branches_eliminated():
+    prog, fn = figure1_program()
+    normalize_basic_blocks(fn)
+    before = sum(1 for i in fn.all_instructions()
+                 if i.cat is OpCategory.BRANCH)
+    region = {"entry", "test_b", "then", "L1", "L1.n1", "L2", "L3"}
+    if_convert(fn, region, "entry")
+    after = sum(1 for i in fn.all_instructions()
+                if i.cat is OpCategory.BRANCH)
+    assert before == 3
+    assert after == 0
+
+
+def test_parent_implication():
+    prog, fn = figure1_program()
+    normalize_basic_blocks(fn)
+    region = {"entry", "test_b", "then", "L1", "L1.n1", "L2", "L3"}
+    _hyper, info = if_convert(fn, region, "entry")
+    # L2's guard was derived under L1's guard.
+    p_l1 = info.block_pred["L1"]
+    p_l2 = info.block_pred["L2"]
+    if p_l1 is not None and p_l2 is not None:
+        assert info.implies(p_l2, p_l1)
+        assert not info.implies(p_l1, p_l2)
+    # Everything implies the always-true predicate.
+    assert info.implies(p_l1, None)
+    assert not info.implies(None, p_l1)
+
+
+def test_cyclic_region_rejected():
+    prog = Program()
+    fn = Function("main")
+    prog.add_function(fn)
+    a = fn.new_block("a")
+    bblk = fn.new_block("b")
+    b = IRBuilder(fn, a)
+    b.beq(VReg(0), Imm(0), "b")
+    b.ret(Imm(0))
+    b.set_block(bblk)
+    b.beq(VReg(0), Imm(1), "b")  # self loop not through entry
+    b.jump("a")
+    make_jumps_explicit(fn)
+    with pytest.raises(IfConversionError):
+        if_convert(fn, {"a", "b"}, "a")
+
+
+def test_unguarded_join_blocks():
+    """Blocks on every surviving path keep guard None (the join rule)."""
+    prog = Program()
+    prog.add_global(GlobalVar("g", 4, 1))
+    fn = Function("main")
+    prog.add_function(fn)
+    for name in ("entry", "then", "join"):
+        fn.new_block(name)
+    b = IRBuilder(fn, fn.block("entry"))
+    v = b.load(b.global_addr("g"), Imm(0))
+    b.beq(v, Imm(0), "then")
+    b.jump("join")
+    b.set_block(fn.block("then"))
+    b.store(b.global_addr("g"), Imm(0), Imm(1))
+    b.jump("join")
+    b.set_block(fn.block("join"))
+    out = b.load(b.global_addr("g"), Imm(0))
+    b.ret(out)
+    make_jumps_explicit(fn)
+    _hyper, info = if_convert(fn, {"entry", "then", "join"}, "entry")
+    assert info.block_pred["join"] is None
+    assert info.block_pred["then"] is not None
+    for val in (0, 5):
+        got = run_program(prog, inputs={"g": [val]}).return_value
+        assert got == (1 if val == 0 else val)

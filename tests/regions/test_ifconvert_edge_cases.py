@@ -1,0 +1,134 @@
+"""If-conversion edge cases beyond the paper's Figure 1."""
+
+import pytest
+
+from repro.emu import run_program
+from repro.ir import (Function, GlobalVar, IRBuilder, Imm, Opcode,
+                      Program, VReg)
+from repro.ir.opcodes import OpCategory
+from repro.opt.cfg_cleanup import normalize_basic_blocks
+from repro.regions.ifconvert import IfConversionError, if_convert
+
+
+def _program(names):
+    prog = Program()
+    prog.add_global(GlobalVar("g", 4, 8))
+    fn = Function("main")
+    prog.add_function(fn)
+    for name in names:
+        fn.new_block(name)
+    return prog, fn
+
+
+def test_loop_body_region_keeps_backedge():
+    """Converting a loop body turns the backedge into the final exit."""
+    prog, fn = _program(["entry", "head", "body", "exit"])
+    b = IRBuilder(fn, fn.block("entry"))
+    i = fn.new_vreg()
+    acc = fn.new_vreg()
+    b.mov_to(i, Imm(0))
+    b.mov_to(acc, Imm(0))
+    b.jump("head")
+    b.set_block(fn.block("head"))
+    b.bge(i, Imm(10), "exit")
+    b.jump("body")
+    b.set_block(fn.block("body"))
+    na = b.add(acc, i)
+    b.mov_to(acc, na)
+    ni = b.add(i, Imm(1))
+    b.mov_to(i, ni)
+    b.jump("head")
+    b.set_block(fn.block("exit"))
+    b.ret(acc)
+    normalize_basic_blocks(fn)
+    hyper, _info = if_convert(fn, {"head", "body"}, "head")
+    # The final instruction is the unpredicated backedge.
+    last = hyper.instructions[-1]
+    assert last.op is Opcode.JUMP and last.target == "head"
+    assert last.pred is None
+    assert run_program(prog).return_value == sum(range(10))
+
+
+def test_conditional_exit_branch_stays_conditional():
+    """A branch whose taken target is outside the region remains a
+    (predicated) conditional branch — the explicit exit of Section 3.1."""
+    prog, fn = _program(["entry", "inner", "cold", "join"])
+    b = IRBuilder(fn, fn.block("entry"))
+    v = b.load(b.global_addr("g"), Imm(0))
+    b.beq(v, Imm(0), "inner")
+    b.jump("join")
+    b.set_block(fn.block("inner"))
+    b.blt(v, Imm(0), "cold")      # exit to unselected block
+    b.store(b.global_addr("g"), Imm(4), Imm(7))
+    b.jump("join")
+    b.set_block(fn.block("cold"))
+    b.ret(Imm(999))
+    b.set_block(fn.block("join"))
+    out = b.load(b.global_addr("g"), Imm(4))
+    b.ret(out)
+    normalize_basic_blocks(fn)
+    region = {"entry", "inner", "inner.n1", "join"} \
+        & {blk.name for blk in fn.blocks}
+    hyper, _info = if_convert(fn, region, "entry")
+    exits = [i for i in hyper.instructions
+             if i.cat is OpCategory.BRANCH]
+    assert exits and all(e.target == "cold" for e in exits)
+    for g0, expected in ((0, 7), (5, 0)):
+        got = run_program(prog, inputs={"g": [g0, 0]}).return_value
+        assert got == expected
+    assert run_program(prog, inputs={"g": [-3, 0]}).return_value in \
+        (999, 0)
+
+
+def test_empty_region_block_rejected():
+    prog, fn = _program(["entry", "empty"])
+    b = IRBuilder(fn, fn.block("entry"))
+    b.jump("empty")
+    fn.block("empty").instructions = []
+    with pytest.raises(IfConversionError):
+        if_convert(fn, {"entry", "empty"}, "entry")
+
+
+def test_unnormalized_region_rejected():
+    prog, fn = _program(["entry", "tail"])
+    b = IRBuilder(fn, fn.block("entry"))
+    b.beq(VReg(0), Imm(0), "tail")
+    b.mov(Imm(1))               # interior instruction after a branch
+    b.jump("tail")
+    b.set_block(fn.block("tail"))
+    b.ret(Imm(0))
+    with pytest.raises(IfConversionError):
+        if_convert(fn, {"entry", "tail"}, "entry")
+
+
+def test_nested_diamonds_convert():
+    src_prog, fn = _program(
+        ["entry", "outer_t", "inner_t", "inner_j", "join"])
+    b = IRBuilder(fn, fn.block("entry"))
+    v = b.load(b.global_addr("g"), Imm(0))
+    w = b.load(b.global_addr("g"), Imm(4))
+    res = fn.new_vreg()
+    b.mov_to(res, Imm(0))
+    b.beq(v, Imm(0), "outer_t")
+    b.jump("join")
+    b.set_block(fn.block("outer_t"))
+    b.beq(w, Imm(0), "inner_t")
+    b.jump("inner_j")
+    b.set_block(fn.block("inner_t"))
+    b.mov_to(res, Imm(2))
+    b.jump("join")
+    b.set_block(fn.block("inner_j"))
+    b.mov_to(res, Imm(1))
+    b.jump("join")
+    b.set_block(fn.block("join"))
+    b.ret(res)
+    normalize_basic_blocks(fn)
+    region = {"entry", "outer_t", "inner_t", "inner_j", "join"}
+    if_convert(fn, region, "entry")
+    assert len(fn.blocks) == 1
+    for v0 in (0, 1):
+        for w0 in (0, 1):
+            got = run_program(src_prog,
+                              inputs={"g": [v0, w0]}).return_value
+            expected = 0 if v0 else (2 if w0 == 0 else 1)
+            assert got == expected

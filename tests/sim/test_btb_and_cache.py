@@ -1,0 +1,92 @@
+"""Branch target buffer and cache model tests."""
+
+from repro.machine.descriptor import BTBConfig, CacheConfig
+from repro.sim.btb import BranchTargetBuffer
+from repro.sim.cache import DirectMappedCache
+
+
+def _btb(entries=16):
+    return BranchTargetBuffer(BTBConfig(entries=entries))
+
+
+def test_cold_btb_predicts_not_taken():
+    btb = _btb()
+    assert btb.predict_and_update(0x40, True)       # miss -> NT, actual T
+    assert not btb.predict_and_update(0x44, False)  # miss -> NT, actual NT
+
+
+def test_counter_trains_toward_taken():
+    btb = _btb()
+    addr = 0x80
+    btb.predict_and_update(addr, True)   # allocate, counter=2
+    assert not btb.predict_and_update(addr, True)
+    assert not btb.predict_and_update(addr, True)
+
+
+def test_hysteresis_survives_one_not_taken():
+    btb = _btb()
+    addr = 0x80
+    btb.predict_and_update(addr, True)      # allocate at 2
+    btb.predict_and_update(addr, True)      # -> 3
+    assert btb.predict_and_update(addr, False)      # predicted T, was NT
+    # One NT only drops to 2: still predicts taken.
+    assert not btb.predict_and_update(addr, True)
+
+
+def test_alternating_branch_mispredicts_often():
+    btb = _btb()
+    addr = 0x100
+    mispredicts = sum(
+        1 for k in range(40)
+        if btb.predict_and_update(addr, k % 2 == 0))
+    assert mispredicts >= 15
+
+
+def test_aliasing_between_entries():
+    btb = _btb(entries=4)
+    a = 0x10          # index (0x10>>2) % 4 == 0
+    b = 0x10 + 4 * 4  # same index, different tag
+    btb.predict_and_update(a, True)
+    btb.predict_and_update(a, True)
+    # b evicts a's entry on its taken branch.
+    btb.predict_and_update(b, True)
+    # a now misses -> predicted NT -> mispredict when taken.
+    assert btb.predict_and_update(a, True)
+
+
+def test_mispredictions_counted():
+    btb = _btb()
+    btb.predict_and_update(0x4, True)
+    btb.predict_and_update(0x4, True)
+    assert btb.predictions == 2
+    assert btb.mispredictions == 1
+
+
+def test_cache_cold_miss_then_hit():
+    cache = DirectMappedCache(CacheConfig(size_bytes=1024))
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.access(63)      # same 64-byte line
+    assert not cache.access(64)  # next line
+
+
+def test_cache_conflict_eviction():
+    cache = DirectMappedCache(CacheConfig(size_bytes=128, line_bytes=64))
+    assert cache.num_lines == 2
+    assert not cache.access(0)
+    assert not cache.access(128)   # maps to line 0: evicts
+    assert not cache.access(0)     # miss again
+
+
+def test_write_no_allocate():
+    cache = DirectMappedCache(CacheConfig(size_bytes=1024))
+    assert not cache.access(0, allocate=False)
+    assert not cache.access(0)     # still not resident
+
+
+def test_miss_rate():
+    cache = DirectMappedCache(CacheConfig(size_bytes=1024))
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == 1 / 3

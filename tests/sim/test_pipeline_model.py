@@ -1,0 +1,171 @@
+"""Cycle-simulator behaviour on hand-built traces."""
+
+from repro.emu.trace import TraceEvent
+from repro.ir import GlobalAddr, Imm, Instruction, Opcode, PReg, VReg
+from repro.machine.descriptor import (CacheConfig, MachineDescription)
+from repro.sim.pipeline import assign_addresses, simulate_trace
+
+
+def _machine(width=4, branches=1, perfect=True, dcache=None, icache=None):
+    m = MachineDescription(issue_width=width, branch_issue_limit=branches)
+    if not perfect:
+        m = m.with_real_caches(icache or CacheConfig(),
+                               dcache or CacheConfig())
+    return m
+
+
+def _addresses(insts):
+    return {inst.uid: 4 * k for k, inst in enumerate(insts)}
+
+
+def _alu(dest, a, b):
+    return Instruction(Opcode.ADD, dest=VReg(dest), srcs=(VReg(a),
+                                                          VReg(b)))
+
+
+def test_independent_instructions_pack():
+    insts = [_alu(k, 10 + k, 20 + k) for k in range(4)]
+    trace = [TraceEvent(i, True, False, -1) for i in insts]
+    stats = simulate_trace(trace, _addresses(insts), _machine(width=4))
+    assert stats.cycles == 1
+
+
+def test_issue_width_splits_cycles():
+    insts = [_alu(k, 10 + k, 20 + k) for k in range(4)]
+    trace = [TraceEvent(i, True, False, -1) for i in insts]
+    stats = simulate_trace(trace, _addresses(insts), _machine(width=2))
+    assert stats.cycles == 2
+
+
+def test_raw_interlock_stalls():
+    a = _alu(0, 10, 11)
+    b = Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(0), VReg(12)))
+    trace = [TraceEvent(a, True, False, -1), TraceEvent(b, True, False, -1)]
+    stats = simulate_trace(trace, _addresses([a, b]), _machine())
+    assert stats.cycles == 2  # 1-cycle ALU latency
+
+
+def test_load_use_delay():
+    load = Instruction(Opcode.LOAD, dest=VReg(0),
+                       srcs=(GlobalAddr("g"), Imm(0)))
+    use = Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(0), VReg(2)))
+    trace = [TraceEvent(load, True, False, 64),
+             TraceEvent(use, True, False, -1)]
+    stats = simulate_trace(trace, _addresses([load, use]), _machine())
+    assert stats.cycles == 3  # load latency 2
+
+
+def test_branch_limit_one_per_cycle():
+    branches = [Instruction(Opcode.BEQ, srcs=(VReg(9), Imm(k)),
+                            target="x") for k in range(3)]
+    trace = [TraceEvent(b, True, False, -1) for b in branches]
+    stats = simulate_trace(trace, _addresses(branches),
+                           _machine(width=8, branches=1))
+    assert stats.cycles == 3
+    stats2 = simulate_trace(trace, _addresses(branches),
+                            _machine(width=8, branches=2))
+    assert stats2.cycles == 2
+
+
+def test_misprediction_penalty():
+    # A cold taken branch mispredicts (BTB predicts not-taken).
+    br = Instruction(Opcode.BEQ, srcs=(VReg(9), Imm(0)), target="x")
+    after = _alu(0, 10, 11)
+    trace = [TraceEvent(br, True, True, -1),
+             TraceEvent(after, True, False, -1)]
+    stats = simulate_trace(trace, _addresses([br, after]), _machine())
+    assert stats.mispredictions == 1
+    # Fetch resumes after 1 + 2 penalty cycles.
+    assert stats.cycles == 4
+
+
+def test_suppressed_instructions_consume_slots_only():
+    guard = PReg(1)
+    nullified = Instruction(Opcode.ADD, dest=VReg(0),
+                            srcs=(VReg(1), VReg(2)), pred=guard)
+    trace = [TraceEvent(nullified, False, False, -1)]
+    stats = simulate_trace(trace, _addresses([nullified]), _machine())
+    assert stats.suppressed_instructions == 1
+    assert stats.executed_instructions == 0
+    assert stats.dynamic_instructions == 1
+
+
+def test_suppressed_branch_counts_and_predicts():
+    guard = PReg(1)
+    br = Instruction(Opcode.BEQ, srcs=(VReg(9), Imm(0)), target="x",
+                     pred=guard)
+    trace = [TraceEvent(br, False, False, -1)]
+    stats = simulate_trace(trace, _addresses([br]), _machine())
+    assert stats.branches == 1
+    assert stats.mispredictions == 0  # not-taken matches cold predict
+
+
+def test_predicated_jump_is_a_branch():
+    jump = Instruction(Opcode.JUMP, target="x", pred=PReg(1))
+    trace = [TraceEvent(jump, True, True, -1)]
+    stats = simulate_trace(trace, _addresses([jump]), _machine())
+    assert stats.branches == 1
+    assert stats.mispredictions == 1  # cold -> predicted not-executed
+
+
+def test_unconditional_jump_no_prediction():
+    jump = Instruction(Opcode.JUMP, target="x")
+    trace = [TraceEvent(jump, True, True, -1)]
+    stats = simulate_trace(trace, _addresses([jump]), _machine())
+    assert stats.branches == 0
+    assert stats.mispredictions == 0
+
+
+def test_dcache_miss_extends_load_latency():
+    load = Instruction(Opcode.LOAD, dest=VReg(0),
+                       srcs=(GlobalAddr("g"), Imm(0)))
+    use = Instruction(Opcode.ADD, dest=VReg(1), srcs=(VReg(0), VReg(2)))
+    trace = [TraceEvent(load, True, False, 4096),
+             TraceEvent(use, True, False, -1)]
+    machine = _machine(perfect=False)
+    stats = simulate_trace(trace, _addresses([load, use]), machine)
+    assert stats.dcache_misses == 1
+    # One cold icache miss stalls fetch, then the load's dcache miss
+    # extends its latency by the miss penalty.
+    assert stats.cycles == 3 + machine.dcache.miss_penalty \
+        + machine.icache.miss_penalty
+
+
+def test_icache_miss_stalls_fetch():
+    insts = [_alu(k, 10 + k, 20 + k) for k in range(2)]
+    addresses = {insts[0].uid: 0, insts[1].uid: 4096}
+    trace = [TraceEvent(i, True, False, -1) for i in insts]
+    machine = _machine(perfect=False)
+    stats = simulate_trace(trace, addresses, machine)
+    assert stats.icache_misses == 2  # two cold lines
+    assert stats.cycles > 2 * machine.icache.miss_penalty
+
+
+def test_icache_hits_within_line():
+    insts = [_alu(k, 10 + k, 20 + k) for k in range(8)]
+    trace = [TraceEvent(i, True, False, -1) for i in insts]
+    machine = _machine(width=1, perfect=False)
+    stats = simulate_trace(trace, _addresses(insts), machine)
+    assert stats.icache_misses == 1  # all eight fit in one 64B line
+
+
+def test_store_write_through_no_stall():
+    store = Instruction(Opcode.STORE, srcs=(GlobalAddr("g"), Imm(0),
+                                            VReg(1)))
+    after = _alu(0, 10, 11)
+    trace = [TraceEvent(store, True, False, 512),
+             TraceEvent(after, True, False, -1)]
+    machine = _machine(width=1, perfect=False)
+    stats = simulate_trace(trace, _addresses([store, after]), machine)
+    assert stats.dcache_misses == 1
+    # Beyond the cold icache fill, the store miss adds no stall.
+    assert stats.cycles == 2 + machine.icache.miss_penalty
+
+
+def test_assign_addresses_layout():
+    from repro.lang import compile_minic
+    prog = compile_minic("int main() { return 1 + 2; }")
+    addresses = assign_addresses(prog)
+    values = sorted(addresses.values())
+    assert values[0] == 0
+    assert all(b - a == 4 for a, b in zip(values, values[1:]))

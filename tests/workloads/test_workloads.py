@@ -1,0 +1,79 @@
+"""Workload definitions: registry, determinism, executability."""
+
+import pytest
+
+from repro.emu import run_program
+from repro.ir import ISALevel, verify_program
+from repro.toolchain import frontend
+from repro.workloads import (DeterministicRandom, all_workloads,
+                             get_workload, workload_names)
+
+EXPECTED_NAMES = {"wc", "grep", "cmp", "qsort", "compress", "eqntott",
+                  "espresso", "li", "sc", "eqn", "lex", "yacc", "cccp",
+                  "alvinn", "ear"}
+
+
+def test_all_fifteen_benchmarks_registered():
+    assert set(workload_names()) == EXPECTED_NAMES
+
+
+def test_every_workload_documents_its_paper_counterpart():
+    for w in all_workloads():
+        assert w.stands_for, w.name
+        assert w.description, w.name
+
+
+def test_float_benchmarks_flagged():
+    assert get_workload("alvinn").category == "float"
+    assert get_workload("ear").category == "float"
+    assert get_workload("wc").category == "integer"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_workload_compiles_and_runs(name):
+    w = get_workload(name)
+    program = frontend(w.source)
+    verify_program(program, ISALevel.BASELINE)
+    result = run_program(program, inputs=w.inputs(0.15),
+                         max_steps=2_000_000)
+    assert result.dynamic_count > 500, "kernel too small to measure"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_inputs_scale(name):
+    w = get_workload(name)
+    small = run_program(frontend(w.source), inputs=w.inputs(0.15),
+                        max_steps=3_000_000).dynamic_count
+    large = run_program(frontend(w.source), inputs=w.inputs(0.6),
+                        max_steps=6_000_000).dynamic_count
+    assert large > small
+
+
+def test_deterministic_random_is_stable():
+    a = DeterministicRandom(42)
+    b = DeterministicRandom(42)
+    assert [a.next_u32() for _ in range(10)] == \
+        [b.next_u32() for _ in range(10)]
+
+
+def test_deterministic_random_ranges():
+    rng = DeterministicRandom(7)
+    values = [rng.randint(3, 9) for _ in range(200)]
+    assert min(values) >= 3 and max(values) <= 9
+    assert len(set(values)) > 3
+
+
+def test_shuffle_is_permutation():
+    rng = DeterministicRandom(11)
+    items = list(range(30))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert shuffled != items
+
+
+def test_text_generator_length_and_charset():
+    rng = DeterministicRandom(13)
+    text = rng.text(500, ["alpha", "beta"], newline_every=5)
+    assert len(text) == 500
+    assert b"\n" in text
