@@ -6,14 +6,22 @@ Subcommands:
 * ``run``      — compile + emulate + simulate one file and print stats;
 * ``bench``    — run one registered workload under all three models;
 * ``report``   — regenerate every figure/table (the paper's evaluation);
+* ``selftest`` — fault-injection campaign proving the checkers work;
 * ``list``     — list the registered workloads.
 
 Examples::
 
     python -m repro compile kernel.c --model fullpred
     python -m repro run kernel.c --model cmov --width 8 --branches 1
+    python -m repro run kernel.c --paranoid --time-budget 30
     python -m repro bench wc --scale 0.5
-    python -m repro report --scale 0.5 -o RESULTS.txt
+    python -m repro report --scale 0.5 --mode degrade -o RESULTS.txt
+    python -m repro selftest
+
+Failures exit with the typed taxonomy's codes (one-line diagnostics,
+no tracebacks): 10 generic pipeline error, 11 compile, 12 pass
+verification, 13 emulation timeout, 14 trace integrity, 15 model
+divergence, 16 emulation fault.
 """
 
 from __future__ import annotations
@@ -22,16 +30,26 @@ import argparse
 import sys
 
 from repro.analysis.profile import Profile
+from repro.emu.memory import EmulationFault
 from repro.experiments.render import render_all
 from repro.experiments.runner import ExperimentSuite
+from repro.ir.function import IRError
 from repro.ir.printer import format_program
+from repro.lang.parser import ParseError
 from repro.machine.descriptor import MachineDescription, scalar_machine
-from repro.toolchain import (Model, compile_for_model, frontend,
-                             run_compiled)
+from repro.robustness.errors import ReproError
+from repro.robustness.watchdog import EmulationWatchdog
+from repro.toolchain import (Model, ToolchainOptions, compile_for_model,
+                             frontend, run_compiled)
 from repro.workloads import all_workloads, get_workload
 
 _MODELS = {"superblock": Model.SUPERBLOCK, "cmov": Model.CMOV,
            "fullpred": Model.FULLPRED}
+
+#: exit code for emulation faults outside the typed taxonomy
+_EMULATION_FAULT_EXIT = 16
+#: exit code for IR errors escaping the compile pipeline
+_IR_ERROR_EXIT = 11
 
 
 def _machine(args) -> MachineDescription:
@@ -54,6 +72,47 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                              "perfect memory")
 
 
+def _add_robustness_args(parser: argparse.ArgumentParser,
+                         watchdog: bool = True) -> None:
+    parser.add_argument("--paranoid", action="store_true",
+                        help="verify the IR after every compiler pass; "
+                             "failures name the pass and dump an IR "
+                             "snapshot")
+    parser.add_argument("--rollback", action="store_true",
+                        help="skip (instead of abort on) a failing pass; "
+                             "degradations are reported")
+    parser.add_argument("--artifact-dir", default=None,
+                        help="directory for failure IR snapshots "
+                             "(default: system temp)")
+    if watchdog:
+        parser.add_argument("--time-budget", type=float, default=None,
+                            metavar="SECONDS",
+                            help="wall-clock budget for each emulation")
+
+
+def _options(args) -> ToolchainOptions:
+    return ToolchainOptions(paranoid=getattr(args, "paranoid", False),
+                            rollback=getattr(args, "rollback", False),
+                            artifact_dir=getattr(args, "artifact_dir",
+                                                 None))
+
+
+def _watchdog(args) -> EmulationWatchdog | None:
+    budget = getattr(args, "time_budget", None)
+    if budget is None:
+        return None
+    return EmulationWatchdog(wall_clock_budget=budget)
+
+
+def _print_degradations(compiled) -> None:
+    for d in compiled.degradations:
+        line = (f"degraded: skipped pass {d.pass_name!r} on "
+                f"{d.function} ({d.error})")
+        if d.artifact_path:
+            line += f" [artifact: {d.artifact_path}]"
+        print(line, file=sys.stderr)
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -66,7 +125,8 @@ def _cmd_compile(args) -> int:
     base = frontend(source)
     profile = Profile.collect(base, inputs=None)
     compiled = compile_for_model(base, _MODELS[args.model], profile,
-                                 _machine(args))
+                                 _machine(args), _options(args))
+    _print_degradations(compiled)
     print(format_program(compiled.program))
     return 0
 
@@ -77,11 +137,14 @@ def _cmd_run(args) -> int:
     profile = Profile.collect(base, inputs=None)
     machine = _machine(args)
     model = _MODELS[args.model]
-    compiled = compile_for_model(base, model, profile, machine)
-    result = run_compiled(compiled, inputs=None)
+    options = _options(args)
+    compiled = compile_for_model(base, model, profile, machine, options)
+    _print_degradations(compiled)
+    result = run_compiled(compiled, inputs=None, watchdog=_watchdog(args))
     scalar = run_compiled(
         compile_for_model(base, Model.SUPERBLOCK, profile,
-                          scalar_machine()))
+                          scalar_machine(), options),
+        watchdog=_watchdog(args))
     stats = result.stats
     print(f"model              : {model.value}")
     print(f"machine            : {machine.name}")
@@ -99,7 +162,10 @@ def _cmd_run(args) -> int:
 
 def _cmd_bench(args) -> int:
     workload = get_workload(args.name)
-    suite = ExperimentSuite(workloads=[workload], scale=args.scale)
+    suite = ExperimentSuite(workloads=[workload], scale=args.scale,
+                            options=_options(args),
+                            paranoid=args.paranoid,
+                            wall_clock_budget=args.time_budget)
     machine = _machine(args)
     base = suite.baseline_cycles(workload.name)
     print(f"{workload.name} ({workload.stands_for}), scale {args.scale}")
@@ -116,15 +182,28 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    suite = ExperimentSuite(scale=args.scale)
+    suite = ExperimentSuite(scale=args.scale, mode=args.mode,
+                            options=_options(args),
+                            paranoid=args.paranoid,
+                            wall_clock_budget=args.time_budget)
     text = render_all(suite)
+    if suite.failures:
+        text += "\n\n" + suite.failure_report()
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.output}")
     else:
         print(text)
-    return 0
+    return 0 if not suite.failures else 1
+
+
+def _cmd_selftest(args) -> int:
+    from repro.robustness.faults import (format_fault_reports,
+                                         run_fault_campaign)
+    reports = run_fault_campaign()
+    print(format_fault_reports(reports))
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_list(_args) -> int:
@@ -145,24 +224,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="MiniC source file, or - for stdin")
     p.add_argument("--model", choices=sorted(_MODELS), default="fullpred")
     _add_machine_args(p)
+    _add_robustness_args(p, watchdog=False)
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("run", help="compile, emulate and simulate a file")
     p.add_argument("file", help="MiniC source file, or - for stdin")
     p.add_argument("--model", choices=sorted(_MODELS), default="fullpred")
     _add_machine_args(p)
+    _add_robustness_args(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("bench", help="run one workload, all models")
     p.add_argument("name", help="workload name (see `list`)")
     p.add_argument("--scale", type=float, default=0.5)
     _add_machine_args(p)
+    _add_robustness_args(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="regenerate all figures/tables")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("-o", "--output", help="write to file")
+    p.add_argument("--mode", choices=("strict", "degrade"),
+                   default="strict",
+                   help="strict: abort on the first failing workload; "
+                        "degrade: quarantine it and report at the end")
+    _add_robustness_args(p)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("selftest",
+                       help="fault-injection campaign: prove every "
+                            "corruption class is caught")
+    p.set_defaults(func=_cmd_selftest)
 
     p = sub.add_parser("list", help="list registered workloads")
     p.set_defaults(func=_cmd_list)
@@ -171,7 +263,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except EmulationFault as exc:
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return _EMULATION_FAULT_EXIT
+    except (IRError, ParseError) as exc:
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return _IR_ERROR_EXIT
+    except OSError as exc:
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return ReproError.exit_code
 
 
 if __name__ == "__main__":

@@ -11,8 +11,16 @@ cycle simulator consumes, plus profile data for region formation.
 
 from __future__ import annotations
 
-from repro.emu.memory import EmulationFault, Memory, layout_globals
+import hashlib
+import time
+from typing import TYPE_CHECKING
+
+from repro.emu.memory import (GLOBAL_BASE, SAFE_ADDR, EmulationFault,
+                              Memory, layout_globals)
 from repro.emu.trace import ExecutionResult, TraceEvent
+
+if TYPE_CHECKING:  # avoid an emu <-> robustness import cycle
+    from repro.robustness.watchdog import EmulationWatchdog
 from repro.ir.function import Function, Program
 from repro.ir.instruction import Instruction
 from repro.ir.opcodes import OpCategory, Opcode
@@ -20,6 +28,10 @@ from repro.ir.operands import GlobalAddr, Imm, PReg, VReg
 from repro.machine.predicates import apply_pred_define
 
 _U32 = 0xFFFFFFFF
+_U64 = 0xFFFFFFFFFFFFFFFF
+#: FNV-1a 64-bit prime — folds the store stream into an order-sensitive
+#: signature without hashing the full trace.
+_SIG_PRIME = 1099511628211
 
 
 def _w32(x: int) -> int:
@@ -59,19 +71,26 @@ class Interpreter:
     def __init__(self, program: Program, memory: Memory | None = None,
                  inputs: dict[str, list[int | float] | bytes] | None = None,
                  collect_trace: bool = False,
-                 max_steps: int = 50_000_000):
+                 max_steps: int = 50_000_000,
+                 watchdog: "EmulationWatchdog | None" = None):
         self.program = program
         self.memory = memory if memory is not None else Memory()
         self.layout = layout_globals(program, self.memory, inputs)
         self.collect_trace = collect_trace
         self.max_steps = max_steps
+        self.watchdog = watchdog
         self.steps = 0
         self.suppressed = 0
+        self.output_signature = 0
+        self.output_count = 0
         self.trace: list[TraceEvent] | None = [] if collect_trace else None
         self.branch_outcomes: dict[int, list[int]] = {}
         self.block_counts: dict[tuple[str, str], int] = {}
         self._code: dict[str, tuple[list[list[Instruction]],
                                     dict[str, int]]] = {}
+        self._global_end = max(
+            (self.layout[g.name] + g.byte_size
+             for g in program.globals.values()), default=GLOBAL_BASE)
 
     # ----- program preprocessing -----------------------------------------
 
@@ -88,7 +107,14 @@ class Interpreter:
 
     def run(self) -> ExecutionResult:
         main = self.program.main
+        if self.watchdog is not None:
+            self.watchdog.start()
+        started = time.monotonic()
         value = self._run_function(main, [])
+        wall_time = time.monotonic() - started
+        digest = hashlib.sha256(
+            bytes(self.memory.data[GLOBAL_BASE:self._global_end])
+        ).hexdigest()
         return ExecutionResult(
             return_value=value,
             dynamic_count=self.steps,
@@ -96,6 +122,12 @@ class Interpreter:
             trace=self.trace,
             branch_outcomes=self.branch_outcomes,
             block_counts=self.block_counts,
+            output_signature=self.output_signature,
+            output_count=self.output_count,
+            memory_digest=digest,
+            wall_time_seconds=wall_time,
+            heartbeats=list(self.watchdog.heartbeats)
+            if self.watchdog is not None else [],
         )
 
     # ----- core loop --------------------------------------------------------
@@ -113,6 +145,8 @@ class Interpreter:
         fn_name = fn.name
         block_counts = self.block_counts
         branch_outcomes = self.branch_outcomes
+        watchdog = self.watchdog
+        wd_interval = watchdog.interval if watchdog is not None else 0
 
         def val(op):
             t = type(op)
@@ -147,6 +181,8 @@ class Interpreter:
             if self.steps > self.max_steps:
                 raise StepLimitExceeded(
                     f"exceeded {self.max_steps} steps in {fn_name}")
+            if watchdog is not None and not self.steps % wd_interval:
+                watchdog.beat(self.steps)
             op = inst.op
             cat = inst.cat
 
@@ -166,6 +202,7 @@ class Interpreter:
 
             taken = False
             addr = -1
+            sval = None
 
             if cat is OpCategory.ALU:
                 a = val(inst.srcs[0])
@@ -262,10 +299,20 @@ class Interpreter:
                 value = val(inst.srcs[2])
                 if op is Opcode.STORE:
                     memory.store_word(addr, value)
+                    sval = value & _U32
                 elif op is Opcode.STORE_B:
                     memory.store_byte(addr, value)
+                    sval = value & 0xFF
                 else:
                     memory.store_float(addr, value)
+                    sval = float(value)
+                # Stores redirected to $safe_addr are the partial
+                # predication nullification trick, not program output.
+                if addr != SAFE_ADDR:
+                    self.output_count += 1
+                    self.output_signature = (
+                        (self.output_signature ^ hash((addr, sval)))
+                        * _SIG_PRIME) & _U64
 
             elif cat is OpCategory.BRANCH:
                 a = val(inst.srcs[0])
@@ -279,7 +326,11 @@ class Interpreter:
                 if trace is not None:
                     trace.append(TraceEvent(inst, True, taken, -1))
                 if taken:
-                    bi = label2idx[inst.target]
+                    bi = label2idx.get(inst.target, -1)
+                    if bi < 0:
+                        raise EmulationFault(
+                            f"{fn.name}: branch to unknown label "
+                            f"{inst.target!r}")
                     ii = 0
                 else:
                     ii += 1
@@ -288,7 +339,11 @@ class Interpreter:
             elif cat is OpCategory.JUMP:
                 if trace is not None:
                     trace.append(TraceEvent(inst, True, True, -1))
-                bi = label2idx[inst.target]
+                bi = label2idx.get(inst.target, -1)
+                if bi < 0:
+                    raise EmulationFault(
+                        f"{fn.name}: jump to unknown label "
+                        f"{inst.target!r}")
                 ii = 0
                 continue
 
@@ -344,15 +399,17 @@ class Interpreter:
                 raise EmulationFault(f"unhandled opcode {op}")
 
             if trace is not None:
-                trace.append(TraceEvent(inst, True, taken, addr))
+                trace.append(TraceEvent(inst, True, taken, addr, sval))
             ii += 1
 
 
 def run_program(program: Program,
                 inputs: dict[str, list[int | float] | bytes] | None = None,
                 collect_trace: bool = False,
-                max_steps: int = 50_000_000) -> ExecutionResult:
+                max_steps: int = 50_000_000,
+                watchdog: "EmulationWatchdog | None" = None
+                ) -> ExecutionResult:
     """Execute ``program`` from its entry function and return the result."""
     interp = Interpreter(program, inputs=inputs, collect_trace=collect_trace,
-                         max_steps=max_steps)
+                         max_steps=max_steps, watchdog=watchdog)
     return interp.run()

@@ -22,12 +22,16 @@ class TraceEvent(NamedTuple):
     false (the instruction was fetched but nullified).  ``taken`` is
     meaningful for control instructions; ``addr`` is the effective
     memory address for executed memory instructions, else -1.
+    ``value`` is the normalized value written by an executed store
+    (None otherwise) — the differential oracle and trace-integrity
+    checker read it.
     """
 
     inst: Instruction
     executed: bool
     taken: bool
     addr: int
+    value: int | float | None = None
 
 
 @dataclass
@@ -43,7 +47,28 @@ class ExecutionResult:
     branch_outcomes: dict[int, list[int]] = field(default_factory=dict)
     #: (function, block) -> entry count
     block_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: order-sensitive signature of the dynamic output (store) stream,
+    #: excluding $safe_addr redirects; identical across correct models
+    output_signature: int = 0
+    #: number of observable stores folded into ``output_signature``
+    output_count: int = 0
+    #: hex digest of the final global-data memory region, or None
+    memory_digest: str | None = None
+    #: wall-clock emulation time in seconds
+    wall_time_seconds: float = 0.0
+    #: (steps, elapsed_seconds) heartbeats from the watchdog, if any
+    heartbeats: list[tuple[int, float]] = field(default_factory=list)
 
     @property
     def executed_count(self) -> int:
         return self.dynamic_count - self.suppressed_count
+
+    def verify_integrity(self, program) -> None:
+        """Check this result's trace invariants against ``program``.
+
+        Delegates to :func:`repro.robustness.integrity.check_trace_integrity`
+        (imported lazily to keep ``emu`` free of ``robustness`` imports);
+        raises :class:`repro.robustness.errors.TraceIntegrityError`.
+        """
+        from repro.robustness.integrity import check_trace_integrity
+        check_trace_integrity(self, program)

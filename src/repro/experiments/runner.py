@@ -13,18 +13,27 @@ evaluated configuration's cycle count, as in Section 4.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
 from repro.analysis.profile import Profile
 from repro.emu.interpreter import run_program
+from repro.emu.memory import EmulationFault
 from repro.emu.trace import ExecutionResult
-from repro.ir.function import Program
+from repro.ir.function import IRError, Program
 from repro.machine.descriptor import (CacheConfig, MachineDescription,
                                       fig8_machine, fig9_machine,
                                       fig10_machine, scalar_machine)
+from repro.robustness.differential import assert_equivalent, values_differ
+from repro.robustness.errors import ReproError, TraceIntegrityError
+from repro.robustness.integrity import check_trace_integrity
+from repro.robustness.report import WorkloadFailure, format_failures
+from repro.robustness.watchdog import EmulationWatchdog
 from repro.sim.pipeline import SimulationStats, simulate_trace
 from repro.toolchain import (CompiledProgram, Model, ToolchainOptions,
                              compile_for_model, frontend)
 from repro.workloads.base import Workload, all_workloads
+
+_T = TypeVar("_T")
 
 
 def scaled_fig11_machine() -> MachineDescription:
@@ -60,20 +69,36 @@ class WorkloadRun:
 
 @dataclass
 class ExperimentSuite:
-    """Caches compilations/emulations across experiment queries."""
+    """Caches compilations/emulations across experiment queries.
+
+    ``mode`` selects the failure policy: ``strict`` (default) propagates
+    the first typed error; ``degrade`` quarantines the failing workload,
+    records a :class:`WorkloadFailure` in :attr:`failures` and completes
+    the remaining workloads.  ``paranoid`` additionally verifies every
+    recorded trace's integrity, and ``wall_clock_budget`` (seconds, per
+    emulation) arms the watchdog on top of ``max_steps``.
+    """
 
     workloads: list[Workload] = field(default_factory=all_workloads)
     scale: float = 1.0
     options: ToolchainOptions | None = None
     max_steps: int = 20_000_000
+    mode: str = "strict"
+    paranoid: bool = False
+    wall_clock_budget: float | None = None
 
     def __post_init__(self):
+        if self.mode not in ("strict", "degrade"):
+            raise ValueError(f"unknown suite mode {self.mode!r} "
+                             f"(expected 'strict' or 'degrade')")
         self._base: dict[str, Program] = {}
         self._profile: dict[str, Profile] = {}
         self._compiled: dict[tuple, CompiledProgram] = {}
         self._execution: dict[tuple, ExecutionResult] = {}
         self._stats: dict[tuple, SimulationStats] = {}
         self._by_name = {w.name: w for w in self.workloads}
+        self.failures: list[WorkloadFailure] = []
+        self._failed: set[str] = set()
 
     # ----- pipeline stages (memoized) -------------------------------------
 
@@ -107,10 +132,42 @@ class ExperimentSuite:
         if key not in self._execution:
             compiled = self._compile(name, model, machine)
             inputs = self._by_name[name].inputs(self.scale)
-            self._execution[key] = run_program(
+            watchdog = None
+            if self.wall_clock_budget is not None:
+                watchdog = EmulationWatchdog(
+                    wall_clock_budget=self.wall_clock_budget)
+            execution = run_program(
                 compiled.program, inputs=inputs, collect_trace=True,
-                max_steps=self.max_steps)
+                max_steps=self.max_steps, watchdog=watchdog)
+            if self.paranoid:
+                check_trace_integrity(execution, compiled.program)
+            self._execution[key] = execution
         return self._execution[key]
+
+    # ----- failure policy -------------------------------------------------
+
+    def _guard(self, name: str, stage: str,
+               thunk: Callable[[], _T]) -> _T | None:
+        """Run one workload stage under the suite's failure policy.
+
+        Returns None (and records the failure) in ``degrade`` mode;
+        re-raises in ``strict`` mode.
+        """
+        try:
+            return thunk()
+        except (ReproError, EmulationFault, IRError) as exc:
+            if self.mode != "degrade":
+                raise
+            self._failed.add(name)
+            self.failures.append(WorkloadFailure(
+                workload=name, stage=stage,
+                error_type=type(exc).__name__, message=str(exc),
+                artifact_path=getattr(exc, "artifact_path", None)))
+            return None
+
+    def failure_report(self) -> str:
+        """Human-readable block describing degraded workloads."""
+        return format_failures(self.failures)
 
     # ----- public queries ----------------------------------------------------
 
@@ -124,7 +181,9 @@ class ExperimentSuite:
         compiled = self._compile(name, model, machine)
         execution = self._emulate(name, model, machine)
         if key not in self._stats:
-            assert execution.trace is not None
+            if execution.trace is None:
+                raise TraceIntegrityError(
+                    f"{name}/{model.value}: emulation produced no trace")
             self._stats[key] = simulate_trace(execution.trace,
                                               compiled.addresses, machine)
         return WorkloadRun(workload=name, model=model, machine=machine,
@@ -138,15 +197,38 @@ class ExperimentSuite:
 
     def check_model_agreement(self, name: str,
                               machine: MachineDescription) -> None:
-        """All three models must compute the same program result."""
-        values = {model: self.run(name, model, machine).return_value
-                  for model in Model}
-        baseline = values[Model.SUPERBLOCK]
-        for model, value in values.items():
-            if _differs(value, baseline):
-                raise AssertionError(
-                    f"{name}: {model.value} returned {value!r}, "
-                    f"superblock returned {baseline!r}")
+        """All three models must compute observably identical programs.
+
+        Beyond the scalar return value, the differential oracle compares
+        the dynamic output (store) stream and the final global memory
+        state; raises :class:`ModelDivergenceError` naming the divergent
+        model and observable.
+        """
+        reference = self._emulate(name, Model.SUPERBLOCK, machine)
+        for model in (Model.CMOV, Model.FULLPRED):
+            candidate = self._emulate(name, model, machine)
+            assert_equivalent(candidate, reference, workload=name,
+                              model=model.value,
+                              reference_model=Model.SUPERBLOCK.value)
+
+    def validate_models(self, machine: MachineDescription
+                        ) -> dict[str, bool]:
+        """Run the differential oracle over every workload.
+
+        In ``degrade`` mode divergent workloads are recorded in
+        :attr:`failures` and marked False; ``strict`` mode raises on the
+        first divergence.
+        """
+        outcome: dict[str, bool] = {}
+        for w in self.workloads:
+            if w.name in self._failed:
+                continue
+            ok = self._guard(
+                w.name, "differential",
+                lambda w=w: (self.check_model_agreement(w.name, machine),
+                             True)[1])
+            outcome[w.name] = bool(ok)
+        return outcome
 
     # ----- figure/table data ----------------------------------------------------
 
@@ -155,10 +237,14 @@ class ExperimentSuite:
         """Per-benchmark speedups vs the 1-issue baseline (Figs 8-11)."""
         table: dict[str, dict[Model, float]] = {}
         for w in self.workloads:
-            base = self.baseline_cycles(w.name)
-            table[w.name] = {
-                model: base / self.run(w.name, model, machine).cycles
-                for model in Model}
+            if w.name in self._failed:
+                continue
+            row = self._guard(w.name, "speedup", lambda w=w: {
+                model: self.baseline_cycles(w.name)
+                / self.run(w.name, model, machine).cycles
+                for model in Model})
+            if row is not None:
+                table[w.name] = row
         return table
 
     def dynamic_counts(self) -> dict[str, dict[Model, int]]:
@@ -166,10 +252,14 @@ class ExperimentSuite:
         machine = fig8_machine()
         table: dict[str, dict[Model, int]] = {}
         for w in self.workloads:
-            table[w.name] = {
+            if w.name in self._failed:
+                continue
+            row = self._guard(w.name, "dynamic-counts", lambda w=w: {
                 model: self.run(w.name, model,
                                 machine).stats.executed_instructions
-                for model in Model}
+                for model in Model})
+            if row is not None:
+                table[w.name] = row
         return table
 
     def branch_stats(self, machine: MachineDescription | None = None
@@ -177,14 +267,23 @@ class ExperimentSuite:
         """(branches, mispredictions, rate) per model (Table 3 data)."""
         if machine is None:
             machine = fig8_machine()
-        table: dict[str, dict[Model, tuple[int, int, float]]] = {}
-        for w in self.workloads:
+
+        def row_for(w: Workload) -> dict[Model, tuple[int, int, float]]:
             row = {}
             for model in Model:
                 stats = self.run(w.name, model, machine).stats
                 row[model] = (stats.branches, stats.mispredictions,
                               stats.misprediction_rate)
-            table[w.name] = row
+            return row
+
+        table: dict[str, dict[Model, tuple[int, int, float]]] = {}
+        for w in self.workloads:
+            if w.name in self._failed:
+                continue
+            row = self._guard(w.name, "branch-stats",
+                              lambda w=w: row_for(w))
+            if row is not None:
+                table[w.name] = row
         return table
 
     # ----- the paper's experiments by number ------------------------------------
@@ -202,10 +301,9 @@ class ExperimentSuite:
         return self.speedups(scaled_fig11_machine())
 
 
-def _differs(a, b) -> bool:
-    if isinstance(a, float) or isinstance(b, float):
-        return abs(float(a) - float(b)) > 1e-6 * max(1.0, abs(float(b)))
-    return a != b
+#: retained name for the seed's scalar comparison (now shared with the
+#: differential oracle in ``repro.robustness.differential``)
+_differs = values_differ
 
 
 def mean_speedups(table: dict[str, dict[Model, float]]

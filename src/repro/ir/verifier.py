@@ -82,14 +82,22 @@ def _check_instruction(inst: Instruction, fn: Function,
             raise VerificationError(
                 f"{fn.name}: {inst!r}: conditional moves not available at "
                 f"ISA level {level.value}")
-    # Predicate defines must have 1..2 typed destinations.
-    if cat is OpCategory.PREDDEF and not 1 <= len(inst.pdests) <= 2:
-        raise VerificationError(
-            f"{fn.name}: {inst!r}: predicate define needs 1-2 pdests")
-    if cat is not OpCategory.PREDDEF and cat is not OpCategory.PREDSET \
-            and inst.pdests:
+    # Predicate defines must have 1..2 distinct typed destinations.
+    if cat is OpCategory.PREDDEF:
+        if not 1 <= len(inst.pdests) <= 2:
+            raise VerificationError(
+                f"{fn.name}: {inst!r}: predicate define needs 1-2 pdests")
+        if len({pd.reg for pd in inst.pdests}) != len(inst.pdests):
+            raise VerificationError(
+                f"{fn.name}: {inst!r}: predicate define writes the same "
+                f"predicate register twice")
+    elif cat is not OpCategory.PREDSET and inst.pdests:
         raise VerificationError(
             f"{fn.name}: {inst!r}: only predicate defines take pdests")
+    # Stores are irreversible side effects: never speculative.
+    if cat is OpCategory.STORE and inst.speculative:
+        raise VerificationError(
+            f"{fn.name}: {inst!r}: stores cannot be speculative")
 
 
 def verify_function(fn: Function, program: Program,

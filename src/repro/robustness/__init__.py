@@ -1,0 +1,31 @@
+"""Hardened experiment pipeline: typed errors, pass gates, watchdogs,
+trace integrity, differential validation and fault injection.
+
+The subsystem exists because the paper's result rests on a fragile
+invariant — three independently transformed programs must stay
+observably equivalent — and a single silent compiler or emulator bug
+invalidates every figure.  See EXPERIMENTS.md ("Robustness modes").
+
+``repro.robustness.faults`` (the fault-injection harness) is imported
+explicitly by its users; it depends on the toolchain and would widen
+this package's import footprint.
+"""
+
+from repro.robustness.differential import assert_equivalent, values_differ
+from repro.robustness.errors import (CompileError, EmulationTimeout,
+                                     ModelDivergenceError,
+                                     PassVerificationError, ReproError,
+                                     TraceIntegrityError)
+from repro.robustness.integrity import check_trace_integrity
+from repro.robustness.passgate import Degradation, PassGate
+from repro.robustness.report import (SuiteReport, WorkloadFailure,
+                                     format_failures)
+from repro.robustness.watchdog import EmulationWatchdog
+
+__all__ = [
+    "CompileError", "Degradation", "EmulationTimeout",
+    "EmulationWatchdog", "ModelDivergenceError", "PassGate",
+    "PassVerificationError", "ReproError", "SuiteReport",
+    "TraceIntegrityError", "WorkloadFailure", "assert_equivalent",
+    "check_trace_integrity", "format_failures", "values_differ",
+]

@@ -1,0 +1,92 @@
+"""Typed error taxonomy for the hardened experiment pipeline.
+
+Every failure mode of the verify/emulate/simulate loop maps to one
+exception class so callers (the CLI, the experiment suite's ``degrade``
+mode, CI) can react structurally instead of pattern-matching message
+strings or — worse — catching bare ``Exception``.  Each class carries a
+distinct ``exit_code`` that ``python -m repro`` propagates to the shell.
+"""
+
+from __future__ import annotations
+
+from repro.emu.memory import EmulationFault
+
+
+class ReproError(Exception):
+    """Base of the reproduction pipeline's failure taxonomy."""
+
+    exit_code = 10
+
+
+class CompileError(ReproError):
+    """A compilation stage crashed or produced no usable program."""
+
+    exit_code = 11
+
+    def __init__(self, message: str, *, pass_name: str | None = None,
+                 function: str | None = None):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.function = function
+
+
+class PassVerificationError(CompileError):
+    """A compiler pass left the IR structurally invalid.
+
+    Raised by the pass gate (``robustness.passgate``) when the verifier
+    rejects a function right after a pass ran; ``artifact_path`` points
+    at the dumped IR snapshot for post-mortem debugging.
+    """
+
+    exit_code = 12
+
+    def __init__(self, message: str, *, pass_name: str | None = None,
+                 function: str | None = None,
+                 artifact_path: str | None = None):
+        super().__init__(message, pass_name=pass_name, function=function)
+        self.artifact_path = artifact_path
+
+
+class EmulationTimeout(ReproError, EmulationFault):
+    """The emulation watchdog's wall-clock budget expired.
+
+    Also an :class:`EmulationFault` so existing fault handlers around
+    ``run_program`` keep working.
+    """
+
+    exit_code = 13
+
+    def __init__(self, message: str, *, steps: int = 0,
+                 elapsed: float = 0.0, budget: float = 0.0):
+        super().__init__(message)
+        self.steps = steps
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class TraceIntegrityError(ReproError):
+    """A dynamic trace violates an invariant of emulation.
+
+    Covers missing traces, event/step count mismatches, nullified
+    instructions without a guard, and control transfers inconsistent
+    with the recorded branch directions.
+    """
+
+    exit_code = 14
+
+
+class ModelDivergenceError(ReproError):
+    """Two processor models disagreed on observable program behavior.
+
+    ``kind`` names the observable: ``return-value``, ``output-stream``
+    (the dynamic store stream) or ``memory-state`` (final global data).
+    """
+
+    exit_code = 15
+
+    def __init__(self, message: str, *, workload: str | None = None,
+                 model: str | None = None, kind: str | None = None):
+        super().__init__(message)
+        self.workload = workload
+        self.model = model
+        self.kind = kind

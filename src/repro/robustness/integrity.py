@@ -1,0 +1,163 @@
+"""Dynamic trace integrity checking.
+
+The cycle simulator trusts the emulator's trace blindly: every cycle
+count in the paper's figures is derived from it.  These checks make that
+trust earned — a trace must be a *possible* execution of the program it
+claims to come from:
+
+* event count bookkeeping matches (``dynamic_count``, ``suppressed_count``);
+* only guarded, non-predicate-define instructions are ever nullified;
+* memory addresses/values appear exactly on executed memory events;
+* the event sequence follows program order: fall-throughs, recorded
+  branch directions, call/return nesting and jump targets all replay to
+  the next event actually in the trace.
+
+All violations raise :class:`~repro.robustness.errors.TraceIntegrityError`.
+"""
+
+from __future__ import annotations
+
+from repro.emu.trace import ExecutionResult, TraceEvent
+from repro.ir.function import Program
+from repro.ir.opcodes import OpCategory
+from repro.robustness.errors import TraceIntegrityError
+
+_CONTROL = (OpCategory.BRANCH, OpCategory.JUMP, OpCategory.CALL,
+            OpCategory.RET)
+
+
+def check_trace_integrity(execution: ExecutionResult,
+                          program: Program) -> None:
+    """Validate ``execution``'s trace against ``program``.
+
+    Raises :class:`TraceIntegrityError` on the first violation; returns
+    None on a clean trace.
+    """
+    trace = execution.trace
+    if trace is None:
+        raise TraceIntegrityError(
+            "execution result carries no trace (collect_trace was off or "
+            "the trace was discarded)")
+    if len(trace) != execution.dynamic_count:
+        raise TraceIntegrityError(
+            f"trace has {len(trace)} events but dynamic_count is "
+            f"{execution.dynamic_count}")
+    nullified = sum(1 for e in trace if not e.executed)
+    if nullified != execution.suppressed_count:
+        raise TraceIntegrityError(
+            f"trace has {nullified} nullified events but "
+            f"suppressed_count is {execution.suppressed_count}")
+    _check_event_shapes(trace)
+    _check_control_flow(trace, program)
+
+
+def _check_event_shapes(trace: list[TraceEvent]) -> None:
+    """Per-event invariants: guards, taken flags, addresses, values."""
+    for idx, ev in enumerate(trace):
+        inst = ev.inst
+        cat = inst.cat
+        if not ev.executed:
+            if inst.pred is None:
+                raise TraceIntegrityError(
+                    f"event {idx}: {inst!r} was nullified but carries no "
+                    f"guard predicate")
+            if cat is OpCategory.PREDDEF:
+                raise TraceIntegrityError(
+                    f"event {idx}: predicate define {inst!r} was "
+                    f"nullified; defines always execute (Table 1)")
+            if ev.taken:
+                raise TraceIntegrityError(
+                    f"event {idx}: nullified {inst!r} marked taken")
+            if ev.addr != -1 or ev.value is not None:
+                raise TraceIntegrityError(
+                    f"event {idx}: nullified {inst!r} carries memory "
+                    f"effects (addr={ev.addr}, value={ev.value!r})")
+            continue
+        if ev.taken and cat not in _CONTROL:
+            raise TraceIntegrityError(
+                f"event {idx}: non-control {inst!r} marked taken")
+        if cat is OpCategory.STORE:
+            if ev.addr < 0:
+                raise TraceIntegrityError(
+                    f"event {idx}: executed store {inst!r} has no "
+                    f"effective address")
+            if ev.value is None:
+                raise TraceIntegrityError(
+                    f"event {idx}: executed store {inst!r} recorded no "
+                    f"value")
+        elif cat is not OpCategory.LOAD:
+            # Speculative loads may record out-of-range addresses; every
+            # other executed category must record none at all.
+            if ev.addr != -1:
+                raise TraceIntegrityError(
+                    f"event {idx}: non-memory {inst!r} carries address "
+                    f"{ev.addr}")
+            if ev.value is not None:
+                raise TraceIntegrityError(
+                    f"event {idx}: non-store {inst!r} carries value "
+                    f"{ev.value!r}")
+
+
+def _check_control_flow(trace: list[TraceEvent],
+                        program: Program) -> None:
+    """Replay program order and confirm the trace never deviates."""
+    funcs = {
+        name: ([list(b.instructions) for b in fn.blocks],
+               {b.name: i for i, b in enumerate(fn.blocks)})
+        for name, fn in program.functions.items()
+    }
+    if program.entry not in funcs:
+        raise TraceIntegrityError(
+            f"program has no entry function {program.entry!r}")
+    stack: list[tuple[str, int, int]] = []
+    cur_fn, bi, ii = program.entry, 0, 0
+    done = False
+    for idx, ev in enumerate(trace):
+        if done:
+            raise TraceIntegrityError(
+                f"event {idx}: {ev.inst!r} follows the program's final "
+                f"return")
+        blocks, labels = funcs[cur_fn]
+        while ii >= len(blocks[bi]):
+            bi += 1
+            ii = 0
+            if bi >= len(blocks):
+                raise TraceIntegrityError(
+                    f"event {idx}: control fell off the end of {cur_fn}")
+        expected = blocks[bi][ii]
+        inst = ev.inst
+        if inst.uid != expected.uid or inst.op is not expected.op:
+            raise TraceIntegrityError(
+                f"event {idx}: trace shows {inst!r} but program order in "
+                f"{cur_fn} expects {expected!r}")
+        cat = inst.cat
+        if not ev.executed:
+            ii += 1
+        elif cat is OpCategory.BRANCH and ev.taken:
+            target = labels.get(inst.target)
+            if target is None:
+                raise TraceIntegrityError(
+                    f"event {idx}: taken branch {inst!r} targets unknown "
+                    f"block {inst.target!r} in {cur_fn}")
+            bi, ii = target, 0
+        elif cat is OpCategory.JUMP:
+            target = labels.get(inst.target)
+            if target is None:
+                raise TraceIntegrityError(
+                    f"event {idx}: jump {inst!r} targets unknown block "
+                    f"{inst.target!r} in {cur_fn}")
+            bi, ii = target, 0
+        elif cat is OpCategory.CALL:
+            if inst.target not in funcs:
+                raise TraceIntegrityError(
+                    f"event {idx}: call {inst!r} targets unknown "
+                    f"function {inst.target!r}")
+            stack.append((cur_fn, bi, ii + 1))
+            cur_fn, bi, ii = inst.target, 0, 0
+        elif cat is OpCategory.RET:
+            if stack:
+                cur_fn, bi, ii = stack.pop()
+            else:
+                done = True
+        else:
+            ii += 1

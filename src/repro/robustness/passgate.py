@@ -1,0 +1,127 @@
+"""Pass gates: verify-after-every-pass with artifacts and rollback.
+
+A compiler bug that corrupts the IR mid-pipeline normally surfaces many
+passes later (or worse, as silently wrong cycle counts).  The gate wraps
+each transformation stage of :func:`repro.toolchain.compile_for_model`:
+
+* in **paranoid** mode it re-runs the structural verifier after every
+  stage, so the *offending pass* is named, and dumps a printed IR
+  snapshot of the broken function to an artifact directory;
+* with **rollback** enabled it restores the function to its pre-pass
+  state instead of aborting — graceful degradation that keeps the model
+  runnable (without the failing optimization) and records what was
+  skipped in :attr:`PassGate.degradations`.
+
+Crashes inside a pass are wrapped into the typed taxonomy
+(:class:`~repro.robustness.errors.CompileError`) either way.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.function import Function, Program
+from repro.ir.printer import format_function
+from repro.ir.verifier import ISALevel, VerificationError, verify_function
+from repro.robustness.errors import (CompileError, PassVerificationError,
+                                     ReproError)
+
+
+@dataclass
+class Degradation:
+    """Record of a pass skipped by rollback-and-continue."""
+
+    function: str
+    pass_name: str
+    error: str
+    artifact_path: str | None = None
+
+
+def default_artifact_dir() -> str:
+    return os.path.join(tempfile.gettempdir(), "repro-artifacts")
+
+
+class PassGate:
+    """Runs compilation stages under verification/rollback policies."""
+
+    def __init__(self, program: Program, *, paranoid: bool = False,
+                 rollback: bool = False, artifact_dir: str | None = None,
+                 model: str = ""):
+        self.program = program
+        self.paranoid = paranoid
+        self.rollback = rollback
+        self.artifact_dir = artifact_dir
+        self.model = model
+        self.degradations: list[Degradation] = []
+
+    def run(self, fn: Function, pass_name: str, thunk: Callable[[], object],
+            level: ISALevel = ISALevel.FULL):
+        """Run one stage on ``fn``; returns the thunk's result.
+
+        Returns None when the stage failed and was rolled back (callers
+        treating the result as optional must handle that).
+        """
+        snapshot = copy.deepcopy(fn) if self.rollback else None
+        try:
+            result = thunk()
+        except ReproError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — typed re-raise below
+            artifact = self._dump(fn, pass_name, exc)
+            if snapshot is not None:
+                self._degrade(fn, snapshot, pass_name, exc, artifact)
+                return None
+            raise CompileError(
+                f"pass {pass_name!r} crashed on {fn.name}: {exc}",
+                pass_name=pass_name, function=fn.name) from exc
+        if self.paranoid:
+            try:
+                verify_function(fn, self.program, level)
+            except VerificationError as exc:
+                artifact = self._dump(fn, pass_name, exc)
+                if snapshot is not None:
+                    self._degrade(fn, snapshot, pass_name, exc, artifact)
+                    return None
+                raise PassVerificationError(
+                    f"pass {pass_name!r} left {fn.name} invalid: {exc}"
+                    + (f" (IR snapshot: {artifact})" if artifact else ""),
+                    pass_name=pass_name, function=fn.name,
+                    artifact_path=artifact) from exc
+        return result
+
+    # ----- internals ------------------------------------------------------
+
+    def _degrade(self, fn: Function, snapshot: Function, pass_name: str,
+                 exc: Exception, artifact: str | None) -> None:
+        vars(fn).clear()
+        vars(fn).update(vars(snapshot))
+        self.degradations.append(Degradation(
+            function=fn.name, pass_name=pass_name,
+            error=f"{type(exc).__name__}: {exc}", artifact_path=artifact))
+
+    def _dump(self, fn: Function, pass_name: str,
+              exc: Exception) -> str | None:
+        """Write the post-pass IR snapshot; never raises."""
+        directory = self.artifact_dir or default_artifact_dir()
+        safe = re.sub(r"[^\w.-]+", "_", f"{self.model}-{fn.name}-{pass_name}")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(directory, f"{safe}.ir.txt")
+            suffix = 1
+            while os.path.exists(path):
+                suffix += 1
+                path = os.path.join(directory, f"{safe}-{suffix}.ir.txt")
+            with open(path, "w") as handle:
+                handle.write(f"; model:    {self.model or '?'}\n")
+                handle.write(f"; pass:     {pass_name}\n")
+                handle.write(f"; function: {fn.name}\n")
+                handle.write(f"; error:    {type(exc).__name__}: {exc}\n\n")
+                handle.write(format_function(fn) + "\n")
+            return path
+        except OSError:
+            return None

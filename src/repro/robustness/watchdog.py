@@ -1,0 +1,68 @@
+"""Emulation watchdog: wall-clock budgets and progress heartbeats.
+
+``max_steps`` bounds emulation by *dynamic instruction count*, which is
+the wrong unit when a single step can be arbitrarily slow (allocation
+churn, pathological traces) or when a suite must finish inside a CI time
+slot.  The watchdog adds a wall-clock budget on top, checked every
+``interval`` steps so the interpreter's hot loop stays cheap, and keeps
+a bounded ring of ``(steps, elapsed_seconds)`` heartbeats so a timeout
+report shows whether the run was progressing or stuck.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.robustness.errors import EmulationTimeout
+
+
+@dataclass
+class EmulationWatchdog:
+    """Budget/heartbeat tracker threaded into :class:`~repro.emu.interpreter.Interpreter`.
+
+    Attributes:
+        wall_clock_budget: seconds of wall time allowed, or None for
+            heartbeat-only operation.
+        interval: emulation steps between ``beat`` calls (power of two
+            keeps the interpreter's modulo cheap).
+        max_heartbeats: ring size; older heartbeats are discarded.
+    """
+
+    wall_clock_budget: float | None = None
+    interval: int = 1 << 16
+    max_heartbeats: int = 64
+    heartbeats: list[tuple[int, float]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("watchdog interval must be positive")
+        self._start: float | None = None
+
+    def start(self) -> None:
+        """Arm the budget clock (idempotent; ``beat`` auto-arms)."""
+        if self._start is None:
+            self._start = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
+        return time.monotonic() - self._start
+
+    def beat(self, steps: int) -> None:
+        """Record progress; raise :class:`EmulationTimeout` over budget."""
+        if self._start is None:
+            self.start()
+        elapsed = time.monotonic() - self._start
+        self.heartbeats.append((steps, elapsed))
+        if len(self.heartbeats) > self.max_heartbeats:
+            del self.heartbeats[:len(self.heartbeats) // 2]
+        budget = self.wall_clock_budget
+        if budget is not None and elapsed > budget:
+            rate = steps / elapsed if elapsed > 0 else 0.0
+            raise EmulationTimeout(
+                f"emulation exceeded its {budget:g}s wall-clock budget "
+                f"after {steps} steps ({elapsed:.2f}s, "
+                f"{rate:,.0f} steps/s)",
+                steps=steps, elapsed=elapsed, budget=budget)

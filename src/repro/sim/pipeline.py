@@ -94,7 +94,7 @@ def simulate_trace(trace: list[TraceEvent], addresses: dict[int, int],
     CONTROL = (OpCategory.BRANCH, OpCategory.JUMP, OpCategory.CALL,
                OpCategory.RET)
 
-    for inst, executed, taken, mem_addr in trace:
+    for inst, executed, taken, mem_addr, _value in trace:
         op = inst.op
         cat = inst.cat
         stats.dynamic_instructions += 1

@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 from repro.analysis.profile import Profile
 from repro.emu.interpreter import run_program
 from repro.emu.trace import ExecutionResult
-from repro.ir.function import Program
-from repro.ir.verifier import ISALevel, verify_program
+from repro.ir.function import IRError, Program
+from repro.ir.verifier import ISALevel, VerificationError, verify_program
 from repro.lang.lower import compile_minic
 from repro.machine.descriptor import MachineDescription, scalar_machine
 from repro.opt.cfg_cleanup import normalize_basic_blocks
@@ -42,6 +42,10 @@ from repro.regions.predopt import optimize_hyperblock_predicates
 from repro.regions.promotion import promote_all
 from repro.regions.superblock import SuperblockParams, form_superblocks
 from repro.regions.unroll import UnrollParams, unroll_function_loops
+from repro.robustness.errors import (CompileError, PassVerificationError,
+                                     TraceIntegrityError)
+from repro.robustness.passgate import Degradation, PassGate
+from repro.robustness.watchdog import EmulationWatchdog
 from repro.schedule.list_scheduler import ScheduleResult, schedule_program
 from repro.sim.pipeline import (SimulationStats, assign_addresses,
                                 simulate_trace)
@@ -78,6 +82,14 @@ class ToolchainOptions:
     enable_promotion: bool = True
     enable_or_tree: bool = True
     verify: bool = True
+    #: re-verify the IR after every compilation stage; failures name the
+    #: offending pass and dump an IR snapshot to ``artifact_dir``
+    paranoid: bool = False
+    #: on a pass failure, restore the pre-pass IR and keep compiling
+    #: (graceful degradation, recorded in CompiledProgram.degradations)
+    rollback: bool = False
+    #: where pass-failure IR snapshots go (None = system temp dir)
+    artifact_dir: str | None = None
 
 
 @dataclass
@@ -89,6 +101,8 @@ class CompiledProgram:
     machine: MachineDescription
     schedule: ScheduleResult
     addresses: dict[int, int]
+    #: passes skipped by rollback-and-continue (empty on clean compiles)
+    degradations: list[Degradation] = field(default_factory=list)
 
     @property
     def static_size(self) -> int:
@@ -119,47 +133,101 @@ def compile_for_model(base: Program, model: Model, profile: Profile,
     if options is None:
         options = ToolchainOptions()
     program = copy.deepcopy(base)
+    gate = PassGate(program, paranoid=options.paranoid,
+                    rollback=options.rollback,
+                    artifact_dir=options.artifact_dir, model=model.value)
 
     for fn in program.functions.values():
         if model is Model.SUPERBLOCK:
-            form_superblocks(fn, profile, options.superblock)
+            level = ISALevel.BASELINE
+            gate.run(fn, "superblock-formation",
+                     lambda fn=fn: form_superblocks(fn, profile,
+                                                    options.superblock),
+                     level)
             if options.unroll is not None:
-                unroll_function_loops(fn, options.unroll)
-            run_function_passes(fn, PEEPHOLE_PASSES)
+                gate.run(fn, "loop-unroll",
+                         lambda fn=fn: unroll_function_loops(
+                             fn, options.unroll), level)
+            gate.run(fn, "peephole",
+                     lambda fn=fn: run_function_passes(fn, PEEPHOLE_PASSES),
+                     level)
         else:
-            formed = form_hyperblocks(fn, profile, options.hyperblock)
-            for label, _info in formed:
-                optimize_hyperblock_predicates(fn, fn.block(label))
+            # Until the full->partial lowering runs, both predicated
+            # models carry full-predication IR.
+            level = ISALevel.FULL
+            formed = gate.run(fn, "hyperblock-formation",
+                              lambda fn=fn: form_hyperblocks(
+                                  fn, profile, options.hyperblock),
+                              level) or []
+            gate.run(fn, "predicate-optimization",
+                     lambda fn=fn, formed=formed: [
+                         optimize_hyperblock_predicates(fn, fn.block(label))
+                         for label, _info in formed], level)
             if options.enable_promotion:
-                promote_all(fn, formed)
+                gate.run(fn, "predicate-promotion",
+                         lambda fn=fn, formed=formed: promote_all(fn, formed),
+                         level)
             if options.branch_combine is not None:
-                for label, _info in formed:
-                    try:
-                        block = fn.block(label)
-                    except Exception:
-                        continue
-                    combine_branches(fn, block, profile,
-                                     options.branch_combine)
+                gate.run(fn, "branch-combine",
+                         lambda fn=fn, formed=formed: _combine_all(
+                             fn, formed, profile, options.branch_combine),
+                         level)
             # The paper's compiler applies superblock techniques to the
             # remaining code; traces may flow through formed hyperblocks
             # (normalization keeps predicated blocks whole).
-            form_superblocks(fn, profile, options.superblock)
+            gate.run(fn, "superblock-formation",
+                     lambda fn=fn: form_superblocks(fn, profile,
+                                                    options.superblock),
+                     level)
             if options.unroll is not None:
-                unroll_function_loops(fn, options.unroll)
+                gate.run(fn, "loop-unroll",
+                         lambda fn=fn: unroll_function_loops(
+                             fn, options.unroll), level)
             if model is Model.CMOV:
-                convert_to_partial(fn, options.conversion)
+                level = ISALevel.PARTIAL
+                gate.run(fn, "partial-conversion",
+                         lambda fn=fn: convert_to_partial(
+                             fn, options.conversion), level)
                 if options.enable_or_tree:
-                    reduce_function_or_trees(fn)
-                run_function_passes(fn, PEEPHOLE_PASSES)
-            else:
-                run_function_passes(fn, PEEPHOLE_PASSES)
+                    gate.run(fn, "or-tree-reduction",
+                             lambda fn=fn: reduce_function_or_trees(fn),
+                             level)
+            gate.run(fn, "peephole",
+                     lambda fn=fn: run_function_passes(fn, PEEPHOLE_PASSES),
+                     level)
 
     if options.verify:
-        verify_program(program, model.isa_level)
-    schedule = schedule_program(program, machine)
-    addresses = assign_addresses(program, machine.instruction_bytes)
+        try:
+            verify_program(program, model.isa_level)
+        except VerificationError as exc:
+            raise PassVerificationError(
+                f"compiled {model.value} program failed final "
+                f"verification: {exc}", pass_name="final-verify") from exc
+    try:
+        schedule = schedule_program(program, machine)
+        addresses = assign_addresses(program, machine.instruction_bytes)
+    except Exception as exc:
+        raise CompileError(
+            f"scheduling {model.value} program failed: {exc}",
+            pass_name="schedule") from exc
     return CompiledProgram(program=program, model=model, machine=machine,
-                           schedule=schedule, addresses=addresses)
+                           schedule=schedule, addresses=addresses,
+                           degradations=list(gate.degradations))
+
+
+def _combine_all(fn, formed, profile, params) -> None:
+    """Branch-combine every formed hyperblock that still exists.
+
+    Later formation stages may have merged a hyperblock away; only a
+    *missing block* is expected here — any other error is a real pass
+    bug and must surface.
+    """
+    for label, _info in formed:
+        try:
+            block = fn.block(label)
+        except IRError:
+            continue
+        combine_branches(fn, block, profile, params)
 
 
 @dataclass
@@ -182,18 +250,23 @@ class RunResult:
 def run_compiled(compiled: CompiledProgram,
                  inputs: dict | None = None,
                  machine: MachineDescription | None = None,
-                 max_steps: int = 50_000_000) -> RunResult:
+                 max_steps: int = 50_000_000,
+                 watchdog: EmulationWatchdog | None = None) -> RunResult:
     """Emulate the compiled program and simulate its trace.
 
     ``machine`` may differ from the compile-time machine in memory
     hierarchy (the schedule is unaffected by caches), enabling
-    perfect-vs-real-cache comparisons without recompiling.
+    perfect-vs-real-cache comparisons without recompiling.  An optional
+    ``watchdog`` bounds emulation wall-clock time on top of ``max_steps``.
     """
     if machine is None:
         machine = compiled.machine
     execution = run_program(compiled.program, inputs=inputs,
-                            collect_trace=True, max_steps=max_steps)
-    assert execution.trace is not None
+                            collect_trace=True, max_steps=max_steps,
+                            watchdog=watchdog)
+    if execution.trace is None:
+        raise TraceIntegrityError(
+            f"emulation of {compiled.model.value} produced no trace")
     stats = simulate_trace(execution.trace, compiled.addresses, machine)
     return RunResult(compiled=compiled, execution=execution, stats=stats)
 

@@ -75,9 +75,12 @@ def test_renderers_produce_text(small_suite):
 
 
 def test_agreement_check_raises_on_divergence(small_suite):
+    from repro.robustness.errors import ModelDivergenceError
+
     # Sanity: the real check passes...
     small_suite.check_model_agreement("wc", fig8_machine())
-    # ...and a forged execution entry is caught.
+    # ...and a forged execution entry is caught, with the divergent
+    # model and observable named in the typed error.
     key = ("wc", Model.CMOV, 8, 1)
     saved = small_suite._execution.get(key)
     assert saved is not None
@@ -85,6 +88,18 @@ def test_agreement_check_raises_on_divergence(small_suite):
     forged = copy.copy(saved)
     forged.return_value = 123456789
     small_suite._execution[key] = forged
-    with pytest.raises(AssertionError):
+    with pytest.raises(ModelDivergenceError) as exc:
         small_suite.check_model_agreement("wc", fig8_machine())
+    assert exc.value.kind == "return-value"
+    assert exc.value.model == Model.CMOV.value
+    small_suite._execution[key] = saved
+
+    # The oracle sees deeper than return values: a forged store-stream
+    # signature is also divergence.
+    forged2 = copy.copy(saved)
+    forged2.output_signature ^= 0xDEAD
+    small_suite._execution[key] = forged2
+    with pytest.raises(ModelDivergenceError) as exc:
+        small_suite.check_model_agreement("wc", fig8_machine())
+    assert exc.value.kind == "output-stream"
     small_suite._execution[key] = saved

@@ -1,0 +1,62 @@
+"""CLI failure mapping: typed errors become distinct exit codes."""
+
+import pytest
+
+from repro.cli import main
+
+SLOW_SRC = """
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 200000; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+"""
+
+
+@pytest.fixture
+def slow_file(tmp_path):
+    path = tmp_path / "slow.c"
+    path.write_text(SLOW_SRC)
+    return str(path)
+
+
+def test_timeout_maps_to_exit_13(slow_file, capsys):
+    # A zero budget is exceeded at the first heartbeat (64K steps in).
+    code = main(["run", slow_file, "--time-budget", "0"])
+    assert code == 13
+    err = capsys.readouterr().err
+    assert "error[EmulationTimeout]" in err
+    assert "Traceback" not in err
+
+
+def test_robustness_flags_accepted(slow_file, capsys):
+    code = main(["compile", slow_file, "--model", "fullpred",
+                 "--paranoid"])
+    assert code == 0
+    assert "function main" in capsys.readouterr().out
+
+
+def test_missing_file_maps_to_exit_10(tmp_path, capsys):
+    code = main(["run", str(tmp_path / "nope.c")])
+    assert code == 10
+    err = capsys.readouterr().err
+    assert "error[FileNotFoundError]" in err
+
+
+def test_parse_error_maps_to_exit_11(tmp_path, capsys):
+    path = tmp_path / "bad.c"
+    path.write_text("int main() { return %%; }")
+    code = main(["compile", str(path)])
+    assert code == 11
+    assert "error[ParseError]" in capsys.readouterr().err
+
+
+def test_selftest_passes(capsys):
+    assert main(["selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "corruption classes caught" in out
+    assert "UNDETECTED" not in out

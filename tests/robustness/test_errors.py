@@ -1,0 +1,46 @@
+"""The typed error taxonomy: hierarchy and exit-code contract."""
+
+from repro.emu.memory import EmulationFault
+from repro.robustness.errors import (CompileError, EmulationTimeout,
+                                     ModelDivergenceError,
+                                     PassVerificationError, ReproError,
+                                     TraceIntegrityError)
+
+ALL = (ReproError, CompileError, PassVerificationError, EmulationTimeout,
+       TraceIntegrityError, ModelDivergenceError)
+
+
+def test_every_class_is_a_repro_error():
+    for cls in ALL:
+        assert issubclass(cls, ReproError)
+
+
+def test_exit_codes_are_distinct_and_documented():
+    codes = {cls: cls.exit_code for cls in ALL}
+    assert len(set(codes.values())) == len(ALL)
+    assert codes[ReproError] == 10
+    assert codes[CompileError] == 11
+    assert codes[PassVerificationError] == 12
+    assert codes[EmulationTimeout] == 13
+    assert codes[TraceIntegrityError] == 14
+    assert codes[ModelDivergenceError] == 15
+
+
+def test_timeout_is_also_an_emulation_fault():
+    # Pre-existing handlers around run_program catch EmulationFault;
+    # the watchdog's timeout must not slip past them.
+    exc = EmulationTimeout("budget blown", steps=7, elapsed=1.5, budget=1.0)
+    assert isinstance(exc, EmulationFault)
+    assert (exc.steps, exc.elapsed, exc.budget) == (7, 1.5, 1.0)
+
+
+def test_structured_fields_carry_context():
+    exc = PassVerificationError("bad", pass_name="peephole",
+                                function="main", artifact_path="/tmp/x")
+    assert isinstance(exc, CompileError)
+    assert (exc.pass_name, exc.function) == ("peephole", "main")
+    assert exc.artifact_path == "/tmp/x"
+    div = ModelDivergenceError("differs", workload="wc", model="cmov",
+                               kind="output-stream")
+    assert (div.workload, div.model, div.kind) == ("wc", "cmov",
+                                                   "output-stream")

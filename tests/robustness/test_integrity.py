@@ -1,0 +1,63 @@
+"""Trace integrity: clean traces pass, each corruption kind is caught."""
+
+import copy
+
+import pytest
+
+from repro.emu.interpreter import run_program
+from repro.ir.opcodes import OpCategory
+from repro.robustness.errors import TraceIntegrityError
+from repro.robustness.faults import CAMPAIGN_INPUTS
+from repro.robustness.integrity import check_trace_integrity
+from repro.toolchain import Model
+
+
+def test_clean_traces_pass_for_every_model(campaign):
+    for model in Model:
+        check_trace_integrity(campaign.executions[model],
+                              campaign.compiled[model].program)
+
+
+def test_missing_trace_is_an_error(campaign):
+    execution = run_program(campaign.compiled[Model.SUPERBLOCK].program,
+                            inputs=CAMPAIGN_INPUTS, collect_trace=False)
+    with pytest.raises(TraceIntegrityError):
+        check_trace_integrity(execution,
+                              campaign.compiled[Model.SUPERBLOCK].program)
+
+
+def test_count_bookkeeping_mismatch(campaign):
+    forged = copy.deepcopy(campaign.executions[Model.FULLPRED])
+    forged.dynamic_count += 1
+    with pytest.raises(TraceIntegrityError):
+        check_trace_integrity(forged,
+                              campaign.compiled[Model.FULLPRED].program)
+
+
+def test_store_event_without_a_value(campaign):
+    forged = copy.deepcopy(campaign.executions[Model.SUPERBLOCK])
+    idx = next(i for i, ev in enumerate(forged.trace)
+               if ev.executed and ev.inst.cat is OpCategory.STORE)
+    forged.trace[idx] = forged.trace[idx]._replace(value=None)
+    with pytest.raises(TraceIntegrityError):
+        check_trace_integrity(forged,
+                              campaign.compiled[Model.SUPERBLOCK].program)
+
+
+def test_taken_flag_on_non_control_event(campaign):
+    forged = copy.deepcopy(campaign.executions[Model.SUPERBLOCK])
+    idx = next(i for i, ev in enumerate(forged.trace)
+               if ev.executed and ev.inst.cat is OpCategory.ALU)
+    forged.trace[idx] = forged.trace[idx]._replace(taken=True)
+    with pytest.raises(TraceIntegrityError):
+        check_trace_integrity(forged,
+                              campaign.compiled[Model.SUPERBLOCK].program)
+
+
+def test_result_method_delegates(campaign):
+    execution = campaign.executions[Model.FULLPRED]
+    execution.verify_integrity(campaign.compiled[Model.FULLPRED].program)
+    forged = copy.deepcopy(execution)
+    forged.trace.pop()
+    with pytest.raises(TraceIntegrityError):
+        forged.verify_integrity(campaign.compiled[Model.FULLPRED].program)

@@ -1,0 +1,63 @@
+"""Emulation watchdog: budgets, heartbeats, and the step limit."""
+
+import pytest
+
+from repro.emu.interpreter import StepLimitExceeded, run_program
+from repro.emu.memory import EmulationFault
+from repro.robustness.errors import EmulationTimeout, ReproError
+from repro.robustness.faults import CAMPAIGN_INPUTS
+from repro.robustness.watchdog import EmulationWatchdog
+from repro.toolchain import Model
+
+
+def test_heartbeats_are_a_bounded_ring():
+    wd = EmulationWatchdog(max_heartbeats=4)
+    for step in range(1, 10):
+        wd.beat(step * 100)
+    assert len(wd.heartbeats) <= 4
+    # Older heartbeats are discarded; the latest survives.
+    assert wd.heartbeats[-1][0] == 900
+
+
+def test_beat_raises_over_budget():
+    wd = EmulationWatchdog(wall_clock_budget=1.0)
+    wd.start()
+    wd._start -= 5.0  # pretend five wall-clock seconds have passed
+    with pytest.raises(EmulationTimeout) as exc:
+        wd.beat(1234)
+    assert exc.value.steps == 1234
+    assert exc.value.elapsed > exc.value.budget == 1.0
+    assert isinstance(exc.value, ReproError)
+    assert isinstance(exc.value, EmulationFault)
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        EmulationWatchdog(interval=0)
+
+
+def test_interpreter_drives_the_watchdog(campaign):
+    # A negative budget is already blown at the first heartbeat, so the
+    # test never depends on clock resolution.
+    wd = EmulationWatchdog(wall_clock_budget=-1.0, interval=1)
+    with pytest.raises(EmulationTimeout):
+        run_program(campaign.compiled[Model.SUPERBLOCK].program,
+                    inputs=CAMPAIGN_INPUTS, watchdog=wd)
+    assert wd.heartbeats  # the timeout report shows progress
+
+
+def test_heartbeats_recorded_on_clean_run(campaign):
+    wd = EmulationWatchdog(interval=64)
+    execution = run_program(campaign.compiled[Model.SUPERBLOCK].program,
+                            inputs=CAMPAIGN_INPUTS, watchdog=wd)
+    assert execution.heartbeats
+    steps = [s for s, _ in execution.heartbeats]
+    assert steps == sorted(steps)
+    assert steps[-1] <= execution.dynamic_count
+    assert execution.wall_time_seconds > 0.0
+
+
+def test_step_limit_still_enforced(campaign):
+    with pytest.raises(StepLimitExceeded):
+        run_program(campaign.compiled[Model.SUPERBLOCK].program,
+                    inputs=CAMPAIGN_INPUTS, max_steps=10)
