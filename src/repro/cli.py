@@ -6,8 +6,15 @@ Subcommands:
 * ``run``      — compile + emulate + simulate one file and print stats;
 * ``bench``    — run one registered workload under all three models;
 * ``report``   — regenerate every figure/table (the paper's evaluation);
+* ``cache``    — inspect or clear the content-addressed artifact store;
 * ``selftest`` — fault-injection campaign proving the checkers work;
 * ``list``     — list the registered workloads.
+
+``bench`` and ``report`` cache every compiled program, emulation trace
+and simulation result in a content-addressed store (``--cache-dir``,
+default ``.repro-cache`` or ``$REPRO_CACHE_DIR``), so a repeated run is
+served entirely from artifacts; ``--jobs N`` fans the pipeline across a
+process pool.
 
 Examples::
 
@@ -16,6 +23,9 @@ Examples::
     python -m repro run kernel.c --paranoid --time-budget 30
     python -m repro bench wc --scale 0.5
     python -m repro report --scale 0.5 --mode degrade -o RESULTS.txt
+    python -m repro report --jobs 4 --bench-json BENCH_pipeline.json
+    python -m repro cache stats
+    python -m repro cache clear
     python -m repro selftest
 
 Failures exit with the typed taxonomy's codes (one-line diagnostics,
@@ -27,10 +37,12 @@ divergence, 16 emulation fault.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.profile import Profile
 from repro.emu.memory import EmulationFault
+from repro.engine.store import ArtifactStore
 from repro.experiments.render import render_all
 from repro.experiments.runner import ExperimentSuite
 from repro.ir.function import IRError
@@ -88,6 +100,37 @@ def _add_robustness_args(parser: argparse.ArgumentParser,
         parser.add_argument("--time-budget", type=float, default=None,
                             metavar="SECONDS",
                             help="wall-clock budget for each emulation")
+
+
+def _default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan pipeline work across N pool processes "
+                             "(default 1: serial, in-process)")
+    parser.add_argument("--cache-dir", default=_default_cache_dir(),
+                        metavar="DIR",
+                        help="artifact store directory (default "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact store")
+
+
+def _cache_dir(args) -> str | None:
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
+
+
+def _print_metrics(suite, args) -> None:
+    """Pipeline summary to stderr; full counters to --bench-json."""
+    print(suite.metrics.render(), file=sys.stderr)
+    bench_json = getattr(args, "bench_json", None)
+    if bench_json:
+        suite.metrics.write_json(bench_json)
+        print(f"wrote {bench_json}", file=sys.stderr)
 
 
 def _options(args) -> ToolchainOptions:
@@ -165,7 +208,8 @@ def _cmd_bench(args) -> int:
     suite = ExperimentSuite(workloads=[workload], scale=args.scale,
                             options=_options(args),
                             paranoid=args.paranoid,
-                            wall_clock_budget=args.time_budget)
+                            wall_clock_budget=args.time_budget,
+                            cache_dir=_cache_dir(args), jobs=args.jobs)
     machine = _machine(args)
     base = suite.baseline_cycles(workload.name)
     print(f"{workload.name} ({workload.stands_for}), scale {args.scale}")
@@ -178,6 +222,7 @@ def _cmd_bench(args) -> int:
               f"{base / stats.cycles:>9.2f}"
               f"{stats.executed_instructions:>9d}"
               f"{stats.branches:>8d}{stats.mispredictions:>7d}")
+    _print_metrics(suite, args)
     return 0
 
 
@@ -185,7 +230,8 @@ def _cmd_report(args) -> int:
     suite = ExperimentSuite(scale=args.scale, mode=args.mode,
                             options=_options(args),
                             paranoid=args.paranoid,
-                            wall_clock_budget=args.time_budget)
+                            wall_clock_budget=args.time_budget,
+                            cache_dir=_cache_dir(args), jobs=args.jobs)
     text = render_all(suite)
     if suite.failures:
         text += "\n\n" + suite.failure_report()
@@ -195,7 +241,18 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    _print_metrics(suite, args)
     return 0 if not suite.failures else 1
+
+
+def _cmd_cache(args) -> int:
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "stats":
+        print(store.stats().render())
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} artifacts from {args.cache_dir}")
+    return 0
 
 
 def _cmd_selftest(args) -> int:
@@ -239,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.5)
     _add_machine_args(p)
     _add_robustness_args(p)
+    _add_engine_args(p)
+    p.add_argument("--bench-json", metavar="PATH",
+                   help="dump pipeline metrics (wall time, cache "
+                        "hit/miss, cycles) as JSON")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="regenerate all figures/tables")
@@ -249,7 +310,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="strict: abort on the first failing workload; "
                         "degrade: quarantine it and report at the end")
     _add_robustness_args(p)
+    _add_engine_args(p)
+    p.add_argument("--bench-json", metavar="PATH",
+                   help="dump pipeline metrics (wall time, cache "
+                        "hit/miss, cycles) as JSON, e.g. "
+                        "BENCH_pipeline.json")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the artifact store")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--cache-dir", default=_default_cache_dir(),
+                   metavar="DIR",
+                   help="artifact store directory (default "
+                        "$REPRO_CACHE_DIR or .repro-cache)")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("selftest",
                        help="fault-injection campaign: prove every "

@@ -1,0 +1,157 @@
+"""Per-stage observability for the experiment pipeline.
+
+A :class:`PipelineMetrics` instance rides along the pipeline (suite,
+store, pool workers) and accumulates wall time per stage, cache hit/miss
+counters per artifact kind, and simulation volume.  Workers serialize
+their counters with :meth:`PipelineMetrics.to_dict` and the parent folds
+them back in with :meth:`PipelineMetrics.merge_dict`, so one object
+always holds the whole run's totals — the source of both the report
+summary block and ``BENCH_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.engine.keys import KINDS, SCHEMA_VERSION
+
+#: pipeline stages with timed compute
+STAGES = ("frontend", "profile", "compile", "emulate", "simulate")
+
+
+@dataclass
+class StageMetrics:
+    """Compute work actually performed for one stage (misses only)."""
+
+    invocations: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class CacheMetrics:
+    """Store traffic for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class PipelineMetrics:
+    """Wall time, cache traffic and simulation volume for one run."""
+
+    stages: dict[str, StageMetrics] = field(
+        default_factory=lambda: {s: StageMetrics() for s in STAGES})
+    cache: dict[str, CacheMetrics] = field(
+        default_factory=lambda: {k: CacheMetrics() for k in KINDS})
+    total_cycles_simulated: int = 0
+    jobs_dispatched: int = 0
+    worker_crashes: int = 0
+
+    # ----- recording ----------------------------------------------------
+
+    @contextmanager
+    def timer(self, stage: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            m = self.stages[stage]
+            m.invocations += 1
+            m.wall_seconds += time.perf_counter() - start
+
+    def record_hit(self, kind: str) -> None:
+        self.cache[kind].hits += 1
+
+    def record_miss(self, kind: str) -> None:
+        self.cache[kind].misses += 1
+
+    def add_cycles(self, cycles: int) -> None:
+        self.total_cycles_simulated += cycles
+
+    # ----- aggregation --------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.hits for c in self.cache.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(c.misses for c in self.cache.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.stages.values())
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a worker's :meth:`to_dict` counters into this object."""
+        for name, stage in data.get("stages", {}).items():
+            m = self.stages.setdefault(name, StageMetrics())
+            m.invocations += stage.get("invocations", 0)
+            m.wall_seconds += stage.get("wall_seconds", 0.0)
+        for kind, traffic in data.get("cache", {}).items():
+            c = self.cache.setdefault(kind, CacheMetrics())
+            c.hits += traffic.get("hits", 0)
+            c.misses += traffic.get("misses", 0)
+        self.total_cycles_simulated += data.get("total_cycles_simulated", 0)
+        self.jobs_dispatched += data.get("jobs_dispatched", 0)
+        self.worker_crashes += data.get("worker_crashes", 0)
+
+    # ----- output -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "stages": {name: {"invocations": m.invocations,
+                              "wall_seconds": round(m.wall_seconds, 6)}
+                       for name, m in self.stages.items()},
+            "cache": {kind: {"hits": c.hits, "misses": c.misses,
+                             "hit_rate": round(c.hit_rate, 4)}
+                      for kind, c in self.cache.items()},
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.hit_rate, 4),
+            "total_cycles_simulated": self.total_cycles_simulated,
+            "jobs_dispatched": self.jobs_dispatched,
+            "worker_crashes": self.worker_crashes,
+        }
+
+    def write_json(self, path: str) -> None:
+        """Dump the counters as ``BENCH_pipeline.json``-style JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        """Human-readable pipeline summary block."""
+        lines = ["pipeline metrics", "----------------"]
+        for name in STAGES:
+            m = self.stages[name]
+            lines.append(f"  {name:<9s} {m.invocations:>5d} computed "
+                         f"in {m.wall_seconds:8.2f}s")
+        total = self.cache_hits + self.cache_misses
+        if total:
+            lines.append(f"  cache     {self.cache_hits}/{total} hits "
+                         f"({self.hit_rate * 100:.1f}%)")
+        else:
+            lines.append("  cache     (disabled)")
+        lines.append(f"  simulated {self.total_cycles_simulated} cycles")
+        if self.jobs_dispatched:
+            lines.append(f"  jobs      {self.jobs_dispatched} dispatched, "
+                         f"{self.worker_crashes} worker crashes")
+        return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""DAG job scheduler over a process pool.
+
+Jobs carry dependency edges (compile+emulate must precede each
+trace x machine simulation); the scheduler dispatches every job whose
+dependencies are satisfied to a :class:`~concurrent.futures.\
+ProcessPoolExecutor`, collects results as they finish, and contains two
+failure classes:
+
+* **typed failures** — a worker raised (``ReproError`` and friends
+  pickle back across the pool); the job is recorded as failed and its
+  transitive dependents are *skipped*, mirroring the experiment suite's
+  ``degrade`` quarantine;
+* **worker crashes** — a worker died (segfault, ``os._exit``, OOM
+  kill), which poisons the whole pool.  A breakage with several jobs in
+  flight is ambiguous, so it is counted against *nobody*: every
+  in-flight job becomes a suspect and is retried one at a time in a
+  fresh pool, so the next breakage unambiguously identifies the
+  culprit.  A job that breaks the pool ``_MAX_CRASHES`` times while
+  running alone is recorded as crashed (``JobFailure.crashed``); its
+  dependents are skipped and everything else completes.
+
+``max_workers <= 1`` executes in-process in topological order with the
+same failure semantics — the serial path needs no pool, no pickling and
+no subprocess startup cost.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, \
+    ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: a job breaking the pool this many times *while running alone* is
+#: declared the culprit (the first solo crash earns one retry, so a
+#: transient worker death does not condemn a healthy job)
+_MAX_CRASHES = 2
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of work.
+
+    ``fn`` must be a module-level callable (the pool pickles it by
+    reference) and ``args`` must be picklable.  ``workload`` and
+    ``stage`` annotate failures for the suite's degrade reports.
+    """
+
+    job_id: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    deps: tuple[str, ...] = ()
+    workload: str | None = None
+    stage: str = "job"
+
+
+@dataclass
+class JobFailure:
+    """Terminal outcome of a failed or crashed job."""
+
+    job_id: str
+    workload: str | None
+    stage: str
+    error_type: str
+    message: str
+    crashed: bool = False
+    #: the original exception, for strict-mode re-raise (None on crash)
+    exception: BaseException | None = None
+
+
+@dataclass
+class SchedulerOutcome:
+    """Everything the caller learns from one DAG execution."""
+
+    results: dict[str, Any] = field(default_factory=dict)
+    failures: list[JobFailure] = field(default_factory=list)
+    #: job_id -> failed job that (transitively) caused the skip
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.skipped
+
+
+def _validate(jobs: list[Job]) -> dict[str, Job]:
+    by_id: dict[str, Job] = {}
+    for job in jobs:
+        if job.job_id in by_id:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        by_id[job.job_id] = job
+    for job in jobs:
+        for dep in job.deps:
+            if dep not in by_id:
+                raise ValueError(
+                    f"job {job.job_id!r} depends on unknown job {dep!r}")
+    # Kahn's algorithm for cycle detection (also yields the serial order).
+    return by_id
+
+
+def _topo_order(by_id: dict[str, Job]) -> list[Job]:
+    pending = {jid: len(job.deps) for jid, job in by_id.items()}
+    dependents: dict[str, list[str]] = {jid: [] for jid in by_id}
+    for job in by_id.values():
+        for dep in job.deps:
+            dependents[dep].append(job.job_id)
+    ready = [jid for jid, n in pending.items() if n == 0]
+    order: list[Job] = []
+    while ready:
+        jid = ready.pop()
+        order.append(by_id[jid])
+        for succ in dependents[jid]:
+            pending[succ] -= 1
+            if pending[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(by_id):
+        cyclic = sorted(jid for jid, n in pending.items() if n > 0)
+        raise ValueError(f"job graph has a cycle through {cyclic}")
+    return order
+
+
+def _skip_dependents(job_id: str, by_id: dict[str, Job],
+                     outcome: SchedulerOutcome) -> None:
+    """Transitively mark every dependent of ``job_id`` as skipped."""
+    frontier = [job_id]
+    while frontier:
+        failed = frontier.pop()
+        for job in by_id.values():
+            if failed in job.deps and job.job_id not in outcome.skipped \
+                    and job.job_id not in outcome.results:
+                outcome.skipped[job.job_id] = job_id
+                frontier.append(job.job_id)
+
+
+def _record_failure(job: Job, exc: BaseException,
+                    outcome: SchedulerOutcome, crashed: bool = False
+                    ) -> None:
+    outcome.failures.append(JobFailure(
+        job_id=job.job_id, workload=job.workload, stage=job.stage,
+        error_type=type(exc).__name__ if not crashed else "WorkerCrash",
+        message=str(exc), crashed=crashed,
+        exception=None if crashed else exc))
+
+
+def execute_jobs(jobs: list[Job], max_workers: int = 1
+                 ) -> SchedulerOutcome:
+    """Run a job DAG; never raises for job failures, only misuse."""
+    by_id = _validate(jobs)
+    order = _topo_order(by_id)
+    if max_workers <= 1 or len(jobs) <= 1:
+        return _execute_serial(order, by_id)
+    return _execute_pool(order, by_id, max_workers)
+
+
+def _execute_serial(order: list[Job], by_id: dict[str, Job]
+                    ) -> SchedulerOutcome:
+    outcome = SchedulerOutcome()
+    for job in order:
+        # _skip_dependents marks the transitive closure of a failure,
+        # so one membership test covers failed deps at any distance.
+        if job.job_id in outcome.skipped:
+            continue
+        try:
+            outcome.results[job.job_id] = job.fn(*job.args)
+        except Exception as exc:
+            _record_failure(job, exc, outcome)
+            _skip_dependents(job.job_id, by_id, outcome)
+    return outcome
+
+
+def _execute_pool(order: list[Job], by_id: dict[str, Job],
+                  max_workers: int) -> SchedulerOutcome:
+    outcome = SchedulerOutcome()
+    remaining = set(by_id)
+    #: pool breakages observed while the job ran *alone* in the pool
+    crash_counts: dict[str, int] = {}
+    #: jobs to retry one at a time after an ambiguous group breakage
+    suspects: list[str] = []
+    executor = ProcessPoolExecutor(max_workers=max_workers)
+    in_flight: dict[Future, Job] = {}
+
+    def dispatch() -> None:
+        # Quarantine mode: retry suspects one at a time, so a breakage
+        # is only ever attributed to a job that was running alone.
+        while suspects:
+            if in_flight:
+                return
+            jid = suspects.pop(0)
+            if jid in remaining and jid not in outcome.skipped:
+                job = by_id[jid]
+                in_flight[executor.submit(job.fn, *job.args)] = job
+                return
+        # Normal mode: dispatch every job whose dependencies succeeded.
+        launched = {job.job_id for job in in_flight.values()}
+        for job in order:
+            if job.job_id not in remaining \
+                    or job.job_id in launched \
+                    or job.job_id in outcome.skipped:
+                continue
+            if all(dep in outcome.results for dep in job.deps):
+                in_flight[executor.submit(job.fn, *job.args)] = job
+
+    try:
+        while True:
+            dispatch()
+            if not in_flight:
+                break
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            pool_broken = False
+            requeue: list[Job] = []
+            for future in done:
+                job = in_flight.pop(future)
+                try:
+                    outcome.results[job.job_id] = future.result()
+                    remaining.discard(job.job_id)
+                except BrokenProcessPool:
+                    pool_broken = True
+                    requeue.append(job)
+                except Exception as exc:
+                    remaining.discard(job.job_id)
+                    _record_failure(job, exc, outcome)
+                    _skip_dependents(job.job_id, by_id, outcome)
+            if pool_broken:
+                # The pool is poisoned: every other in-flight future is
+                # doomed too.  Gather them all, then triage.
+                requeue.extend(in_flight.values())
+                in_flight.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=max_workers)
+                if len(requeue) == 1:
+                    # Unambiguous: this job was alone when the pool died.
+                    job = requeue[0]
+                    crash_counts[job.job_id] = \
+                        crash_counts.get(job.job_id, 0) + 1
+                    if crash_counts[job.job_id] >= _MAX_CRASHES:
+                        remaining.discard(job.job_id)
+                        outcome.failures.append(JobFailure(
+                            job_id=job.job_id, workload=job.workload,
+                            stage=job.stage, error_type="WorkerCrash",
+                            message=f"worker crashed while running "
+                                    f"{job.job_id} ({crash_counts[job.job_id]}"
+                                    f" solo pool breakages)", crashed=True))
+                        _skip_dependents(job.job_id, by_id, outcome)
+                    else:
+                        suspects.append(job.job_id)
+                else:
+                    # Ambiguous: quarantine everyone, counting nothing —
+                    # an innocent job co-resident with a killer must
+                    # never be blamed for the killer's breakage.
+                    suspects.extend(job.job_id for job in requeue)
+        return outcome
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,225 @@
+"""The memoized, store-backed pipeline shared by suite and workers.
+
+A :class:`PipelineContext` owns the three-stage pipeline of the paper's
+methodology — compile per model, emulate to a trace, simulate per
+machine — with two levels of reuse:
+
+* an in-process memo (what :class:`ExperimentSuite` historically kept in
+  ad-hoc dicts), now keyed by the stable digests of
+  :mod:`repro.engine.keys` instead of hand-picked tuple fields;
+* an optional :class:`~repro.engine.store.ArtifactStore`, consulted
+  before any computation and fed after it, so artifacts survive the
+  process and are shared across processes.
+
+Both the experiment suite (serial path) and the scheduler's pool
+workers (parallel path) drive this same class, so cache keying and
+metrics accounting cannot drift between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.profile import Profile
+from repro.emu.interpreter import run_program
+from repro.emu.trace import ExecutionResult
+from repro.engine import keys
+from repro.engine.metrics import PipelineMetrics
+from repro.engine.store import ArtifactStore
+from repro.ir.function import Program
+from repro.ir.instruction import ensure_uid_headroom
+from repro.machine.descriptor import MachineDescription
+from repro.robustness.errors import TraceIntegrityError
+from repro.robustness.integrity import check_trace_integrity
+from repro.robustness.watchdog import EmulationWatchdog
+from repro.sim.pipeline import SimulationStats, simulate_trace
+from repro.toolchain import (CompiledProgram, Model, ToolchainOptions,
+                             compile_for_model, frontend)
+from repro.workloads.base import Workload
+
+
+@dataclass
+class RunSummary:
+    """The cacheable outcome of one (workload, model, machine) triple."""
+
+    stats: SimulationStats
+    return_value: int | float
+    static_size: int
+
+
+@dataclass
+class PipelineContext:
+    """Memoized compile/emulate/simulate pipeline over one configuration."""
+
+    scale: float = 1.0
+    options: ToolchainOptions = field(default_factory=ToolchainOptions)
+    max_steps: int = 20_000_000
+    paranoid: bool = False
+    wall_clock_budget: float | None = None
+    store: ArtifactStore | None = None
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+
+    def __post_init__(self):
+        if self.store is not None:
+            # One counter object for the whole pipeline, store included.
+            self.store.metrics = self.metrics
+        self._options_digest = self.options.digest()
+        self._frontend: dict[str, Program] = {}
+        self._profile: dict[str, Profile] = {}
+        self._compiled: dict[str, CompiledProgram] = {}
+        self._execution: dict[str, ExecutionResult] = {}
+        self._summary: dict[str, RunSummary] = {}
+
+    # ----- keys ---------------------------------------------------------
+
+    def compile_key(self, workload: Workload, model: Model,
+                    machine: MachineDescription) -> str:
+        return keys.compile_key(workload.name, workload.source, self.scale,
+                                self.max_steps, model.name,
+                                self._options_digest,
+                                machine.schedule_digest())
+
+    def execution_key(self, workload: Workload, model: Model,
+                      machine: MachineDescription) -> str:
+        return keys.execution_key(
+            self.compile_key(workload, model, machine), self.scale,
+            self.max_steps)
+
+    def stats_key(self, workload: Workload, model: Model,
+                  machine: MachineDescription) -> str:
+        return keys.stats_key(
+            self.execution_key(workload, model, machine), machine.digest())
+
+    # ----- stages -------------------------------------------------------
+
+    @staticmethod
+    def _adopt_uids(program: Program) -> None:
+        """Reserve uid headroom for a program loaded from the store.
+
+        The program's uids were allocated by another process; without
+        the reservation, this process's next allocation (tail
+        duplication) would collide with them and corrupt the uid-keyed
+        address map.
+        """
+        ensure_uid_headroom(max(
+            (inst.uid for fn in program.functions.values()
+             for inst in fn.all_instructions()), default=-1))
+
+    def frontend_program(self, workload: Workload) -> Program:
+        """Optimized baseline IR (cached per source)."""
+        key = keys.frontend_key(workload.source)
+        program = self._frontend.get(key)
+        if program is None and self.store is not None:
+            program = self.store.get("frontend", key)
+            if program is not None:
+                self._adopt_uids(program)
+        if program is None:
+            with self.metrics.timer("frontend"):
+                program = frontend(workload.source)
+            if self.store is not None:
+                self.store.put("frontend", key, program)
+        self._frontend[key] = program
+        return program
+
+    def profile(self, workload: Workload) -> Profile:
+        """Training-run profile for the baseline IR."""
+        key = keys.profile_key(workload.name, workload.source, self.scale,
+                               self.max_steps)
+        profile = self._profile.get(key)
+        if profile is None and self.store is not None:
+            profile = self.store.get("profile", key)
+        if profile is None:
+            program = self.frontend_program(workload)
+            with self.metrics.timer("profile"):
+                profile = Profile.collect(
+                    program, inputs=workload.inputs(self.scale),
+                    max_steps=self.max_steps)
+            if self.store is not None:
+                self.store.put("profile", key, profile)
+        self._profile[key] = profile
+        return profile
+
+    def compiled(self, workload: Workload, model: Model,
+                 machine: MachineDescription) -> CompiledProgram:
+        """Program compiled for ``model`` on the schedule-relevant
+        machine parameters (machines differing only in memory hierarchy
+        share the artifact)."""
+        key = self.compile_key(workload, model, machine)
+        compiled = self._compiled.get(key)
+        if compiled is None and self.store is not None:
+            compiled = self.store.get("compiled", key)
+            if compiled is not None:
+                self._adopt_uids(compiled.program)
+        if compiled is None:
+            base = self.frontend_program(workload)
+            profile = self.profile(workload)
+            with self.metrics.timer("compile"):
+                compiled = compile_for_model(base, model, profile, machine,
+                                             self.options)
+            if self.store is not None:
+                self.store.put("compiled", key, compiled)
+        self._compiled[key] = compiled
+        return compiled
+
+    def execution(self, workload: Workload, model: Model,
+                  machine: MachineDescription) -> ExecutionResult:
+        """Emulation trace of the compiled program on its inputs."""
+        key = self.execution_key(workload, model, machine)
+        execution = self._execution.get(key)
+        from_store = False
+        if execution is None and self.store is not None:
+            execution = self.store.get("execution", key)
+            from_store = execution is not None
+        if execution is None:
+            compiled = self.compiled(workload, model, machine)
+            watchdog = None
+            if self.wall_clock_budget is not None:
+                watchdog = EmulationWatchdog(
+                    wall_clock_budget=self.wall_clock_budget)
+            with self.metrics.timer("emulate"):
+                execution = run_program(
+                    compiled.program, inputs=workload.inputs(self.scale),
+                    collect_trace=True, max_steps=self.max_steps,
+                    watchdog=watchdog)
+            if self.paranoid:
+                check_trace_integrity(execution, compiled.program)
+            if self.store is not None:
+                self.store.put("execution", key, execution)
+        elif from_store and self.paranoid:
+            # The envelope digest already proved the bytes are intact;
+            # paranoid mode additionally replays the trace against the
+            # (cached) program, exactly as it would after emulating.
+            check_trace_integrity(
+                execution, self.compiled(workload, model, machine).program)
+        self._execution[key] = execution
+        return execution
+
+    def run_summary(self, workload: Workload, model: Model,
+                    machine: MachineDescription) -> RunSummary:
+        """Simulate the trace under the *full* machine description.
+
+        On a warm store this is a single artifact load: no compilation,
+        no emulation, no simulation.
+        """
+        key = self.stats_key(workload, model, machine)
+        summary = self._summary.get(key)
+        if summary is None and self.store is not None:
+            summary = self.store.get("stats", key)
+        if summary is None:
+            compiled = self.compiled(workload, model, machine)
+            execution = self.execution(workload, model, machine)
+            if execution.trace is None:
+                raise TraceIntegrityError(
+                    f"{workload.name}/{model.value}: emulation produced "
+                    f"no trace")
+            with self.metrics.timer("simulate"):
+                stats = simulate_trace(execution.trace, compiled.addresses,
+                                       machine)
+            self.metrics.add_cycles(stats.cycles)
+            summary = RunSummary(stats=stats,
+                                 return_value=execution.return_value,
+                                 static_size=compiled.static_size)
+            if self.store is not None:
+                self.store.put("stats", key, summary)
+        self._summary[key] = summary
+        return summary

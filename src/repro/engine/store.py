@@ -1,0 +1,146 @@
+"""Content-addressed on-disk artifact store.
+
+Layout::
+
+    <root>/v<SCHEMA_VERSION>/<kind>/<key[:2]>/<key>.art
+
+``key`` is a :func:`repro.engine.keys.stable_digest` of the artifact's
+inputs, so the path *is* the cache lookup.  Writes go through a
+temporary file in the same directory followed by :func:`os.replace`, so
+concurrent writers (pool workers racing on a shared artifact) are safe:
+both compute identical content and the last rename wins atomically.
+Reads verify the envelope digest (:func:`repro.engine.serialize.unpack`)
+and raise :class:`~repro.robustness.errors.TraceIntegrityError` on any
+corruption.
+
+Version invalidation is structural: artifacts live under a
+``v<SCHEMA_VERSION>`` directory, so bumping the schema version orphans
+every old artifact without any migration logic.  ``stats()`` reports
+stale versions and ``clear()`` removes everything.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine.keys import KINDS, SCHEMA_VERSION
+from repro.engine.metrics import PipelineMetrics
+from repro.engine.serialize import pack, unpack
+
+_SUFFIX = ".art"
+
+
+@dataclass
+class StoreStats:
+    """Inventory of one store root."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    #: other vN directories present (orphaned by schema bumps)
+    stale_versions: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"artifact store at {self.root}",
+                 f"  schema version : v{SCHEMA_VERSION}",
+                 f"  artifacts      : {self.entries} "
+                 f"({self.total_bytes / 1024:.1f} KiB)"]
+        for kind in KINDS:
+            if self.by_kind.get(kind):
+                lines.append(f"    {kind:<9s}: {self.by_kind[kind]}")
+        if self.stale_versions:
+            lines.append(f"  stale versions : "
+                         f"{', '.join(self.stale_versions)} "
+                         f"(run `repro cache clear` to reclaim)")
+        return "\n".join(lines)
+
+
+class ArtifactStore:
+    """Digest-addressed artifact cache rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike,
+                 metrics: PipelineMetrics | None = None):
+        self.root = Path(root)
+        self.version_dir = self.root / f"v{SCHEMA_VERSION}"
+        self.metrics = metrics if metrics is not None else PipelineMetrics()
+
+    def _path(self, kind: str, key: str) -> Path:
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        return self.version_dir / kind / key[:2] / f"{key}{_SUFFIX}"
+
+    # ----- access -------------------------------------------------------
+
+    def get(self, kind: str, key: str) -> Any | None:
+        """Load an artifact, or None on a miss.
+
+        A present-but-corrupted artifact raises
+        :class:`TraceIntegrityError` — it is never silently treated as a
+        miss, because the same corruption could strike after a result
+        was already served from it.
+        """
+        path = self._path(kind, key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.metrics.record_miss(kind)
+            return None
+        payload = unpack(blob, expect_kind=kind)
+        self.metrics.record_hit(kind)
+        return payload
+
+    def put(self, kind: str, key: str, payload: Any) -> None:
+        """Atomically persist an artifact (last writer wins)."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pack(kind, payload)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink(missing_ok=True)
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Presence probe; does not touch hit/miss counters."""
+        return self._path(kind, key).exists()
+
+    # ----- maintenance --------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats(root=str(self.root))
+        if self.root.is_dir():
+            for entry in sorted(self.root.iterdir()):
+                if entry.is_dir() and entry.name.startswith("v") \
+                        and entry != self.version_dir:
+                    stats.stale_versions.append(entry.name)
+        if not self.version_dir.is_dir():
+            return stats
+        for kind_dir in sorted(self.version_dir.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            count = 0
+            for path in kind_dir.rglob(f"*{_SUFFIX}"):
+                count += 1
+                stats.total_bytes += path.stat().st_size
+            if count:
+                stats.by_kind[kind_dir.name] = count
+                stats.entries += count
+        return stats
+
+    def clear(self) -> int:
+        """Remove every artifact (all schema versions); returns count."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for entry in list(self.root.iterdir()):
+            if entry.is_dir() and entry.name.startswith("v"):
+                removed += sum(1 for _ in entry.rglob(f"*{_SUFFIX}"))
+                shutil.rmtree(entry)
+        return removed

@@ -1,0 +1,66 @@
+"""Module-level job functions executed inside pool workers.
+
+Each worker builds a short-lived :class:`PipelineContext` over the
+shared on-disk store, performs one pipeline stage, and returns only its
+metrics counters — the artifact itself stays on disk, so nothing large
+crosses the process boundary.  Specs are plain frozen dataclasses of
+picklable values (workload *names*, not objects: input builders are
+closures and the registry is re-imported in the worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.stages import PipelineContext
+from repro.engine.store import ArtifactStore
+from repro.machine.descriptor import MachineDescription
+from repro.toolchain import Model, ToolchainOptions
+from repro.workloads.base import get_workload
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything a worker needs to rebuild the pipeline context."""
+
+    cache_dir: str
+    workload: str
+    model_name: str
+    machine: MachineDescription
+    scale: float
+    options: ToolchainOptions
+    max_steps: int
+    paranoid: bool = False
+    wall_clock_budget: float | None = None
+
+    def context(self) -> PipelineContext:
+        return PipelineContext(
+            scale=self.scale, options=self.options,
+            max_steps=self.max_steps, paranoid=self.paranoid,
+            wall_clock_budget=self.wall_clock_budget,
+            store=ArtifactStore(self.cache_dir))
+
+
+def prepare_workload(spec: JobSpec) -> dict:
+    """Stage 1: frontend + profile for one workload (model-agnostic)."""
+    ctx = spec.context()
+    ctx.profile(get_workload(spec.workload))
+    return ctx.metrics.to_dict()
+
+
+def compile_emulate(spec: JobSpec) -> dict:
+    """Stage 2: compile for one model + emulate to a trace."""
+    ctx = spec.context()
+    workload = get_workload(spec.workload)
+    model = Model[spec.model_name]
+    ctx.compiled(workload, model, spec.machine)
+    ctx.execution(workload, model, spec.machine)
+    return ctx.metrics.to_dict()
+
+
+def simulate(spec: JobSpec) -> dict:
+    """Stage 3: cycle-simulate the trace under the full machine."""
+    ctx = spec.context()
+    workload = get_workload(spec.workload)
+    ctx.run_summary(workload, Model[spec.model_name], spec.machine)
+    return ctx.metrics.to_dict()

@@ -6,31 +6,41 @@ simulates the recorded trace under as many machine configurations as
 needed — exactly the paper's emulation-driven-simulation methodology,
 with the emulation cost amortized across processor models.
 
+The pipeline itself lives in :class:`repro.engine.stages.PipelineContext`:
+stages are memoized under stable content digests and, when ``cache_dir``
+is set, persisted to a content-addressed artifact store so a repeated
+figure run performs zero compilations and emulations.  ``jobs > 1``
+fans the compile+emulate and trace x machine simulate work across a
+process pool via the DAG scheduler, with worker failures feeding the
+suite's ``degrade`` quarantine.
+
 Speedups divide the 1-issue baseline (superblock) cycle count by the
 evaluated configuration's cycle count, as in Section 4.1.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
-from repro.analysis.profile import Profile
-from repro.emu.interpreter import run_program
 from repro.emu.memory import EmulationFault
 from repro.emu.trace import ExecutionResult
-from repro.ir.function import IRError, Program
+from repro.engine.metrics import PipelineMetrics
+from repro.engine.scheduler import Job, JobFailure, execute_jobs
+from repro.engine.stages import PipelineContext, RunSummary
+from repro.engine.store import ArtifactStore
+from repro.engine.workers import (JobSpec, compile_emulate,
+                                  prepare_workload, simulate)
+from repro.ir.function import IRError
 from repro.machine.descriptor import (CacheConfig, MachineDescription,
                                       fig8_machine, fig9_machine,
                                       fig10_machine, scalar_machine)
 from repro.robustness.differential import assert_equivalent, values_differ
-from repro.robustness.errors import ReproError, TraceIntegrityError
-from repro.robustness.integrity import check_trace_integrity
+from repro.robustness.errors import ReproError
 from repro.robustness.report import WorkloadFailure, format_failures
-from repro.robustness.watchdog import EmulationWatchdog
-from repro.sim.pipeline import SimulationStats, simulate_trace
-from repro.toolchain import (CompiledProgram, Model, ToolchainOptions,
-                             compile_for_model, frontend)
+from repro.sim.pipeline import SimulationStats
+from repro.toolchain import Model, ToolchainOptions
 from repro.workloads.base import Workload, all_workloads
 
 _T = TypeVar("_T")
@@ -77,6 +87,12 @@ class ExperimentSuite:
     the remaining workloads.  ``paranoid`` additionally verifies every
     recorded trace's integrity, and ``wall_clock_budget`` (seconds, per
     emulation) arms the watchdog on top of ``max_steps``.
+
+    ``cache_dir`` attaches the content-addressed artifact store (None
+    keeps everything in-memory, as hermetic tests expect); ``jobs``
+    selects the process-pool width for the prefetch DAG (1 = serial,
+    in-process).  Parallel execution communicates through the store, so
+    ``jobs > 1`` without a ``cache_dir`` gets a throwaway temp store.
     """
 
     workloads: list[Workload] = field(default_factory=all_workloads)
@@ -86,63 +102,47 @@ class ExperimentSuite:
     mode: str = "strict"
     paranoid: bool = False
     wall_clock_budget: float | None = None
+    cache_dir: str | None = None
+    jobs: int = 1
 
     def __post_init__(self):
         if self.mode not in ("strict", "degrade"):
             raise ValueError(f"unknown suite mode {self.mode!r} "
                              f"(expected 'strict' or 'degrade')")
-        self._base: dict[str, Program] = {}
-        self._profile: dict[str, Profile] = {}
-        self._compiled: dict[tuple, CompiledProgram] = {}
-        self._execution: dict[tuple, ExecutionResult] = {}
-        self._stats: dict[tuple, SimulationStats] = {}
+        if self.options is None:
+            self.options = ToolchainOptions()
+        if self.jobs > 1 and self.cache_dir is None:
+            self.cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
+        store = ArtifactStore(self.cache_dir) \
+            if self.cache_dir is not None else None
+        self.ctx = PipelineContext(
+            scale=self.scale, options=self.options,
+            max_steps=self.max_steps, paranoid=self.paranoid,
+            wall_clock_budget=self.wall_clock_budget, store=store)
         self._by_name = {w.name: w for w in self.workloads}
         self.failures: list[WorkloadFailure] = []
         self._failed: set[str] = set()
 
-    # ----- pipeline stages (memoized) -------------------------------------
+    @property
+    def metrics(self) -> PipelineMetrics:
+        """Per-stage wall time and cache hit/miss counters."""
+        return self.ctx.metrics
 
-    def _frontend(self, name: str) -> Program:
-        if name not in self._base:
-            self._base[name] = frontend(self._by_name[name].source)
-        return self._base[name]
+    # ----- pipeline stages (delegated to the engine) ----------------------
 
-    def _profiled(self, name: str) -> Profile:
-        if name not in self._profile:
-            program = self._frontend(name)
-            inputs = self._by_name[name].inputs(self.scale)
-            self._profile[name] = Profile.collect(program, inputs=inputs,
-                                                  max_steps=self.max_steps)
-        return self._profile[name]
+    def _workload(self, name: str) -> Workload:
+        return self._by_name[name]
+
+    def _frontend(self, name: str):
+        return self.ctx.frontend_program(self._workload(name))
 
     def _compile(self, name: str, model: Model,
-                 machine: MachineDescription) -> CompiledProgram:
-        key = (name, model, machine.issue_width,
-               machine.branch_issue_limit)
-        if key not in self._compiled:
-            self._compiled[key] = compile_for_model(
-                self._frontend(name), model, self._profiled(name),
-                machine, self.options)
-        return self._compiled[key]
+                 machine: MachineDescription):
+        return self.ctx.compiled(self._workload(name), model, machine)
 
     def _emulate(self, name: str, model: Model,
                  machine: MachineDescription) -> ExecutionResult:
-        key = (name, model, machine.issue_width,
-               machine.branch_issue_limit)
-        if key not in self._execution:
-            compiled = self._compile(name, model, machine)
-            inputs = self._by_name[name].inputs(self.scale)
-            watchdog = None
-            if self.wall_clock_budget is not None:
-                watchdog = EmulationWatchdog(
-                    wall_clock_budget=self.wall_clock_budget)
-            execution = run_program(
-                compiled.program, inputs=inputs, collect_trace=True,
-                max_steps=self.max_steps, watchdog=watchdog)
-            if self.paranoid:
-                check_trace_integrity(execution, compiled.program)
-            self._execution[key] = execution
-        return self._execution[key]
+        return self.ctx.execution(self._workload(name), model, machine)
 
     # ----- failure policy -------------------------------------------------
 
@@ -169,27 +169,120 @@ class ExperimentSuite:
         """Human-readable block describing degraded workloads."""
         return format_failures(self.failures)
 
+    # ----- parallel prefetch ----------------------------------------------
+
+    def _job_spec(self, name: str, model: Model,
+                  machine: MachineDescription) -> JobSpec:
+        return JobSpec(cache_dir=self.cache_dir, workload=name,
+                       model_name=model.name, machine=machine,
+                       scale=self.scale, options=self.options,
+                       max_steps=self.max_steps, paranoid=self.paranoid,
+                       wall_clock_budget=self.wall_clock_budget)
+
+    def prefetch(self, targets: list[
+            tuple[MachineDescription, tuple[Model, ...]]]) -> None:
+        """Populate the artifact store for the exact (machine, models)
+        pairs a figure query will consume.
+
+        Builds the three-stage job DAG (prepare -> compile+emulate ->
+        simulate), skips any node whose artifact is already stored, and
+        fans the rest across ``jobs`` pool workers.  The plan is
+        per-machine precise — the speedup figures need all three models
+        on the evaluated machine but only SUPERBLOCK on the scalar
+        baseline, and prefetching more would make a warm serial cache
+        look cold to the parallel path.  No-op when running serially or
+        without a store.
+        """
+        store = self.ctx.store
+        if self.jobs <= 1 or store is None:
+            return
+        jobs: list[Job] = []
+        job_ids: set[str] = set()
+        for w in self.workloads:
+            if w.name in self._failed:
+                continue
+            prep_id = f"prepare:{w.name}"
+            prep_needed = False
+            for machine, models in targets:
+                ce_done: set[str] = set()
+                for model in models:
+                    skey = self.ctx.stats_key(w, model, machine)
+                    if store.contains("stats", skey):
+                        continue
+                    ce_key = self.ctx.compile_key(w, model, machine)
+                    ce_id = f"compile:{w.name}:{model.name}:{ce_key[:12]}"
+                    ce_cached = store.contains("compiled", ce_key) \
+                        and store.contains(
+                            "execution",
+                            self.ctx.execution_key(w, model, machine))
+                    if ce_id not in ce_done and ce_id not in job_ids \
+                            and not ce_cached:
+                        prep_needed = True
+                        jobs.append(Job(
+                            job_id=ce_id, fn=compile_emulate,
+                            args=(self._job_spec(w.name, model, machine),),
+                            deps=(prep_id,), workload=w.name,
+                            stage="compile+emulate"))
+                        job_ids.add(ce_id)
+                    ce_done.add(ce_id)
+                    sim_deps = (ce_id,) if ce_id in job_ids else ()
+                    sim_id = f"simulate:{w.name}:{model.name}:{skey[:12]}"
+                    if sim_id not in job_ids:
+                        jobs.append(Job(
+                            job_id=sim_id, fn=simulate,
+                            args=(self._job_spec(w.name, model, machine),),
+                            deps=sim_deps, workload=w.name,
+                            stage="simulate"))
+                        job_ids.add(sim_id)
+            if prep_needed:
+                first_machine, first_models = targets[0]
+                jobs.append(Job(
+                    job_id=prep_id, fn=prepare_workload,
+                    args=(self._job_spec(w.name, first_models[0],
+                                         first_machine),),
+                    workload=w.name, stage="prepare"))
+                job_ids.add(prep_id)
+        if not jobs:
+            return
+        self.metrics.jobs_dispatched += len(jobs)
+        outcome = execute_jobs(jobs, max_workers=self.jobs)
+        for counters in outcome.results.values():
+            self.metrics.merge_dict(counters)
+        self._absorb_job_failures(outcome.failures)
+
+    def _absorb_job_failures(self, failures: list[JobFailure]) -> None:
+        """Map scheduler failures onto the suite's failure policy."""
+        for failure in failures:
+            if failure.crashed:
+                self.metrics.worker_crashes += 1
+            if self.mode != "degrade":
+                if failure.exception is not None:
+                    raise failure.exception
+                raise ReproError(
+                    f"worker crashed during {failure.stage} of "
+                    f"{failure.workload}: {failure.message}")
+            if failure.workload is not None:
+                self._failed.add(failure.workload)
+            self.failures.append(WorkloadFailure(
+                workload=failure.workload or "?", stage=failure.stage,
+                error_type=failure.error_type, message=failure.message))
+
     # ----- public queries ----------------------------------------------------
 
     def run(self, name: str, model: Model,
             machine: MachineDescription) -> WorkloadRun:
-        """Simulate one (workload, model, machine) triple (memoized)."""
-        key = (name, model, machine.issue_width,
-               machine.branch_issue_limit, machine.perfect_caches,
-               machine.icache.size_bytes, machine.dcache.size_bytes,
-               machine.btb.entries, machine.btb.mispredict_penalty)
-        compiled = self._compile(name, model, machine)
-        execution = self._emulate(name, model, machine)
-        if key not in self._stats:
-            if execution.trace is None:
-                raise TraceIntegrityError(
-                    f"{name}/{model.value}: emulation produced no trace")
-            self._stats[key] = simulate_trace(execution.trace,
-                                              compiled.addresses, machine)
+        """Simulate one (workload, model, machine) triple (memoized).
+
+        Against a warm artifact store this performs no compilation,
+        emulation or simulation — the :class:`RunSummary` is served
+        straight from the store.
+        """
+        summary: RunSummary = self.ctx.run_summary(
+            self._workload(name), model, machine)
         return WorkloadRun(workload=name, model=model, machine=machine,
-                           stats=self._stats[key],
-                           return_value=execution.return_value,
-                           static_size=compiled.static_size)
+                           stats=summary.stats,
+                           return_value=summary.return_value,
+                           static_size=summary.static_size)
 
     def baseline_cycles(self, name: str) -> int:
         """1-issue superblock cycles — the speedup denominator."""
@@ -235,6 +328,8 @@ class ExperimentSuite:
     def speedups(self, machine: MachineDescription
                  ) -> dict[str, dict[Model, float]]:
         """Per-benchmark speedups vs the 1-issue baseline (Figs 8-11)."""
+        self.prefetch([(machine, tuple(Model)),
+                       (scalar_machine(), (Model.SUPERBLOCK,))])
         table: dict[str, dict[Model, float]] = {}
         for w in self.workloads:
             if w.name in self._failed:
@@ -250,6 +345,7 @@ class ExperimentSuite:
     def dynamic_counts(self) -> dict[str, dict[Model, int]]:
         """Executed dynamic instruction counts (Table 2 data)."""
         machine = fig8_machine()
+        self.prefetch([(machine, tuple(Model))])
         table: dict[str, dict[Model, int]] = {}
         for w in self.workloads:
             if w.name in self._failed:
@@ -267,6 +363,7 @@ class ExperimentSuite:
         """(branches, mispredictions, rate) per model (Table 3 data)."""
         if machine is None:
             machine = fig8_machine()
+        self.prefetch([(machine, tuple(Model))])
 
         def row_for(w: Workload) -> dict[Model, tuple[int, int, float]]:
             row = {}

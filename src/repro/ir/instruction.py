@@ -61,6 +61,23 @@ class PredDest:
 _ids = itertools.count()
 
 
+def ensure_uid_headroom(minimum: int) -> None:
+    """Advance the uid allocator strictly past ``minimum``.
+
+    Artifacts loaded from the cache carry uids allocated by *another*
+    process whose counter state this process does not share.  Before any
+    further allocation (tail duplication's ``fresh_copy``), the loader
+    must reserve headroom past the adopted uids, or new instructions
+    would collide with loaded ones and corrupt the uid-keyed
+    address/trace correlation.
+    """
+    global _ids
+    nxt = next(_ids)
+    if minimum + 1 > nxt:
+        nxt = minimum + 1
+    _ids = itertools.count(nxt)
+
+
 @dataclass(eq=False, slots=True)
 class Instruction:
     """A single IR instruction.

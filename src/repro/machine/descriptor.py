@@ -67,6 +67,34 @@ class MachineDescription:
                        icache=icache or self.icache,
                        dcache=dcache or self.dcache)
 
+    # ----- cache-key digests --------------------------------------------
+
+    def digest(self) -> str:
+        """Stable digest of every simulation-relevant parameter.
+
+        ``name`` is a display label and deliberately excluded: two
+        differently-named but identical machines must share artifacts.
+        """
+        from repro.engine.keys import stable_digest
+        return stable_digest(
+            self.issue_width, self.branch_issue_limit,
+            self.predicate_use_delay, self.perfect_caches, self.icache,
+            self.dcache, self.btb, self.instruction_bytes)
+
+    def schedule_digest(self) -> str:
+        """Digest of the parameters that affect *compilation* only.
+
+        The list scheduler sees issue width, branch issue limit, the
+        predicate-use delay and instruction encoding size; the memory
+        hierarchy does not reorder code, so machines differing only in
+        caches/BTB share compiled programs and traces (the paper's
+        amortization of one emulation across machine configurations).
+        """
+        from repro.engine.keys import stable_digest
+        return stable_digest(
+            self.issue_width, self.branch_issue_limit,
+            self.predicate_use_delay, self.instruction_bytes)
+
 
 def scalar_machine() -> MachineDescription:
     """The 1-issue baseline processor used as the speedup denominator."""

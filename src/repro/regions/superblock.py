@@ -214,6 +214,12 @@ def _merge_trace(fn: Function, trace: list[str]) -> None:
             if last.op is Opcode.JUMP and last.target == nxt:
                 # The conditional branch (if any) exits the trace.
                 insts.pop()
+                if branch is not None and branch.target == nxt:
+                    # Branch and jump converged on the trace successor
+                    # (the then-block optimized away): the branch is a
+                    # transfer to its own fall-through.  Drop it, or it
+                    # would dangle once ``nxt`` is merged and removed.
+                    insts.pop()
             elif branch is not None and branch.target == nxt:
                 if last.op is Opcode.RET:
                     # The off-trace path returns: outline the return so

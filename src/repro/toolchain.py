@@ -69,9 +69,14 @@ class Model(enum.Enum):
                 Model.FULLPRED: ISALevel.FULL}[self]
 
 
-@dataclass
+@dataclass(frozen=True)
 class ToolchainOptions:
-    """Knobs for ablation experiments; defaults match the paper."""
+    """Knobs for ablation experiments; defaults match the paper.
+
+    Frozen and hashable so option sets can serve directly as cache-key
+    components (every nested params object is a frozen dataclass too);
+    :meth:`digest` is the stable form the artifact cache uses.
+    """
 
     superblock: SuperblockParams = field(default_factory=SuperblockParams)
     hyperblock: HyperblockParams = field(default_factory=HyperblockParams)
@@ -90,6 +95,21 @@ class ToolchainOptions:
     rollback: bool = False
     #: where pass-failure IR snapshots go (None = system temp dir)
     artifact_dir: str | None = None
+
+    def digest(self) -> str:
+        """Stable digest of every field that can change compiled code.
+
+        ``verify``/``paranoid``/``artifact_dir`` are observability knobs
+        that never alter a *successful* compilation's output, so they
+        are excluded — toggling them must not cold-start the artifact
+        cache.  ``rollback`` *can* change the output (it skips failing
+        passes) and is included.
+        """
+        from repro.engine.keys import stable_digest
+        return stable_digest(
+            self.superblock, self.hyperblock, self.conversion,
+            self.branch_combine, self.unroll, self.enable_promotion,
+            self.enable_or_tree, self.rollback)
 
 
 @dataclass

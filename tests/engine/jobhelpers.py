@@ -1,0 +1,32 @@
+"""Module-level job functions for scheduler tests.
+
+The process pool pickles job functions by reference, so anything a
+pool-path test submits must live at module scope.  ``record`` appends to
+a file because pool workers do not share memory with the test process.
+"""
+
+import os
+
+from repro.robustness.errors import CompileError
+
+
+def ok(value):
+    return value
+
+
+def double(value):
+    return 2 * value
+
+
+def fail(message="boom"):
+    raise CompileError(message, pass_name="test-pass")
+
+
+def crash():
+    os._exit(1)
+
+
+def record(path, tag):
+    with open(path, "a") as handle:
+        handle.write(f"{tag}\n")
+    return tag

@@ -1,0 +1,105 @@
+"""DAG scheduler: ordering, failure containment, crash recovery."""
+
+import pytest
+
+from repro.engine.scheduler import Job, execute_jobs
+from tests.engine import jobhelpers
+
+
+def test_serial_respects_dependency_order():
+    order = []
+    jobs = [
+        Job("c", lambda: order.append("c"), deps=("a", "b")),
+        Job("b", lambda: order.append("b"), deps=("a",)),
+        Job("a", lambda: order.append("a")),
+    ]
+    outcome = execute_jobs(jobs, max_workers=1)
+    assert outcome.ok
+    assert order.index("a") < order.index("b") < order.index("c")
+
+
+def test_results_are_keyed_by_job_id():
+    jobs = [Job("x", jobhelpers.ok, args=(7,)),
+            Job("y", jobhelpers.double, args=(7,), deps=("x",))]
+    outcome = execute_jobs(jobs)
+    assert outcome.results == {"x": 7, "y": 14}
+
+
+def test_duplicate_id_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        execute_jobs([Job("a", jobhelpers.ok), Job("a", jobhelpers.ok)])
+
+
+def test_unknown_dependency_rejected():
+    with pytest.raises(ValueError, match="unknown job"):
+        execute_jobs([Job("a", jobhelpers.ok, deps=("ghost",))])
+
+
+def test_cycle_rejected():
+    jobs = [Job("a", jobhelpers.ok, deps=("b",)),
+            Job("b", jobhelpers.ok, deps=("a",))]
+    with pytest.raises(ValueError, match="cycle"):
+        execute_jobs(jobs)
+
+
+def test_failure_skips_transitive_dependents():
+    jobs = [
+        Job("root", jobhelpers.fail, args=("bad input",),
+            workload="wc", stage="compile+emulate"),
+        Job("mid", jobhelpers.ok, args=(1,), deps=("root",)),
+        Job("leaf", jobhelpers.ok, args=(2,), deps=("mid",)),
+        Job("other", jobhelpers.ok, args=(3,)),
+    ]
+    outcome = execute_jobs(jobs, max_workers=1)
+    assert not outcome.ok
+    assert outcome.results == {"other": 3}
+    [failure] = outcome.failures
+    assert failure.job_id == "root"
+    assert failure.workload == "wc"
+    assert failure.error_type == "CompileError"
+    assert not failure.crashed
+    assert failure.exception is not None
+    # Skips record the root-cause failure, even for indirect dependents.
+    assert outcome.skipped == {"mid": "root", "leaf": "root"}
+
+
+def test_pool_runs_jobs_and_collects_results(tmp_path):
+    log = tmp_path / "order.log"
+    jobs = [Job("b", jobhelpers.record, args=(str(log), "b"),
+                deps=("a",)),
+            Job("a", jobhelpers.record, args=(str(log), "a")),
+            Job("c", jobhelpers.record, args=(str(log), "c"))]
+    outcome = execute_jobs(jobs, max_workers=2)
+    assert outcome.ok
+    assert outcome.results == {"a": "a", "b": "b", "c": "c"}
+    lines = log.read_text().split()
+    assert lines.index("a") < lines.index("b")
+
+
+def test_pool_typed_failure_propagates_and_skips():
+    jobs = [Job("bad", jobhelpers.fail, workload="cmp", stage="simulate"),
+            Job("after", jobhelpers.ok, args=(1,), deps=("bad",)),
+            Job("fine", jobhelpers.ok, args=(2,))]
+    outcome = execute_jobs(jobs, max_workers=2)
+    assert outcome.results == {"fine": 2}
+    [failure] = outcome.failures
+    assert failure.error_type == "CompileError"
+    assert "boom" in failure.message
+    # The exception pickled back across the pool intact.
+    assert failure.exception is not None
+    assert outcome.skipped == {"after": "bad"}
+
+
+def test_pool_contains_worker_crash():
+    jobs = [Job("killer", jobhelpers.crash, workload="li",
+                stage="compile+emulate"),
+            Job("victim", jobhelpers.ok, args=(5,), deps=("killer",)),
+            Job("bystander", jobhelpers.ok, args=(6,))]
+    outcome = execute_jobs(jobs, max_workers=2)
+    # The innocent job survives the pool breakage (re-queued and re-run).
+    assert outcome.results["bystander"] == 6
+    crash = next(f for f in outcome.failures if f.job_id == "killer")
+    assert crash.crashed
+    assert crash.error_type == "WorkerCrash"
+    assert crash.exception is None
+    assert outcome.skipped == {"victim": "killer"}

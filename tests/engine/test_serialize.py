@@ -1,0 +1,119 @@
+"""Round-trip serialization: program, trace, stats (ISSUE satellite c)."""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.analysis.profile import Profile
+from repro.emu.interpreter import run_program
+from repro.engine.keys import SCHEMA_VERSION
+from repro.engine.serialize import (MAGIC, pack, program_fingerprint,
+                                    unpack)
+from repro.machine.descriptor import fig8_machine
+from repro.robustness.errors import TraceIntegrityError
+from repro.sim.pipeline import simulate_trace
+from repro.toolchain import Model, compile_for_model, frontend
+from repro.workloads import get_workload
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    wc = get_workload("wc")
+    base = frontend(wc.source)
+    profile = Profile.collect(base, inputs=wc.inputs(SCALE))
+    return compile_for_model(base, Model.CMOV, profile, fig8_machine())
+
+
+@pytest.fixture(scope="module")
+def execution(compiled):
+    wc = get_workload("wc")
+    return run_program(compiled.program, inputs=wc.inputs(SCALE),
+                       collect_trace=True)
+
+
+def test_program_round_trip(compiled):
+    blob = pack("compiled", compiled)
+    loaded = unpack(blob, expect_kind="compiled")
+    assert program_fingerprint(loaded.program) == \
+        program_fingerprint(compiled.program)
+    assert loaded.addresses == compiled.addresses
+    assert loaded.model is compiled.model
+    assert loaded.static_size == compiled.static_size
+
+
+def test_trace_round_trip_resimulates_identically(compiled, execution):
+    loaded_compiled = unpack(pack("compiled", compiled), "compiled")
+    loaded_execution = unpack(pack("execution", execution), "execution")
+    assert loaded_execution.return_value == execution.return_value
+    assert len(loaded_execution.trace) == len(execution.trace)
+    original = simulate_trace(execution.trace, compiled.addresses,
+                              fig8_machine())
+    # Program and trace were serialized *separately*; the uid-keyed
+    # address map must still line up after both round-trip.
+    replayed = simulate_trace(loaded_execution.trace,
+                              loaded_compiled.addresses, fig8_machine())
+    assert replayed == original
+
+
+def test_stats_round_trip(compiled, execution):
+    stats = simulate_trace(execution.trace, compiled.addresses,
+                           fig8_machine())
+    assert unpack(pack("stats", stats), "stats") == stats
+
+
+def test_pack_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        pack("weights", {})
+
+
+def test_unpack_rejects_bad_magic():
+    with pytest.raises(TraceIntegrityError, match="magic"):
+        unpack(b"ELF\x7f" + b"\x00" * 16)
+
+
+def test_unpack_rejects_truncated_header():
+    blob = pack("stats", {"cycles": 1})
+    with pytest.raises(TraceIntegrityError, match="truncated"):
+        unpack(blob[:10])
+
+
+def test_unpack_rejects_kind_mismatch():
+    blob = pack("stats", {"cycles": 1})
+    with pytest.raises(TraceIntegrityError, match="kind mismatch"):
+        unpack(blob, expect_kind="execution")
+
+
+def test_unpack_rejects_flipped_body_byte():
+    blob = bytearray(pack("stats", {"cycles": 12345}))
+    blob[-1] ^= 0xFF
+    with pytest.raises(TraceIntegrityError, match="digest"):
+        unpack(bytes(blob), expect_kind="stats")
+
+
+def test_unpack_rejects_schema_skew():
+    blob = pack("stats", {"cycles": 1})
+    header_len = int.from_bytes(blob[4:8], "big")
+    header = blob[8:8 + header_len].replace(
+        f'"schema": {SCHEMA_VERSION}'.encode(), b'"schema": 999')
+    assert header != blob[8:8 + header_len], "schema field not found"
+    forged = MAGIC + len(header).to_bytes(4, "big") + header \
+        + blob[8 + header_len:]
+    with pytest.raises(TraceIntegrityError, match="schema version"):
+        unpack(forged)
+
+
+def test_unpickler_rejects_foreign_globals():
+    # Hand-roll an envelope whose digest is valid but whose body
+    # references a module outside the allow-list.
+    body = pickle.dumps(pathlib.PurePosixPath("/etc"))
+    import hashlib
+    import json
+    header = json.dumps({"schema": SCHEMA_VERSION, "kind": "stats",
+                         "sha256": hashlib.sha256(body).hexdigest(),
+                         "length": len(body)}).encode()
+    blob = MAGIC + len(header).to_bytes(4, "big") + header + body
+    with pytest.raises(TraceIntegrityError, match="deserialize"):
+        unpack(blob, expect_kind="stats")

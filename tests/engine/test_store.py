@@ -1,0 +1,88 @@
+"""Artifact store: atomic persistence, verification, maintenance."""
+
+import pytest
+
+from repro.engine.keys import SCHEMA_VERSION, stable_digest
+from repro.engine.store import ArtifactStore
+from repro.robustness.errors import TraceIntegrityError
+
+KEY = stable_digest("some", "inputs")
+
+
+def test_put_get_round_trip_counts_hit(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("stats", KEY, {"cycles": 42})
+    assert store.get("stats", KEY) == {"cycles": 42}
+    assert store.metrics.cache["stats"].hits == 1
+    assert store.metrics.cache["stats"].misses == 0
+
+
+def test_missing_artifact_is_a_counted_miss(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert store.get("stats", KEY) is None
+    assert store.metrics.cache["stats"].misses == 1
+
+
+def test_contains_does_not_touch_counters(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert not store.contains("stats", KEY)
+    store.put("stats", KEY, 1)
+    assert store.contains("stats", KEY)
+    assert store.metrics.cache_hits == store.metrics.cache_misses == 0
+
+
+def test_unknown_kind_rejected(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.put("weights", KEY, 1)
+
+
+def test_corrupted_artifact_raises_not_misses(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("execution", KEY, list(range(1000)))
+    path = store._path("execution", KEY)
+    blob = bytearray(path.read_bytes())
+    blob[-3] ^= 0x40
+    path.write_bytes(bytes(blob))
+    with pytest.raises(TraceIntegrityError):
+        store.get("execution", KEY)
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("stats", KEY, {"cycles": 42})
+    leftovers = [p for p in tmp_path.rglob("*") if p.is_file()
+                 and not p.name.endswith(".art")]
+    assert leftovers == []
+
+
+def test_stats_inventory_and_stale_versions(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("stats", KEY, 1)
+    store.put("compiled", stable_digest("other"), 2)
+    (tmp_path / "v0" / "stats").mkdir(parents=True)
+    inventory = store.stats()
+    assert inventory.entries == 2
+    assert inventory.by_kind == {"compiled": 1, "stats": 1}
+    assert inventory.total_bytes > 0
+    assert inventory.stale_versions == ["v0"]
+    rendered = inventory.render()
+    assert f"v{SCHEMA_VERSION}" in rendered and "v0" in rendered
+
+
+def test_clear_removes_all_versions(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("stats", KEY, 1)
+    assert store.clear() == 1
+    assert store.stats().entries == 0
+    assert store.get("stats", KEY) is None
+
+
+def test_schema_bump_orphans_old_artifacts(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.put("stats", KEY, 1)
+    # Relocate the version dir, as a schema bump would.
+    bumped = ArtifactStore(tmp_path)
+    bumped.version_dir = tmp_path / f"v{SCHEMA_VERSION + 1}"
+    assert bumped.get("stats", KEY) is None
+    assert bumped.stats().stale_versions == [f"v{SCHEMA_VERSION}"]

@@ -81,25 +81,27 @@ def test_agreement_check_raises_on_divergence(small_suite):
     small_suite.check_model_agreement("wc", fig8_machine())
     # ...and a forged execution entry is caught, with the divergent
     # model and observable named in the typed error.
-    key = ("wc", Model.CMOV, 8, 1)
-    saved = small_suite._execution.get(key)
+    wc = small_suite._workload("wc")
+    key = small_suite.ctx.execution_key(wc, Model.CMOV, fig8_machine())
+    memo = small_suite.ctx._execution
+    saved = memo.get(key)
     assert saved is not None
     import copy
     forged = copy.copy(saved)
     forged.return_value = 123456789
-    small_suite._execution[key] = forged
+    memo[key] = forged
     with pytest.raises(ModelDivergenceError) as exc:
         small_suite.check_model_agreement("wc", fig8_machine())
     assert exc.value.kind == "return-value"
     assert exc.value.model == Model.CMOV.value
-    small_suite._execution[key] = saved
+    memo[key] = saved
 
     # The oracle sees deeper than return values: a forged store-stream
     # signature is also divergence.
     forged2 = copy.copy(saved)
     forged2.output_signature ^= 0xDEAD
-    small_suite._execution[key] = forged2
+    memo[key] = forged2
     with pytest.raises(ModelDivergenceError) as exc:
         small_suite.check_model_agreement("wc", fig8_machine())
     assert exc.value.kind == "output-stream"
-    small_suite._execution[key] = saved
+    memo[key] = saved

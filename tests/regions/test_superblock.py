@@ -151,3 +151,43 @@ def test_ret_tail_outlining():
         form_superblocks(fn, profile)
     verify_program(prog, ISALevel.BASELINE)
     assert run_program(prog, inputs=inputs).return_value == golden
+
+
+def test_merge_drops_branch_converging_on_trace_successor():
+    """A conditional branch and the block's jump may both target the
+    next trace block (the branch's then-path was optimized away).  The
+    merge must drop that branch with the jump — found by Hypothesis, it
+    used to survive as a dangling reference to the merged-away label,
+    crashing liveness in the downstream loop-unroll pass.
+    """
+    src = """
+    int arr[16];
+    int main() {
+      int v0; int it;
+      v0 = 0;
+      for (it = 0; it < 6; it = it + 1) {
+        if ((v0 < v0) && (0 != 0)) { v0 = v0; }
+        v0 = v0 + 1;
+      }
+      return v0;
+    }
+    """
+    prog = compile_minic(src)
+    optimize_program(prog)
+    for fn in prog.functions.values():
+        normalize_basic_blocks(fn)
+    inputs = {"arr": [0] * 16}
+    profile = Profile.collect(prog, inputs=inputs)
+    golden = run_program(prog, inputs=inputs).return_value
+    for fn in prog.functions.values():
+        form_superblocks(fn, profile)
+    verify_program(prog, ISALevel.BASELINE)
+    fn = prog.functions["main"]
+    names = {b.name for b in fn.blocks}
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if inst.cat in (OpCategory.BRANCH, OpCategory.JUMP) \
+                    and inst.target is not None:
+                assert inst.target in names, \
+                    f"dangling branch target {inst.target!r}"
+    assert run_program(prog, inputs=inputs).return_value == golden
