@@ -1,0 +1,7 @@
+"""Interpreter dispatch: legacy object-graph loop vs pre-decoded
+micro-ops.  Run with ``PYTHONPATH=src python benchmarks/perf/micro_dispatch.py``."""
+
+from repro.fastpath import micro
+
+if __name__ == "__main__":
+    print(micro.render([micro.bench_dispatch()]))

@@ -1,0 +1,7 @@
+"""Simulator issue loop: object trace vs columnar stream.
+Run with ``PYTHONPATH=src python benchmarks/perf/micro_issue_loop.py``."""
+
+from repro.fastpath import micro
+
+if __name__ == "__main__":
+    print(micro.render([micro.bench_issue_loop()]))

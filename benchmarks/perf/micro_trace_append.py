@@ -1,0 +1,7 @@
+"""Trace recording: ``list[TraceEvent]`` append vs columnar append.
+Run with ``PYTHONPATH=src python benchmarks/perf/micro_trace_append.py``."""
+
+from repro.fastpath import micro
+
+if __name__ == "__main__":
+    print(micro.render([micro.bench_trace_append()]))

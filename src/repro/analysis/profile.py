@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.emu.interpreter import run_program
 from repro.emu.trace import ExecutionResult
 from repro.ir.function import Function, Program
 from repro.ir.opcodes import OpCategory, Opcode
@@ -34,9 +33,14 @@ class Profile:
     def collect(cls, program: Program,
                 inputs: dict[str, list[int | float] | bytes] | None = None,
                 max_steps: int = 50_000_000) -> "Profile":
-        """Run the program on training inputs and gather a profile."""
-        return cls.from_execution(run_program(program, inputs=inputs,
-                                              max_steps=max_steps))
+        """Run the program on training inputs and gather a profile.
+
+        Uses the fastpath interpreter (no trace is needed); its
+        block/branch profiles are bit-identical to the legacy loop's.
+        """
+        from repro.fastpath.interp import run_program_fast
+        return cls.from_execution(run_program_fast(program, inputs=inputs,
+                                                   max_steps=max_steps))
 
     # ----- queries ----------------------------------------------------------
 

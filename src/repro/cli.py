@@ -118,19 +118,76 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="disable the on-disk artifact store")
 
 
+def _add_perf_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bench-json", metavar="PATH",
+                        help="dump pipeline metrics (wall time, cache "
+                             "hit/miss, byte volume, cycles) as JSON "
+                             "with a dated timing trajectory, e.g. "
+                             "BENCH_pipeline.json")
+    parser.add_argument("--compare", metavar="BASELINE_JSON",
+                        help="compare stage wall times against a "
+                             "baseline bench JSON; exit "
+                             f"{_BENCH_REGRESSION_EXIT} if any stage "
+                             "regresses by more than 25%%")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each pipeline stage; write "
+                             "per-stage .pstats and a top-20 cumulative "
+                             "summary next to --bench-json (or CWD)")
+
+
 def _cache_dir(args) -> str | None:
     if getattr(args, "no_cache", False):
         return None
     return getattr(args, "cache_dir", None)
 
 
-def _print_metrics(suite, args) -> None:
-    """Pipeline summary to stderr; full counters to --bench-json."""
+#: exit code for a >threshold stage-walltime regression (--compare)
+_BENCH_REGRESSION_EXIT = 3
+
+
+def _attach_profiler(suite, args):
+    """Hook a per-stage cProfile collector into the suite's metrics."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.engine.profiling import StageProfiler
+    profiler = StageProfiler()
+    suite.metrics.profiler = profiler
+    if getattr(args, "jobs", 1) > 1:
+        print("note: --profile captures in-process work only; pool "
+              "workers (--jobs) are not profiled", file=sys.stderr)
+    return profiler
+
+
+def _print_metrics(suite, args, profiler=None) -> int:
+    """Pipeline summary to stderr; counters to --bench-json; profiles
+    next to it; baseline comparison last.  Returns the exit code the
+    comparison demands (0 when clean or not requested)."""
     print(suite.metrics.render(), file=sys.stderr)
     bench_json = getattr(args, "bench_json", None)
     if bench_json:
         suite.metrics.write_json(bench_json)
         print(f"wrote {bench_json}", file=sys.stderr)
+    if profiler is not None:
+        out_dir = os.path.dirname(bench_json) or "." if bench_json else "."
+        for path in profiler.write(out_dir):
+            print(f"wrote {path}", file=sys.stderr)
+    baseline_path = getattr(args, "compare", None)
+    if baseline_path:
+        from repro.engine.metrics import compare_stage_walltimes
+        import json as _json
+        with open(baseline_path) as handle:
+            baseline = _json.load(handle)
+        regressions = compare_stage_walltimes(suite.metrics.to_dict(),
+                                              baseline)
+        if regressions:
+            print(f"stage regressions vs {baseline_path}:",
+                  file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return _BENCH_REGRESSION_EXIT
+        print(f"no stage regressions vs {baseline_path}",
+              file=sys.stderr)
+    return 0
 
 
 def _options(args) -> ToolchainOptions:
@@ -183,7 +240,8 @@ def _cmd_run(args) -> int:
     options = _options(args)
     compiled = compile_for_model(base, model, profile, machine, options)
     _print_degradations(compiled)
-    result = run_compiled(compiled, inputs=None, watchdog=_watchdog(args))
+    result = run_compiled(compiled, inputs=None, watchdog=_watchdog(args),
+                          stream=args.stream)
     scalar = run_compiled(
         compile_for_model(base, Model.SUPERBLOCK, profile,
                           scalar_machine(), options),
@@ -204,12 +262,21 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.micro:
+        from repro.fastpath import micro
+        print(micro.render(micro.run_all(repeat=args.repeat)))
+        return 0
+    if args.name is None:
+        print("error: a workload name is required unless --micro is "
+              "given (see `repro list`)", file=sys.stderr)
+        return 2
     workload = get_workload(args.name)
     suite = ExperimentSuite(workloads=[workload], scale=args.scale,
                             options=_options(args),
                             paranoid=args.paranoid,
                             wall_clock_budget=args.time_budget,
                             cache_dir=_cache_dir(args), jobs=args.jobs)
+    profiler = _attach_profiler(suite, args)
     machine = _machine(args)
     base = suite.baseline_cycles(workload.name)
     print(f"{workload.name} ({workload.stands_for}), scale {args.scale}")
@@ -222,8 +289,30 @@ def _cmd_bench(args) -> int:
               f"{base / stats.cycles:>9.2f}"
               f"{stats.executed_instructions:>9d}"
               f"{stats.branches:>8d}{stats.mispredictions:>7d}")
-    _print_metrics(suite, args)
-    return 0
+    if args.differential:
+        _run_differential(workload, machine, args)
+    return _print_metrics(suite, args, profiler)
+
+
+def _run_differential(workload, machine, args) -> None:
+    """Prove legacy, fastpath and streaming agree on every observable.
+
+    Raises :class:`~repro.robustness.errors.ModelDivergenceError` (CLI
+    exit code 15) on the first divergence.
+    """
+    from repro.robustness.differential import assert_fastpath_equivalent
+    base = frontend(workload.source)
+    inputs = workload.inputs(args.scale)
+    profile = Profile.collect(base, inputs=inputs)
+    options = _options(args)
+    for model in Model:
+        compiled = compile_for_model(base, model, profile, machine,
+                                     options)
+        assert_fastpath_equivalent(compiled, inputs=inputs,
+                                   machine=machine,
+                                   workload=workload.name)
+        print(f"differential {workload.name}/{model.value}: legacy, "
+              f"fastpath and streaming agree", file=sys.stderr)
 
 
 def _cmd_report(args) -> int:
@@ -232,6 +321,7 @@ def _cmd_report(args) -> int:
                             paranoid=args.paranoid,
                             wall_clock_budget=args.time_budget,
                             cache_dir=_cache_dir(args), jobs=args.jobs)
+    profiler = _attach_profiler(suite, args)
     text = render_all(suite)
     if suite.failures:
         text += "\n\n" + suite.failure_report()
@@ -241,8 +331,10 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
-    _print_metrics(suite, args)
-    return 0 if not suite.failures else 1
+    compare_exit = _print_metrics(suite, args, profiler)
+    if suite.failures:
+        return 1
+    return compare_exit
 
 
 def _cmd_cache(args) -> int:
@@ -287,19 +379,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="compile, emulate and simulate a file")
     p.add_argument("file", help="MiniC source file, or - for stdin")
     p.add_argument("--model", choices=sorted(_MODELS), default="fullpred")
+    p.add_argument("--stream", action="store_true",
+                   help="stream emulation chunks straight into the "
+                        "cycle simulator (no full trace in memory)")
     _add_machine_args(p)
     _add_robustness_args(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("bench", help="run one workload, all models")
-    p.add_argument("name", help="workload name (see `list`)")
+    p.add_argument("name", nargs="?", default=None,
+                   help="workload name (see `list`); optional with "
+                        "--micro")
     p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--micro", action="store_true",
+                   help="run the hot-loop timeit microbenchmarks "
+                        "(benchmarks/perf/) instead of a workload")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timeit repetitions for --micro (default 3)")
+    p.add_argument("--differential", action="store_true",
+                   help="after benchmarking, prove legacy, fastpath and "
+                        "streaming engines agree on every observable")
     _add_machine_args(p)
     _add_robustness_args(p)
     _add_engine_args(p)
-    p.add_argument("--bench-json", metavar="PATH",
-                   help="dump pipeline metrics (wall time, cache "
-                        "hit/miss, cycles) as JSON")
+    _add_perf_args(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="regenerate all figures/tables")
@@ -311,10 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "degrade: quarantine it and report at the end")
     _add_robustness_args(p)
     _add_engine_args(p)
-    p.add_argument("--bench-json", metavar="PATH",
-                   help="dump pipeline metrics (wall time, cache "
-                        "hit/miss, cycles) as JSON, e.g. "
-                        "BENCH_pipeline.json")
+    _add_perf_args(p)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("cache",

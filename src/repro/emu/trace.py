@@ -10,9 +10,12 @@ carries exactly that information for one dynamic instruction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.ir.instruction import Instruction
+
+if TYPE_CHECKING:  # fastpath imports emu.trace; keep runtime acyclic
+    from repro.fastpath.columns import TraceColumns
 
 
 class TraceEvent(NamedTuple):
@@ -42,7 +45,10 @@ class ExecutionResult:
     dynamic_count: int
     #: fetched-but-nullified dynamic instructions (subset of dynamic_count)
     suppressed_count: int
-    trace: list[TraceEvent] | None
+    #: the dynamic trace: a ``list[TraceEvent]`` from the legacy
+    #: interpreter, a columnar ``TraceColumns`` from the fastpath, or
+    #: None when tracing was off (or the trace was streamed to a sink)
+    trace: list[TraceEvent] | TraceColumns | None
     #: uid -> [not_taken_count, taken_count] for conditional branches
     branch_outcomes: dict[int, list[int]] = field(default_factory=dict)
     #: (function, block) -> entry count
@@ -62,6 +68,18 @@ class ExecutionResult:
     @property
     def executed_count(self) -> int:
         return self.dynamic_count - self.suppressed_count
+
+    def trace_events(self, program) -> list[TraceEvent] | None:
+        """The trace as ``TraceEvent`` objects whatever its storage.
+
+        Columnar traces need ``program`` (or a ``DecodedProgram``) to
+        resolve static-instruction indices; legacy traces are returned
+        as-is.
+        """
+        trace = self.trace
+        if trace is None or isinstance(trace, list):
+            return trace
+        return trace.to_events(program)
 
     def verify_integrity(self, program) -> None:
         """Check this result's trace invariants against ``program``.

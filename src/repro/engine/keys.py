@@ -22,7 +22,8 @@ from typing import Any
 
 #: bump to invalidate every artifact ever written (schema evolution of
 #: Program / trace / stats serialization, simulator semantics changes).
-SCHEMA_VERSION = 1
+#: v2: execution artifacts store columnar ``TraceColumns`` traces.
+SCHEMA_VERSION = 2
 
 #: artifact kinds the store recognizes, in pipeline order
 KINDS = ("frontend", "profile", "compiled", "execution", "stats")

@@ -36,6 +36,10 @@ class CacheMetrics:
 
     hits: int = 0
     misses: int = 0
+    #: artifact bytes served from the store (envelope included)
+    bytes_read: int = 0
+    #: artifact bytes persisted to the store (envelope included)
+    bytes_written: int = 0
 
     @property
     def accesses(self) -> int:
@@ -57,24 +61,38 @@ class PipelineMetrics:
     total_cycles_simulated: int = 0
     jobs_dispatched: int = 0
     worker_crashes: int = 0
+    #: optional per-stage cProfile collector (see
+    #: :mod:`repro.engine.profiling`); attached by the CLI's
+    #: ``--profile`` flag, never serialized
+    profiler: object | None = field(default=None, repr=False, compare=False)
 
     # ----- recording ----------------------------------------------------
 
     @contextmanager
     def timer(self, stage: str):
         start = time.perf_counter()
+        profiler = self.profiler
         try:
-            yield
+            if profiler is not None:
+                with profiler.record(stage):
+                    yield
+            else:
+                yield
         finally:
             m = self.stages[stage]
             m.invocations += 1
             m.wall_seconds += time.perf_counter() - start
 
-    def record_hit(self, kind: str) -> None:
-        self.cache[kind].hits += 1
+    def record_hit(self, kind: str, nbytes: int = 0) -> None:
+        c = self.cache[kind]
+        c.hits += 1
+        c.bytes_read += nbytes
 
     def record_miss(self, kind: str) -> None:
         self.cache[kind].misses += 1
+
+    def record_write(self, kind: str, nbytes: int) -> None:
+        self.cache[kind].bytes_written += nbytes
 
     def add_cycles(self, cycles: int) -> None:
         self.total_cycles_simulated += cycles
@@ -108,6 +126,8 @@ class PipelineMetrics:
             c = self.cache.setdefault(kind, CacheMetrics())
             c.hits += traffic.get("hits", 0)
             c.misses += traffic.get("misses", 0)
+            c.bytes_read += traffic.get("bytes_read", 0)
+            c.bytes_written += traffic.get("bytes_written", 0)
         self.total_cycles_simulated += data.get("total_cycles_simulated", 0)
         self.jobs_dispatched += data.get("jobs_dispatched", 0)
         self.worker_crashes += data.get("worker_crashes", 0)
@@ -121,7 +141,9 @@ class PipelineMetrics:
                               "wall_seconds": round(m.wall_seconds, 6)}
                        for name, m in self.stages.items()},
             "cache": {kind: {"hits": c.hits, "misses": c.misses,
-                             "hit_rate": round(c.hit_rate, 4)}
+                             "hit_rate": round(c.hit_rate, 4),
+                             "bytes_read": c.bytes_read,
+                             "bytes_written": c.bytes_written}
                       for kind, c in self.cache.items()},
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -132,9 +154,32 @@ class PipelineMetrics:
         }
 
     def write_json(self, path: str) -> None:
-        """Dump the counters as ``BENCH_pipeline.json``-style JSON."""
+        """Dump the counters as ``BENCH_pipeline.json``-style JSON.
+
+        If ``path`` already holds a bench file, its timing trajectory is
+        carried forward: every write appends one dated entry (stage wall
+        times + cycle volume) to a bounded ``history`` list, so the
+        committed baseline records how the pipeline's performance moved
+        over time, not just its latest snapshot.
+        """
+        data = self.to_dict()
+        history: list[dict] = []
+        try:
+            with open(path) as handle:
+                previous = json.load(handle)
+            history = list(previous.get("history", []))
+        except (OSError, ValueError):
+            pass
+        history.append({
+            "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "schema": data["schema"],
+            "stages": {name: stage["wall_seconds"]
+                       for name, stage in data["stages"].items()},
+            "total_cycles_simulated": data["total_cycles_simulated"],
+        })
+        data["history"] = history[-_HISTORY_LIMIT:]
         with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            json.dump(data, handle, indent=2, sort_keys=True)
             handle.write("\n")
 
     def render(self) -> str:
@@ -148,6 +193,11 @@ class PipelineMetrics:
         if total:
             lines.append(f"  cache     {self.cache_hits}/{total} hits "
                          f"({self.hit_rate * 100:.1f}%)")
+            read = sum(c.bytes_read for c in self.cache.values())
+            written = sum(c.bytes_written for c in self.cache.values())
+            if read or written:
+                lines.append(f"  bytes     {read / 1024:.1f} KiB read, "
+                             f"{written / 1024:.1f} KiB written")
         else:
             lines.append("  cache     (disabled)")
         lines.append(f"  simulated {self.total_cycles_simulated} cycles")
@@ -155,3 +205,42 @@ class PipelineMetrics:
             lines.append(f"  jobs      {self.jobs_dispatched} dispatched, "
                          f"{self.worker_crashes} worker crashes")
         return "\n".join(lines)
+
+
+#: bound on the trajectory carried inside a bench JSON file
+_HISTORY_LIMIT = 50
+
+
+def compare_stage_walltimes(current: dict, baseline: dict,
+                            threshold: float = 0.25,
+                            min_seconds: float = 0.05) -> list[str]:
+    """Compare two bench-JSON dicts; return one line per regression.
+
+    A stage regresses when its per-invocation wall time exceeds the
+    baseline's by more than ``threshold`` (fraction).  Stages cheaper
+    than ``min_seconds`` total in the baseline are ignored — their
+    timings are dominated by noise, not by the code under test.  An
+    empty return value means no stage regressed.
+    """
+    regressions: list[str] = []
+    for name, base in baseline.get("stages", {}).items():
+        base_wall = base.get("wall_seconds", 0.0)
+        base_inv = base.get("invocations", 0)
+        if base_wall < min_seconds or not base_inv:
+            continue
+        cur = current.get("stages", {}).get(name)
+        if cur is None:
+            continue
+        cur_wall = cur.get("wall_seconds", 0.0)
+        cur_inv = cur.get("invocations", 0)
+        if not cur_inv:
+            continue
+        base_per = base_wall / base_inv
+        cur_per = cur_wall / cur_inv
+        if cur_per > base_per * (1.0 + threshold):
+            regressions.append(
+                f"{name}: {cur_per * 1000:.2f} ms/invocation vs baseline "
+                f"{base_per * 1000:.2f} ms "
+                f"(+{(cur_per / base_per - 1.0) * 100:.0f}%, threshold "
+                f"+{threshold * 100:.0f}%)")
+    return regressions

@@ -1,0 +1,79 @@
+"""Per-stage cProfile collection for the pipeline (``--profile``).
+
+A :class:`StageProfiler` attaches to :class:`~repro.engine.metrics.
+PipelineMetrics` (its ``profiler`` slot); every ``metrics.timer(stage)``
+block then runs under a per-stage :class:`cProfile.Profile`, and the
+accumulated profiles are written out as one ``.pstats`` file per stage
+plus a human-readable top-N cumulative summary.
+
+Profiles accumulate across invocations of the same stage, so the dump
+for ``emulate`` covers every emulation of the run, not just the last
+one.  Only in-process work is profiled — pool workers (``--jobs N``)
+run in their own interpreters and are not captured.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+
+
+class StageProfiler:
+    """Accumulates one :class:`cProfile.Profile` per pipeline stage."""
+
+    def __init__(self, top: int = 20):
+        self.top = top
+        self._profiles: dict[str, cProfile.Profile] = {}
+
+    @contextmanager
+    def record(self, stage: str):
+        """Profile one timed block, accumulating into ``stage``'s data.
+
+        Stage timers never nest (each pipeline stage resolves its
+        dependencies *before* entering its own timer), so enabling a
+        single profiler here cannot collide with another active one.
+        """
+        profile = self._profiles.get(stage)
+        if profile is None:
+            profile = self._profiles[stage] = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+
+    @property
+    def stages(self) -> list[str]:
+        return sorted(self._profiles)
+
+    # ----- output -------------------------------------------------------
+
+    def summary(self) -> str:
+        """Top-N cumulative-time functions for every profiled stage."""
+        out = io.StringIO()
+        for stage in self.stages:
+            out.write(f"===== stage: {stage} (top {self.top} by "
+                      f"cumulative time) =====\n")
+            stats = pstats.Stats(self._profiles[stage], stream=out)
+            stats.sort_stats("cumulative").print_stats(self.top)
+            out.write("\n")
+        return out.getvalue()
+
+    def write(self, directory: str | Path,
+              prefix: str = "profile") -> list[str]:
+        """Dump ``<prefix>_<stage>.pstats`` per stage plus a text
+        summary; returns the written paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[str] = []
+        for stage in self.stages:
+            path = directory / f"{prefix}_{stage}.pstats"
+            self._profiles[stage].dump_stats(str(path))
+            written.append(str(path))
+        summary_path = directory / f"{prefix}_summary.txt"
+        summary_path.write_text(self.summary())
+        written.append(str(summary_path))
+        return written

@@ -24,6 +24,10 @@ from repro.analysis.profile import Profile
 from repro.emu.interpreter import run_program
 from repro.emu.trace import ExecutionResult
 from repro.engine import keys
+from repro.fastpath.columns import TraceColumns
+from repro.fastpath.decode import DecodedProgram, decode_program
+from repro.fastpath.interp import run_program_fast
+from repro.fastpath.simulate import SimPrep, prepare_sim, simulate_columns
 from repro.engine.metrics import PipelineMetrics
 from repro.engine.store import ArtifactStore
 from repro.ir.function import Program
@@ -58,6 +62,10 @@ class PipelineContext:
     wall_clock_budget: float | None = None
     store: ArtifactStore | None = None
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+    #: emulate/simulate through the pre-decoded fastpath (columnar
+    #: traces); False falls back to the legacy object-graph loops,
+    #: which remain the differential oracle
+    fastpath: bool = True
 
     def __post_init__(self):
         if self.store is not None:
@@ -69,6 +77,11 @@ class PipelineContext:
         self._compiled: dict[str, CompiledProgram] = {}
         self._execution: dict[str, ExecutionResult] = {}
         self._summary: dict[str, RunSummary] = {}
+        # Pre-decoded form and simulator arrays, keyed by compile key:
+        # one decode serves the emulation plus every machine's
+        # simulation of that compiled program.
+        self._decoded: dict[str, DecodedProgram] = {}
+        self._prep: dict[str, SimPrep] = {}
 
     # ----- keys ---------------------------------------------------------
 
@@ -104,6 +117,23 @@ class PipelineContext:
         ensure_uid_headroom(max(
             (inst.uid for fn in program.functions.values()
              for inst in fn.all_instructions()), default=-1))
+
+    def _decoded_for(self, compile_key: str,
+                     compiled: CompiledProgram) -> DecodedProgram:
+        decoded = self._decoded.get(compile_key)
+        if decoded is None:
+            decoded = self._decoded[compile_key] = decode_program(
+                compiled.program)
+        return decoded
+
+    def _prep_for(self, compile_key: str,
+                  compiled: CompiledProgram) -> SimPrep:
+        prep = self._prep.get(compile_key)
+        if prep is None:
+            prep = self._prep[compile_key] = prepare_sim(
+                self._decoded_for(compile_key, compiled),
+                compiled.addresses)
+        return prep
 
     def frontend_program(self, workload: Workload) -> Program:
         """Optimized baseline IR (cached per source)."""
@@ -177,10 +207,21 @@ class PipelineContext:
                 watchdog = EmulationWatchdog(
                     wall_clock_budget=self.wall_clock_budget)
             with self.metrics.timer("emulate"):
-                execution = run_program(
-                    compiled.program, inputs=workload.inputs(self.scale),
-                    collect_trace=True, max_steps=self.max_steps,
-                    watchdog=watchdog)
+                if self.fastpath:
+                    execution = run_program_fast(
+                        compiled.program,
+                        inputs=workload.inputs(self.scale),
+                        collect_trace=True, max_steps=self.max_steps,
+                        watchdog=watchdog,
+                        decoded=self._decoded_for(
+                            self.compile_key(workload, model, machine),
+                            compiled))
+                else:
+                    execution = run_program(
+                        compiled.program,
+                        inputs=workload.inputs(self.scale),
+                        collect_trace=True, max_steps=self.max_steps,
+                        watchdog=watchdog)
             if self.paranoid:
                 check_trace_integrity(execution, compiled.program)
             if self.store is not None:
@@ -213,8 +254,17 @@ class PipelineContext:
                     f"{workload.name}/{model.value}: emulation produced "
                     f"no trace")
             with self.metrics.timer("simulate"):
-                stats = simulate_trace(execution.trace, compiled.addresses,
-                                       machine)
+                trace = execution.trace
+                if isinstance(trace, TraceColumns):
+                    stats = simulate_columns(
+                        trace,
+                        self._prep_for(
+                            self.compile_key(workload, model, machine),
+                            compiled),
+                        machine)
+                else:
+                    stats = simulate_trace(trace, compiled.addresses,
+                                           machine)
             self.metrics.add_cycles(stats.cycles)
             summary = RunSummary(stats=stats,
                                  return_value=execution.return_value,

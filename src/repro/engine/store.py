@@ -42,6 +42,7 @@ class StoreStats:
     entries: int = 0
     total_bytes: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
     #: other vN directories present (orphaned by schema bumps)
     stale_versions: list[str] = field(default_factory=list)
 
@@ -52,7 +53,9 @@ class StoreStats:
                  f"({self.total_bytes / 1024:.1f} KiB)"]
         for kind in KINDS:
             if self.by_kind.get(kind):
-                lines.append(f"    {kind:<9s}: {self.by_kind[kind]}")
+                lines.append(
+                    f"    {kind:<9s}: {self.by_kind[kind]:>5d}  "
+                    f"{self.bytes_by_kind.get(kind, 0) / 1024:>9.1f} KiB")
         if self.stale_versions:
             lines.append(f"  stale versions : "
                          f"{', '.join(self.stale_versions)} "
@@ -91,7 +94,7 @@ class ArtifactStore:
             self.metrics.record_miss(kind)
             return None
         payload = unpack(blob, expect_kind=kind)
-        self.metrics.record_hit(kind)
+        self.metrics.record_hit(kind, len(blob))
         return payload
 
     def put(self, kind: str, key: str, payload: Any) -> None:
@@ -99,6 +102,7 @@ class ArtifactStore:
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = pack(kind, payload)
+        self.metrics.record_write(kind, len(blob))
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             tmp.write_bytes(blob)
@@ -126,12 +130,15 @@ class ArtifactStore:
             if not kind_dir.is_dir():
                 continue
             count = 0
+            kind_bytes = 0
             for path in kind_dir.rglob(f"*{_SUFFIX}"):
                 count += 1
-                stats.total_bytes += path.stat().st_size
+                kind_bytes += path.stat().st_size
             if count:
                 stats.by_kind[kind_dir.name] = count
+                stats.bytes_by_kind[kind_dir.name] = kind_bytes
                 stats.entries += count
+                stats.total_bytes += kind_bytes
         return stats
 
     def clear(self) -> int:

@@ -1,0 +1,268 @@
+"""Pre-decode: lower a compiled :class:`Program` into flat micro-ops.
+
+One pass over the object-graph IR produces a :class:`DecodedProgram`
+whose per-function ``code`` is a flat list of uniform 11-tuples
+
+    ``(kind, sidx, dest, m0, i0, m1, i1, m2, i2, guard, aux)``
+
+where ``kind`` is a dense int dispatch ordinal (ordered roughly by
+dynamic frequency), ``sidx`` indexes the program-order static
+instruction table shared with :class:`~repro.fastpath.columns.TraceColumns`,
+``dest``/``guard`` are dense register indices (``-1`` for none), the
+``(m, i)`` pairs encode up to three sources as (mode, index) with mode
+``M_REG``/``M_CONST``/``M_PREG``, and ``aux`` carries per-kind decoded
+payload (comparison function, resolved branch target, predicate-define
+truth tables, ...).  The interpreter hot loop then dispatches on plain
+ints with zero per-step attribute or ``isinstance`` lookups.
+
+Control flow is resolved to flat pcs at decode time.  Falling through or
+branching into a chain of empty blocks is pre-walked by :func:`_chain`,
+which yields the ``(fn, block)`` profile keys the legacy interpreter
+would count on the way plus the landing pc (``-1`` when control falls
+off the end of the function — a fault the interpreter raises with the
+legacy message).
+"""
+
+from __future__ import annotations
+
+from repro.emu.interpreter import _CMP
+from repro.emu.memory import EmulationFault
+from repro.ir.function import Function, Program
+from repro.ir.instruction import Instruction, PType
+from repro.ir.opcodes import CONDITION, Opcode
+from repro.ir.operands import GlobalAddr, Imm, PReg, VReg
+from repro.machine.predicates import pred_update
+
+# Source-operand addressing modes.
+M_REG = 0     # i indexes the dense virtual-register file
+M_CONST = 1   # i indexes the per-function resolved-constant table
+M_PREG = 2    # i indexes the dense predicate-register file
+
+# Micro-op kinds.  Pure register ops come first (shared trace/advance
+# tail in the interpreter), then memory, then control transfers.
+(K_ADD, K_MOV, K_CMP, K_SUB, K_AND, K_PREDDEF, K_OR, K_CMOV, K_SELECT,
+ K_XOR, K_SHL, K_SHR, K_NOT, K_NEG, K_MUL, K_AND_NOT, K_OR_NOT, K_DIV,
+ K_REM, K_FADD, K_FSUB, K_FMUL, K_FDIV, K_FNEG, K_FMOV, K_CVT_IF,
+ K_CVT_FI, K_PREDSET, K_NOP,
+ K_LOAD, K_LOAD_B, K_FLOAD, K_STORE, K_STORE_B, K_FSTORE,
+ K_BRANCH, K_JUMP, K_CALL, K_RET) = range(39)
+
+_KIND: dict[Opcode, int] = {
+    Opcode.ADD: K_ADD, Opcode.SUB: K_SUB, Opcode.MUL: K_MUL,
+    Opcode.DIV: K_DIV, Opcode.REM: K_REM, Opcode.NEG: K_NEG,
+    Opcode.MOV: K_MOV, Opcode.AND: K_AND, Opcode.OR: K_OR,
+    Opcode.XOR: K_XOR, Opcode.NOT: K_NOT, Opcode.SHL: K_SHL,
+    Opcode.SHR: K_SHR, Opcode.AND_NOT: K_AND_NOT,
+    Opcode.OR_NOT: K_OR_NOT,
+    Opcode.FADD: K_FADD, Opcode.FSUB: K_FSUB, Opcode.FMUL: K_FMUL,
+    Opcode.FDIV: K_FDIV, Opcode.FNEG: K_FNEG, Opcode.FMOV: K_FMOV,
+    Opcode.CVT_IF: K_CVT_IF, Opcode.CVT_FI: K_CVT_FI,
+    Opcode.LOAD: K_LOAD, Opcode.LOAD_B: K_LOAD_B, Opcode.FLOAD: K_FLOAD,
+    Opcode.STORE: K_STORE, Opcode.STORE_B: K_STORE_B,
+    Opcode.FSTORE: K_FSTORE,
+    Opcode.JUMP: K_JUMP, Opcode.JSR: K_CALL, Opcode.RET: K_RET,
+    Opcode.PRED_CLEAR: K_PREDSET, Opcode.PRED_SET: K_PREDSET,
+    Opcode.CMOV: K_CMOV, Opcode.CMOV_COM: K_CMOV,
+    Opcode.FCMOV: K_CMOV, Opcode.FCMOV_COM: K_CMOV,
+    Opcode.SELECT: K_SELECT, Opcode.FSELECT: K_SELECT,
+    Opcode.NOP: K_NOP,
+}
+# CMP_*/FCMP_* share value-level semantics; branches and predicate
+# defines carry their comparison function in ``aux``.
+for _op, _cond in CONDITION.items():
+    if _op.value.startswith("pred_"):
+        _KIND[_op] = K_PREDDEF
+    elif _op.value.startswith("b"):
+        _KIND[_op] = K_BRANCH
+    else:
+        _KIND.setdefault(_op, K_CMP)
+
+#: Per-PType truth table indexed by ``(p_in << 1) | cmp_result``; entry
+#: is the new predicate value or None for "unchanged" (paper Table 1).
+_PRED_TABLES: dict[PType, tuple] = {
+    ptype: tuple(pred_update(ptype, p_in, cmp)
+                 for p_in in (0, 1) for cmp in (0, 1))
+    for ptype in PType
+}
+
+
+class DecodedFunction:
+    """Flat decoded form of one :class:`Function`."""
+
+    __slots__ = ("name", "code", "nxt", "entry", "params", "consts_spec",
+                 "nregs", "npregs")
+
+    def __init__(self, name, code, nxt, entry, params, consts_spec,
+                 nregs, npregs):
+        self.name = name
+        #: flat list of 11-tuples (see module docstring)
+        self.code = code
+        #: per-pc successor: None = next pc in the same block, else
+        #: (profile_keys, landing_pc) with landing_pc == -1 meaning
+        #: control falls off the end of the function
+        self.nxt = nxt
+        #: (profile_keys, first_pc) for function entry
+        self.entry = entry
+        #: dense register indices of the formal parameters, in order
+        self.params = params
+        #: constant table spec: ('imm', value) | ('glob', name, offset)
+        self.consts_spec = consts_spec
+        self.nregs = nregs
+        self.npregs = npregs
+
+
+class DecodedProgram:
+    """All functions of a program, plus the shared sidx table."""
+
+    __slots__ = ("entry", "functions", "instructions")
+
+    def __init__(self, entry: str,
+                 functions: dict[str, DecodedFunction],
+                 instructions: list[Instruction]):
+        self.entry = entry
+        self.functions = functions
+        #: static instructions in program order — the namespace for
+        #: ``TraceColumns.sidx`` and ``SimPrep`` arrays; iteration order
+        #: matches ``sim.pipeline.assign_addresses``
+        self.instructions = instructions
+
+
+def decode_program(program: Program) -> DecodedProgram:
+    """Lower ``program`` to its flat micro-op form (pure; no caching)."""
+    instructions: list[Instruction] = []
+    functions: dict[str, DecodedFunction] = {}
+    for fn in program.functions.values():
+        functions[fn.name] = _decode_function(fn, instructions)
+    return DecodedProgram(program.main.name, functions, instructions)
+
+
+def _decode_function(fn: Function,
+                     instructions: list[Instruction]) -> DecodedFunction:
+    regmap: dict[VReg, int] = {}
+    pregmap: dict[PReg, int] = {}
+    constmap: dict[tuple, int] = {}
+    consts_spec: list[tuple] = []
+
+    def rid(r: VReg) -> int:
+        i = regmap.get(r)
+        if i is None:
+            i = regmap[r] = len(regmap)
+        return i
+
+    def pid(p: PReg) -> int:
+        i = pregmap.get(p)
+        if i is None:
+            i = pregmap[p] = len(pregmap)
+        return i
+
+    def cid(key: tuple, spec: tuple) -> int:
+        i = constmap.get(key)
+        if i is None:
+            i = constmap[key] = len(consts_spec)
+            consts_spec.append(spec)
+        return i
+
+    def enc(op) -> tuple[int, int]:
+        t = type(op)
+        if t is VReg:
+            return M_REG, rid(op)
+        if t is Imm:
+            v = op.value
+            return M_CONST, cid(("imm", type(v), v), ("imm", v))
+        if t is PReg:
+            return M_PREG, pid(op)
+        if t is GlobalAddr:
+            return M_CONST, cid(("glob", op.name, op.offset),
+                                ("glob", op.name, op.offset))
+        raise EmulationFault(f"bad operand {op!r}")
+
+    blocks = fn.blocks
+    nblocks = len(blocks)
+    block_keys = [(fn.name, b.name) for b in blocks]
+    block_len = [len(b.instructions) for b in blocks]
+    first_pc: list[int] = []
+    pc = 0
+    for n in block_len:
+        first_pc.append(pc)
+        pc += n
+    label2idx = {b.name: i for i, b in enumerate(blocks)}
+
+    def chain(bi: int) -> tuple[tuple, int]:
+        # Walk empty blocks exactly as the legacy fall-through loop
+        # does, collecting the profile keys it would count.
+        keys = []
+        while bi < nblocks:
+            keys.append(block_keys[bi])
+            if block_len[bi]:
+                return tuple(keys), first_pc[bi]
+            bi += 1
+        return tuple(keys), -1
+
+    code: list[tuple] = []
+    nxt: list[tuple | None] = []
+    for bi, block in enumerate(blocks):
+        n = len(block.instructions)
+        for ii, inst in enumerate(block.instructions):
+            sidx = len(instructions)
+            instructions.append(inst)
+            code.append(_decode_instruction(
+                inst, sidx, rid, pid, enc, label2idx, chain))
+            nxt.append(None if ii + 1 < n else chain(bi + 1))
+
+    return DecodedFunction(
+        name=fn.name, code=code, nxt=nxt, entry=chain(0),
+        params=[rid(p) for p in fn.params],
+        consts_spec=consts_spec,
+        nregs=len(regmap), npregs=len(pregmap))
+
+
+def _decode_instruction(inst: Instruction, sidx: int, rid, pid, enc,
+                        label2idx, chain) -> tuple:
+    op = inst.op
+    kind = _KIND.get(op)
+    if kind is None:
+        raise EmulationFault(f"unhandled opcode {op}")
+
+    dest = -1 if inst.dest is None else rid(inst.dest)
+    # Predicate defines are exempt from guard nullification: their input
+    # predicate is a truth-table operand (paper Table 1), not a guard.
+    guard = -1 if (inst.pred is None or kind == K_PREDDEF) \
+        else pid(inst.pred)
+
+    m0 = i0 = m1 = i1 = m2 = i2 = 0
+    srcs = inst.srcs
+    if kind != K_CALL:
+        if len(srcs) > 0:
+            m0, i0 = enc(srcs[0])
+        if len(srcs) > 1:
+            m1, i1 = enc(srcs[1])
+        if len(srcs) > 2:
+            m2, i2 = enc(srcs[2])
+
+    aux = None
+    if kind == K_CMP:
+        aux = _CMP[inst.condition]
+    elif kind == K_BRANCH:
+        bi = label2idx.get(inst.target, -1)
+        target = chain(bi) if bi >= 0 else None
+        aux = (_CMP[inst.condition], inst.uid, target, inst.target)
+    elif kind == K_JUMP:
+        bi = label2idx.get(inst.target, -1)
+        aux = (chain(bi) if bi >= 0 else None, inst.target)
+    elif kind == K_CALL:
+        aux = (inst.target, tuple(enc(s) for s in srcs))
+    elif kind == K_RET:
+        aux = bool(srcs)
+    elif kind == K_PREDDEF:
+        p_in_idx = -1 if inst.pred is None else pid(inst.pred)
+        pdspec = tuple((pid(pd.reg), _PRED_TABLES[pd.ptype])
+                       for pd in inst.pdests)
+        aux = (_CMP[inst.condition], p_in_idx, pdspec)
+    elif kind == K_PREDSET:
+        aux = 1 if op is Opcode.PRED_SET else 0
+    elif kind == K_CMOV:
+        aux = op in (Opcode.CMOV, Opcode.FCMOV)
+    elif kind in (K_DIV, K_REM, K_FDIV, K_LOAD, K_LOAD_B, K_FLOAD):
+        aux = inst.speculative
+
+    return (kind, sidx, dest, m0, i0, m1, i1, m2, i2, guard, aux)

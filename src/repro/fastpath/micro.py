@@ -1,0 +1,162 @@
+"""Timeit microbenchmarks for the hot loops (``repro bench --micro``).
+
+Three benchmarks, each pitting the legacy object-graph code against its
+fastpath replacement on identical work:
+
+* **dispatch** — full interpreter run of a small predicated kernel
+  (:func:`~repro.emu.interpreter.run_program` vs
+  :func:`~repro.fastpath.interp.run_program_fast`), normalized per
+  dynamic instruction;
+* **trace-append** — recording one dynamic event
+  (``list.append(TraceEvent(...))`` vs :meth:`TraceColumns.append`);
+* **issue-loop** — cycle simulation of a recorded trace
+  (:func:`~repro.sim.pipeline.simulate_trace` vs
+  :func:`~repro.fastpath.simulate.simulate_columns`), normalized per
+  trace event.
+
+Everything runs on :mod:`timeit` from the standard library; the
+``benchmarks/perf/`` scripts are thin wrappers over this module so the
+numbers are reproducible from either entry point.
+"""
+
+from __future__ import annotations
+
+import timeit
+from dataclasses import dataclass
+
+#: MiniC kernel with branchy, predicatable control flow and array
+#: traffic — small enough for a sub-second legacy run, hot enough that
+#: per-instruction dispatch cost dominates.
+_KERNEL = """
+int data[64];
+int main() {
+    int i; int j; int acc; int lim;
+    acc = 0;
+    for (i = 0; i < 200; i = i + 1) {
+        lim = (i % 13) + 3;
+        for (j = 0; j < lim; j = j + 1) {
+            if (data[(i + j) % 64] > j) {
+                acc = acc + data[j % 64];
+            } else {
+                acc = acc - j;
+            }
+            data[(i * 3 + j) % 64] = acc % 251;
+        }
+    }
+    return acc % 100003;
+}
+"""
+
+
+@dataclass
+class MicroResult:
+    """One legacy-vs-fastpath comparison."""
+
+    name: str
+    unit: str
+    legacy_ns: float
+    fast_ns: float
+
+    @property
+    def speedup(self) -> float:
+        return self.legacy_ns / self.fast_ns if self.fast_ns else 0.0
+
+
+def _time_per_unit(fn, units: int, repeat: int) -> float:
+    """Best-of-``repeat`` nanoseconds per unit of work for ``fn()``."""
+    best = min(timeit.repeat(fn, number=1, repeat=repeat))
+    return best * 1e9 / max(units, 1)
+
+
+def _compiled_kernel():
+    from repro.analysis.profile import Profile
+    from repro.machine.descriptor import fig8_machine
+    from repro.toolchain import Model, compile_for_model, frontend
+
+    base = frontend(_KERNEL)
+    profile = Profile.collect(base, max_steps=5_000_000)
+    machine = fig8_machine()
+    compiled = compile_for_model(base, Model.FULLPRED, profile, machine)
+    return compiled, machine
+
+
+def bench_dispatch(repeat: int = 3) -> MicroResult:
+    """Interpreter dispatch: legacy loop vs pre-decoded micro-ops."""
+    from repro.emu.interpreter import run_program
+    from repro.fastpath.decode import decode_program
+    from repro.fastpath.interp import run_program_fast
+
+    compiled, _ = _compiled_kernel()
+    program = compiled.program
+    decoded = decode_program(program)
+    dyn = run_program_fast(program, decoded=decoded).dynamic_count
+    legacy = _time_per_unit(lambda: run_program(program), dyn, repeat)
+    fast = _time_per_unit(
+        lambda: run_program_fast(program, decoded=decoded), dyn, repeat)
+    return MicroResult("dispatch", "dynamic instr", legacy, fast)
+
+
+def bench_trace_append(repeat: int = 3, events: int = 50_000) -> MicroResult:
+    """Recording one dynamic event: TraceEvent list vs columnar arrays."""
+    from repro.emu.trace import TraceEvent
+    from repro.fastpath.columns import TraceColumns
+    from repro.ir.instruction import Instruction
+    from repro.ir.opcodes import Opcode
+
+    inst = Instruction(Opcode.ADD, dest=None, srcs=())
+
+    def legacy():
+        out = []
+        append = out.append
+        for i in range(events):
+            append(TraceEvent(inst, True, False, -1, None))
+
+    def fast():
+        cols = TraceColumns()
+        append = cols.append
+        for i in range(events):
+            append(7, 1, -1, None)
+
+    legacy_ns = _time_per_unit(legacy, events, repeat)
+    fast_ns = _time_per_unit(fast, events, repeat)
+    return MicroResult("trace-append", "event", legacy_ns, fast_ns)
+
+
+def bench_issue_loop(repeat: int = 3) -> MicroResult:
+    """Simulator issue loop: object trace vs columnar stream."""
+    from repro.emu.interpreter import run_program
+    from repro.fastpath.decode import decode_program
+    from repro.fastpath.interp import run_program_fast
+    from repro.fastpath.simulate import prepare_sim, simulate_columns
+    from repro.sim.pipeline import simulate_trace
+
+    compiled, machine = _compiled_kernel()
+    program = compiled.program
+    decoded = decode_program(program)
+    events = run_program(program, collect_trace=True).trace
+    cols = run_program_fast(program, collect_trace=True,
+                            decoded=decoded).trace
+    prep = prepare_sim(decoded, compiled.addresses)
+    n = len(events)
+    legacy = _time_per_unit(
+        lambda: simulate_trace(events, compiled.addresses, machine),
+        n, repeat)
+    fast = _time_per_unit(
+        lambda: simulate_columns(cols, prep, machine), n, repeat)
+    return MicroResult("issue-loop", "trace event", legacy, fast)
+
+
+def run_all(repeat: int = 3) -> list[MicroResult]:
+    return [bench_dispatch(repeat), bench_trace_append(repeat),
+            bench_issue_loop(repeat)]
+
+
+def render(results: list[MicroResult]) -> str:
+    lines = [f"{'benchmark':<14s}{'legacy':>12s}{'fastpath':>12s}"
+             f"{'speedup':>9s}  unit",
+             "-" * 55]
+    for r in results:
+        lines.append(f"{r.name:<14s}{r.legacy_ns:>10.0f}ns"
+                     f"{r.fast_ns:>10.0f}ns{r.speedup:>8.2f}x"
+                     f"  per {r.unit}")
+    return "\n".join(lines)

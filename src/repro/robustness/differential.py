@@ -61,3 +61,81 @@ def assert_equivalent(candidate: ExecutionResult,
             f"{reference_model}'s (digests {candidate.memory_digest[:16]} "
             f"vs {reference.memory_digest[:16]})",
             workload=workload, model=model, kind="memory-state")
+
+
+#: ExecutionResult fields the fastpath must reproduce *exactly* (no
+#: float tolerance: the two interpreters share arithmetic, so the only
+#: acceptable difference is wall time).
+_EXACT_FIELDS = ("return_value", "dynamic_count", "suppressed_count",
+                 "branch_outcomes", "block_counts", "output_signature",
+                 "output_count", "memory_digest")
+
+
+def assert_fastpath_equivalent(compiled, inputs=None, machine=None,
+                               max_steps: int = 50_000_000,
+                               *, workload: str = "?") -> None:
+    """Differential mode for the fastpath: legacy vs fast vs streaming.
+
+    Runs the legacy object-graph emulate+simulate, the columnar
+    fastpath, and the streaming emulate→simulate on ``compiled`` and
+    raises :class:`ModelDivergenceError` unless every execution
+    observable, every trace event, and every ``SimulationStats`` field
+    is identical.  This is the oracle behind the ``--differential``
+    CLI flag and the acceptance gate for the fastpath.
+    """
+    from repro.emu.interpreter import run_program
+    from repro.fastpath.decode import decode_program
+    from repro.fastpath.interp import run_program_fast
+    from repro.fastpath.simulate import (emulate_and_simulate_stream,
+                                         prepare_sim, simulate_columns)
+    from repro.sim.pipeline import simulate_trace
+
+    if machine is None:
+        machine = compiled.machine
+    model = getattr(compiled.model, "value", str(compiled.model))
+
+    legacy = run_program(compiled.program, inputs=inputs,
+                         collect_trace=True, max_steps=max_steps)
+    decoded = decode_program(compiled.program)
+    fast = run_program_fast(compiled.program, inputs=inputs,
+                            collect_trace=True, max_steps=max_steps,
+                            decoded=decoded)
+    for fname in _EXACT_FIELDS:
+        a, b = getattr(fast, fname), getattr(legacy, fname)
+        if a != b:
+            raise ModelDivergenceError(
+                f"{workload}: fastpath emulation of {model} diverges on "
+                f"{fname}: {a!r} vs legacy {b!r}",
+                workload=workload, model=model, kind=f"fastpath-{fname}")
+    if fast.trace.to_events(decoded) != legacy.trace:
+        raise ModelDivergenceError(
+            f"{workload}: fastpath columnar trace of {model} does not "
+            f"replay to the legacy event sequence",
+            workload=workload, model=model, kind="fastpath-trace")
+
+    prep = prepare_sim(decoded, compiled.addresses)
+    legacy_stats = simulate_trace(legacy.trace, compiled.addresses,
+                                  machine)
+    fast_stats = simulate_columns(fast.trace, prep, machine)
+    if fast_stats != legacy_stats:
+        raise ModelDivergenceError(
+            f"{workload}: fastpath simulation of {model} diverges: "
+            f"{fast_stats} vs legacy {legacy_stats}",
+            workload=workload, model=model, kind="fastpath-stats")
+
+    streamed, stream_stats = emulate_and_simulate_stream(
+        compiled.program, compiled.addresses, machine, inputs=inputs,
+        max_steps=max_steps, decoded=decoded, prep=prep)
+    if stream_stats != legacy_stats:
+        raise ModelDivergenceError(
+            f"{workload}: streaming simulation of {model} diverges: "
+            f"{stream_stats} vs legacy {legacy_stats}",
+            workload=workload, model=model, kind="fastpath-stream")
+    for fname in _EXACT_FIELDS:
+        a, b = getattr(streamed, fname), getattr(legacy, fname)
+        if a != b:
+            raise ModelDivergenceError(
+                f"{workload}: streaming emulation of {model} diverges "
+                f"on {fname}: {a!r} vs legacy {b!r}",
+                workload=workload, model=model,
+                kind=f"fastpath-stream-{fname}")

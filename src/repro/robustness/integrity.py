@@ -38,6 +38,10 @@ def check_trace_integrity(execution: ExecutionResult,
         raise TraceIntegrityError(
             "execution result carries no trace (collect_trace was off or "
             "the trace was discarded)")
+    if not isinstance(trace, list):
+        # Columnar fastpath trace: replay through the legacy event view
+        # so the integrity rules stay single-sourced.
+        trace = trace.to_events(program)
     if len(trace) != execution.dynamic_count:
         raise TraceIntegrityError(
             f"trace has {len(trace)} events but dynamic_count is "

@@ -271,16 +271,48 @@ def run_compiled(compiled: CompiledProgram,
                  inputs: dict | None = None,
                  machine: MachineDescription | None = None,
                  max_steps: int = 50_000_000,
-                 watchdog: EmulationWatchdog | None = None) -> RunResult:
+                 watchdog: EmulationWatchdog | None = None,
+                 fastpath: bool = True,
+                 stream: bool = False) -> RunResult:
     """Emulate the compiled program and simulate its trace.
 
     ``machine`` may differ from the compile-time machine in memory
     hierarchy (the schedule is unaffected by caches), enabling
     perfect-vs-real-cache comparisons without recompiling.  An optional
     ``watchdog`` bounds emulation wall-clock time on top of ``max_steps``.
+
+    ``fastpath`` selects the pre-decoded columnar path (results are
+    bit-identical to the legacy loops; the trace is a ``TraceColumns``).
+    ``stream`` additionally pipes fixed-size trace chunks straight into
+    the cycle simulator, so the full trace is never materialized and
+    ``RunResult.execution.trace`` is None.
     """
     if machine is None:
         machine = compiled.machine
+    if stream:
+        from repro.fastpath.simulate import emulate_and_simulate_stream
+        execution, stats = emulate_and_simulate_stream(
+            compiled.program, compiled.addresses, machine, inputs=inputs,
+            max_steps=max_steps, watchdog=watchdog)
+        return RunResult(compiled=compiled, execution=execution,
+                         stats=stats)
+    if fastpath:
+        from repro.fastpath.decode import decode_program
+        from repro.fastpath.interp import run_program_fast
+        from repro.fastpath.simulate import prepare_sim, simulate_columns
+        decoded = decode_program(compiled.program)
+        execution = run_program_fast(compiled.program, inputs=inputs,
+                                     collect_trace=True,
+                                     max_steps=max_steps,
+                                     watchdog=watchdog, decoded=decoded)
+        if execution.trace is None:
+            raise TraceIntegrityError(
+                f"emulation of {compiled.model.value} produced no trace")
+        stats = simulate_columns(
+            execution.trace, prepare_sim(decoded, compiled.addresses),
+            machine)
+        return RunResult(compiled=compiled, execution=execution,
+                         stats=stats)
     execution = run_program(compiled.program, inputs=inputs,
                             collect_trace=True, max_steps=max_steps,
                             watchdog=watchdog)
