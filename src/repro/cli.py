@@ -6,15 +6,20 @@ Subcommands:
 * ``run``      — compile + emulate + simulate one file and print stats;
 * ``bench``    — run one registered workload under all three models;
 * ``report``   — regenerate every figure/table (the paper's evaluation);
-* ``cache``    — inspect or clear the content-addressed artifact store;
-* ``selftest`` — fault-injection campaign proving the checkers work;
+* ``figures``  — alias of ``report`` (the paper's figures);
+* ``cache``    — inspect, verify (``fsck``) or clear the artifact store;
+* ``selftest`` — fault-injection campaign proving the checkers work
+  (``--chaos`` adds the engine chaos campaign: crash/corruption/resume);
 * ``list``     — list the registered workloads.
 
 ``bench`` and ``report`` cache every compiled program, emulation trace
 and simulation result in a content-addressed store (``--cache-dir``,
 default ``.repro-cache`` or ``$REPRO_CACHE_DIR``), so a repeated run is
 served entirely from artifacts; ``--jobs N`` fans the pipeline across a
-process pool.
+process pool.  Every store-backed suite run writes an fsync'd JSONL
+journal under ``<cache-dir>/runs/<RUN_ID>.jsonl``; a killed run resumes
+with ``--resume RUN_ID`` (journal-verified completed tasks are never
+recomputed).
 
 Examples::
 
@@ -24,14 +29,19 @@ Examples::
     python -m repro bench wc --scale 0.5
     python -m repro report --scale 0.5 --mode degrade -o RESULTS.txt
     python -m repro report --jobs 4 --bench-json BENCH_pipeline.json
+    python -m repro figures --resume R20260805-120000-abcd1234
     python -m repro cache stats
+    python -m repro cache fsck --repair
     python -m repro cache clear
     python -m repro selftest
+    python -m repro selftest --chaos --jobs 2
 
 Failures exit with the typed taxonomy's codes (one-line diagnostics,
 no tracebacks): 10 generic pipeline error, 11 compile, 12 pass
 verification, 13 emulation timeout, 14 trace integrity, 15 model
-divergence, 16 emulation fault.
+divergence, 16 emulation fault, 17 artifact lock timeout.  Codes 13,
+14 and 17 are transient (the scheduler retries them); the rest are
+permanent.
 """
 
 from __future__ import annotations
@@ -47,7 +57,9 @@ from repro.experiments.render import render_all
 from repro.experiments.runner import ExperimentSuite
 from repro.ir.function import IRError
 from repro.ir.printer import format_program
+from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError
+from repro.lang.sema import SemaError
 from repro.machine.descriptor import MachineDescription, scalar_machine
 from repro.robustness.errors import ReproError
 from repro.robustness.watchdog import EmulationWatchdog
@@ -116,6 +128,16 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or .repro-cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk artifact store")
+    parser.add_argument("--run-id", default=None, metavar="RUN_ID",
+                        help="name this run's journal (default: "
+                             "generated; printed to stderr)")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="resume an interrupted run from its "
+                             "journal: completed tasks are verified "
+                             "against the store and never recomputed")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="max attempts per task for transient "
+                             "failures (default 3)")
 
 
 def _add_perf_args(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +210,34 @@ def _print_metrics(suite, args, profiler=None) -> int:
         print(f"no stage regressions vs {baseline_path}",
               file=sys.stderr)
     return 0
+
+
+def _suite_recovery_kwargs(args) -> dict:
+    """Map --run-id/--resume/--retries onto ExperimentSuite fields."""
+    kwargs: dict = {}
+    resume = getattr(args, "resume", None)
+    if resume:
+        kwargs["run_id"] = resume
+        kwargs["resume"] = True
+    elif getattr(args, "run_id", None):
+        kwargs["run_id"] = args.run_id
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        from repro.engine.recovery.retry import RetryPolicy
+        kwargs["retry"] = RetryPolicy(max_attempts=max(1, retries))
+    return kwargs
+
+
+def _announce_run(suite) -> None:
+    if suite.run_id is not None:
+        print(f"run id: {suite.run_id} (resume with --resume "
+              f"{suite.run_id})", file=sys.stderr)
+
+
+def _finish_run(suite) -> None:
+    if suite.run_id is not None:
+        print(suite.journal_summary(), file=sys.stderr)
+    suite.close_journal()
 
 
 def _options(args) -> ToolchainOptions:
@@ -275,23 +325,32 @@ def _cmd_bench(args) -> int:
                             options=_options(args),
                             paranoid=args.paranoid,
                             wall_clock_budget=args.time_budget,
-                            cache_dir=_cache_dir(args), jobs=args.jobs)
+                            cache_dir=_cache_dir(args), jobs=args.jobs,
+                            **_suite_recovery_kwargs(args))
+    _announce_run(suite)
     profiler = _attach_profiler(suite, args)
     machine = _machine(args)
-    base = suite.baseline_cycles(workload.name)
-    print(f"{workload.name} ({workload.stands_for}), scale {args.scale}")
-    print(f"{'model':<20s}{'cycles':>9s}{'speedup':>9s}{'instrs':>9s}"
-          f"{'BR':>8s}{'MP':>7s}")
-    for model in Model:
-        run = suite.run(workload.name, model, machine)
-        stats = run.stats
-        print(f"{model.value:<20s}{stats.cycles:>9d}"
-              f"{base / stats.cycles:>9.2f}"
-              f"{stats.executed_instructions:>9d}"
-              f"{stats.branches:>8d}{stats.mispredictions:>7d}")
-    if args.differential:
-        _run_differential(workload, machine, args)
-    return _print_metrics(suite, args, profiler)
+    try:
+        base = suite.baseline_cycles(workload.name)
+        print(f"{workload.name} ({workload.stands_for}), "
+              f"scale {args.scale}")
+        print(f"{'model':<20s}{'cycles':>9s}{'speedup':>9s}{'instrs':>9s}"
+              f"{'BR':>8s}{'MP':>7s}")
+        for model in Model:
+            run = suite.run(workload.name, model, machine)
+            stats = run.stats
+            print(f"{model.value:<20s}{stats.cycles:>9d}"
+                  f"{base / stats.cycles:>9.2f}"
+                  f"{stats.executed_instructions:>9d}"
+                  f"{stats.branches:>8d}{stats.mispredictions:>7d}")
+        if args.differential:
+            _run_differential(workload, machine, args)
+    except BaseException:
+        suite.close_journal(ok=False)
+        raise
+    exit_code = _print_metrics(suite, args, profiler)
+    _finish_run(suite)
+    return exit_code
 
 
 def _run_differential(workload, machine, args) -> None:
@@ -320,9 +379,15 @@ def _cmd_report(args) -> int:
                             options=_options(args),
                             paranoid=args.paranoid,
                             wall_clock_budget=args.time_budget,
-                            cache_dir=_cache_dir(args), jobs=args.jobs)
+                            cache_dir=_cache_dir(args), jobs=args.jobs,
+                            **_suite_recovery_kwargs(args))
+    _announce_run(suite)
     profiler = _attach_profiler(suite, args)
-    text = render_all(suite)
+    try:
+        text = render_all(suite)
+    except BaseException:
+        suite.close_journal(ok=False)
+        raise
     if suite.failures:
         text += "\n\n" + suite.failure_report()
     if args.output:
@@ -332,18 +397,34 @@ def _cmd_report(args) -> int:
     else:
         print(text)
     compare_exit = _print_metrics(suite, args, profiler)
+    _finish_run(suite)
     if suite.failures:
         return 1
     return compare_exit
 
 
 def _cmd_cache(args) -> int:
-    store = ArtifactStore(args.cache_dir)
-    if args.action == "stats":
-        print(store.stats().render())
+    cache_dir = args.cache_dir
+    if args.action in ("stats", "clear") and not os.path.isdir(cache_dir):
+        print(f"no artifact store at {cache_dir} (nothing cached yet — "
+              f"run `repro report` or `repro bench` to populate it)")
         return 0
+    store = ArtifactStore(cache_dir)
+    if args.action == "stats":
+        inventory = store.stats()
+        if inventory.entries == 0:
+            print(f"artifact store at {cache_dir} is empty (run "
+                  f"`repro report` or `repro bench` to populate it)")
+            return 0
+        print(inventory.render())
+        return 0
+    if args.action == "fsck":
+        from repro.engine.recovery.fsck import fsck_store
+        report = fsck_store(store, repair=args.repair)
+        print(report.render())
+        return 0 if report.clean or args.repair else 1
     removed = store.clear()
-    print(f"removed {removed} artifacts from {args.cache_dir}")
+    print(f"removed {removed} artifacts from {cache_dir}")
     return 0
 
 
@@ -352,7 +433,14 @@ def _cmd_selftest(args) -> int:
                                          run_fault_campaign)
     reports = run_fault_campaign()
     print(format_fault_reports(reports))
-    return 0 if all(r.ok for r in reports) else 1
+    ok = all(r.ok for r in reports)
+    if getattr(args, "chaos", False):
+        from repro.robustness.chaos import (format_chaos_reports,
+                                            run_chaos_campaign)
+        chaos = run_chaos_campaign(jobs=args.jobs)
+        print(format_chaos_reports(chaos))
+        ok = ok and all(r.ok for r in chaos)
+    return 0 if ok else 1
 
 
 def _cmd_list(_args) -> int:
@@ -405,30 +493,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_args(p)
     p.set_defaults(func=_cmd_bench)
 
-    p = sub.add_parser("report", help="regenerate all figures/tables")
-    p.add_argument("--scale", type=float, default=0.5)
-    p.add_argument("-o", "--output", help="write to file")
-    p.add_argument("--mode", choices=("strict", "degrade"),
-                   default="strict",
-                   help="strict: abort on the first failing workload; "
-                        "degrade: quarantine it and report at the end")
-    _add_robustness_args(p)
-    _add_engine_args(p)
-    _add_perf_args(p)
-    p.set_defaults(func=_cmd_report)
+    for name, help_text in (
+            ("report", "regenerate all figures/tables"),
+            ("figures", "regenerate all figures/tables "
+                        "(alias of report)")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("-o", "--output", help="write to file")
+        p.add_argument("--mode", choices=("strict", "degrade"),
+                       default="strict",
+                       help="strict: abort on the first failing "
+                            "workload; degrade: quarantine it and "
+                            "report at the end")
+        _add_robustness_args(p)
+        _add_engine_args(p)
+        _add_perf_args(p)
+        p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("cache",
-                       help="inspect or clear the artifact store")
-    p.add_argument("action", choices=("stats", "clear"))
+                       help="inspect, verify or clear the artifact "
+                            "store")
+    p.add_argument("action", choices=("stats", "fsck", "clear"))
     p.add_argument("--cache-dir", default=_default_cache_dir(),
                    metavar="DIR",
                    help="artifact store directory (default "
                         "$REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--repair", action="store_true",
+                   help="with fsck: quarantine corrupt artifacts and "
+                        "remove stale tmp files / expired locks")
     p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("selftest",
                        help="fault-injection campaign: prove every "
                             "corruption class is caught")
+    p.add_argument("--chaos", action="store_true",
+                   help="add the engine chaos campaign: worker "
+                        "crashes, torn/corrupt artifacts, timeouts, "
+                        "disk-full writes and SIGKILL+resume must all "
+                        "recover or fail typed")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="pool width for the chaos campaign (default 2)")
     p.set_defaults(func=_cmd_selftest)
 
     p = sub.add_parser("list", help="list registered workloads")
@@ -446,7 +550,7 @@ def main(argv: list[str] | None = None) -> int:
     except EmulationFault as exc:
         print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
         return _EMULATION_FAULT_EXIT
-    except (IRError, ParseError) as exc:
+    except (IRError, LexError, ParseError, SemaError) as exc:
         print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
         return _IR_ERROR_EXIT
     except OSError as exc:

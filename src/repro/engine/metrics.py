@@ -61,6 +61,14 @@ class PipelineMetrics:
     total_cycles_simulated: int = 0
     jobs_dispatched: int = 0
     worker_crashes: int = 0
+    #: transient-failure retries performed by the scheduler
+    task_retries: int = 0
+    #: total seconds slept in retry backoff (recovery overhead)
+    retry_backoff_seconds: float = 0.0
+    #: corrupt artifacts moved to quarantine (reads, resume, fsck)
+    quarantined_artifacts: int = 0
+    #: process pools rebuilt after a worker crash poisoned one
+    pool_rebuilds: int = 0
     #: optional per-stage cProfile collector (see
     #: :mod:`repro.engine.profiling`); attached by the CLI's
     #: ``--profile`` flag, never serialized
@@ -97,6 +105,13 @@ class PipelineMetrics:
     def add_cycles(self, cycles: int) -> None:
         self.total_cycles_simulated += cycles
 
+    def record_retry(self, backoff_seconds: float) -> None:
+        self.task_retries += 1
+        self.retry_backoff_seconds += backoff_seconds
+
+    def record_quarantine(self, kind: str) -> None:  # noqa: ARG002
+        self.quarantined_artifacts += 1
+
     # ----- aggregation --------------------------------------------------
 
     @property
@@ -131,6 +146,10 @@ class PipelineMetrics:
         self.total_cycles_simulated += data.get("total_cycles_simulated", 0)
         self.jobs_dispatched += data.get("jobs_dispatched", 0)
         self.worker_crashes += data.get("worker_crashes", 0)
+        self.task_retries += data.get("task_retries", 0)
+        self.retry_backoff_seconds += data.get("retry_backoff_seconds", 0.0)
+        self.quarantined_artifacts += data.get("quarantined_artifacts", 0)
+        self.pool_rebuilds += data.get("pool_rebuilds", 0)
 
     # ----- output -------------------------------------------------------
 
@@ -151,6 +170,10 @@ class PipelineMetrics:
             "total_cycles_simulated": self.total_cycles_simulated,
             "jobs_dispatched": self.jobs_dispatched,
             "worker_crashes": self.worker_crashes,
+            "task_retries": self.task_retries,
+            "retry_backoff_seconds": round(self.retry_backoff_seconds, 6),
+            "quarantined_artifacts": self.quarantined_artifacts,
+            "pool_rebuilds": self.pool_rebuilds,
         }
 
     def write_json(self, path: str) -> None:
@@ -204,6 +227,13 @@ class PipelineMetrics:
         if self.jobs_dispatched:
             lines.append(f"  jobs      {self.jobs_dispatched} dispatched, "
                          f"{self.worker_crashes} worker crashes")
+        if self.task_retries or self.quarantined_artifacts \
+                or self.pool_rebuilds:
+            lines.append(
+                f"  recovery  {self.task_retries} retries "
+                f"({self.retry_backoff_seconds:.2f}s backoff), "
+                f"{self.quarantined_artifacts} quarantined, "
+                f"{self.pool_rebuilds} pool rebuilds")
         return "\n".join(lines)
 
 

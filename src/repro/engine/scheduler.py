@@ -3,34 +3,56 @@
 Jobs carry dependency edges (compile+emulate must precede each
 trace x machine simulation); the scheduler dispatches every job whose
 dependencies are satisfied to a :class:`~concurrent.futures.\
-ProcessPoolExecutor`, collects results as they finish, and contains two
-failure classes:
+ProcessPoolExecutor`, collects results as they finish, and contains
+three failure classes:
 
-* **typed failures** — a worker raised (``ReproError`` and friends
-  pickle back across the pool); the job is recorded as failed and its
-  transitive dependents are *skipped*, mirroring the experiment suite's
-  ``degrade`` quarantine;
+* **transient typed failures** — a worker raised something the
+  recovery policy classifies as retryable (corrupt-artifact read,
+  emulation timeout, disk-full ``OSError``; see
+  :mod:`repro.engine.recovery.retry`); the job is re-queued with capped
+  exponential backoff and deterministic jitter, up to
+  ``retry.max_attempts`` total tries, and only the *final* failure is
+  recorded;
+* **permanent typed failures** — a worker raised a deterministic error
+  (``CompileError`` and friends pickle back across the pool); the job
+  is recorded as failed immediately and its transitive dependents are
+  *skipped*, mirroring the experiment suite's ``degrade`` quarantine;
 * **worker crashes** — a worker died (segfault, ``os._exit``, OOM
-  kill), which poisons the whole pool.  A breakage with several jobs in
-  flight is ambiguous, so it is counted against *nobody*: every
-  in-flight job becomes a suspect and is retried one at a time in a
-  fresh pool, so the next breakage unambiguously identifies the
-  culprit.  A job that breaks the pool ``_MAX_CRASHES`` times while
-  running alone is recorded as crashed (``JobFailure.crashed``); its
-  dependents are skipped and everything else completes.
+  kill), which poisons the whole pool.  The pool is rebuilt (counted in
+  ``PipelineMetrics.pool_rebuilds``) and, after repeated breakages,
+  *shrunk* one worker at a time (floor 1) with a structured warning —
+  degraded throughput beats an aborted DAG.  A breakage with several
+  jobs in flight is ambiguous, so it is counted against *nobody*: every
+  in-flight job becomes a suspect and is retried one at a time, so the
+  next breakage unambiguously identifies the culprit.  A job that
+  breaks the pool ``_MAX_CRASHES`` times while running alone is
+  recorded as crashed (``JobFailure.crashed``); its dependents are
+  skipped and everything else completes.
+
+``on_complete`` (when given) fires in the parent for every successful
+job *as it finishes* — the hook the run journal uses to make progress
+durable before the suite moves on, so a SIGKILL of the whole suite
+loses at most the jobs completed after the last journal fsync.
 
 ``max_workers <= 1`` executes in-process in topological order with the
-same failure semantics — the serial path needs no pool, no pickling and
-no subprocess startup cost.
+same failure and retry semantics — the serial path needs no pool, no
+pickling and no subprocess startup cost.
 """
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, \
     ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.engine.metrics import PipelineMetrics
+from repro.engine.recovery.retry import RetryPolicy, is_transient
+
+logger = logging.getLogger("repro.engine.scheduler")
 
 #: a job breaking the pool this many times *while running alone* is
 #: declared the culprit (the first solo crash earns one retry, so a
@@ -44,7 +66,9 @@ class Job:
 
     ``fn`` must be a module-level callable (the pool pickles it by
     reference) and ``args`` must be picklable.  ``workload`` and
-    ``stage`` annotate failures for the suite's degrade reports.
+    ``stage`` annotate failures for the suite's degrade reports;
+    ``artifacts`` lists the ``(kind, key)`` pairs the job persists, so
+    the run journal can record verified completion.
     """
 
     job_id: str
@@ -53,6 +77,7 @@ class Job:
     deps: tuple[str, ...] = ()
     workload: str | None = None
     stage: str = "job"
+    artifacts: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass
@@ -67,6 +92,11 @@ class JobFailure:
     crashed: bool = False
     #: the original exception, for strict-mode re-raise (None on crash)
     exception: BaseException | None = None
+    #: total attempts consumed (1 = failed on the first try)
+    attempts: int = 1
+    #: the recovery policy classified this failure as retryable (it
+    #: still exhausted its attempts)
+    transient: bool = False
 
 
 @dataclass
@@ -133,26 +163,37 @@ def _skip_dependents(job_id: str, by_id: dict[str, Job],
 
 
 def _record_failure(job: Job, exc: BaseException,
-                    outcome: SchedulerOutcome, crashed: bool = False
-                    ) -> None:
+                    outcome: SchedulerOutcome, crashed: bool = False,
+                    attempts: int = 1) -> None:
     outcome.failures.append(JobFailure(
         job_id=job.job_id, workload=job.workload, stage=job.stage,
         error_type=type(exc).__name__ if not crashed else "WorkerCrash",
         message=str(exc), crashed=crashed,
-        exception=None if crashed else exc))
+        exception=None if crashed else exc, attempts=attempts,
+        transient=crashed or is_transient(exc)))
 
 
-def execute_jobs(jobs: list[Job], max_workers: int = 1
+def execute_jobs(jobs: list[Job], max_workers: int = 1,
+                 retry: RetryPolicy | None = None,
+                 metrics: PipelineMetrics | None = None,
+                 on_complete: Callable[[Job, Any], None] | None = None
                  ) -> SchedulerOutcome:
     """Run a job DAG; never raises for job failures, only misuse."""
     by_id = _validate(jobs)
     order = _topo_order(by_id)
+    if retry is None:
+        retry = RetryPolicy()
+    if metrics is None:
+        metrics = PipelineMetrics()
     if max_workers <= 1 or len(jobs) <= 1:
-        return _execute_serial(order, by_id)
-    return _execute_pool(order, by_id, max_workers)
+        return _execute_serial(order, by_id, retry, metrics, on_complete)
+    return _execute_pool(order, by_id, max_workers, retry, metrics,
+                         on_complete)
 
 
-def _execute_serial(order: list[Job], by_id: dict[str, Job]
+def _execute_serial(order: list[Job], by_id: dict[str, Job],
+                    retry: RetryPolicy, metrics: PipelineMetrics,
+                    on_complete: Callable[[Job, Any], None] | None
                     ) -> SchedulerOutcome:
     outcome = SchedulerOutcome()
     for job in order:
@@ -160,26 +201,67 @@ def _execute_serial(order: list[Job], by_id: dict[str, Job]
         # so one membership test covers failed deps at any distance.
         if job.job_id in outcome.skipped:
             continue
-        try:
-            outcome.results[job.job_id] = job.fn(*job.args)
-        except Exception as exc:
-            _record_failure(job, exc, outcome)
-            _skip_dependents(job.job_id, by_id, outcome)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = job.fn(*job.args)
+            except Exception as exc:
+                if retry.should_retry(exc, attempt):
+                    backoff = retry.backoff(job.job_id, attempt)
+                    metrics.record_retry(backoff)
+                    logger.warning(
+                        "retrying job after transient failure: "
+                        "job=%s attempt=%d error=%s backoff=%.3fs",
+                        job.job_id, attempt, type(exc).__name__, backoff)
+                    time.sleep(backoff)
+                    continue
+                _record_failure(job, exc, outcome, attempts=attempt)
+                _skip_dependents(job.job_id, by_id, outcome)
+                break
+            outcome.results[job.job_id] = result
+            if on_complete is not None:
+                on_complete(job, result)
+            break
     return outcome
 
 
 def _execute_pool(order: list[Job], by_id: dict[str, Job],
-                  max_workers: int) -> SchedulerOutcome:
+                  max_workers: int, retry: RetryPolicy,
+                  metrics: PipelineMetrics,
+                  on_complete: Callable[[Job, Any], None] | None
+                  ) -> SchedulerOutcome:
     outcome = SchedulerOutcome()
     remaining = set(by_id)
     #: pool breakages observed while the job ran *alone* in the pool
     crash_counts: dict[str, int] = {}
     #: jobs to retry one at a time after an ambiguous group breakage
     suspects: list[str] = []
-    executor = ProcessPoolExecutor(max_workers=max_workers)
+    #: (ready_time, job_id) for transient failures in their backoff
+    backoff_queue: list[tuple[float, str]] = []
+    waiting_backoff: set[str] = set()
+    attempts: dict[str, int] = {}
+    pool_breakages = 0
+    workers = max_workers
+    executor = ProcessPoolExecutor(max_workers=workers)
     in_flight: dict[Future, Job] = {}
 
+    def submit(job: Job) -> None:
+        attempts[job.job_id] = attempts.get(job.job_id, 0) + 1
+        in_flight[executor.submit(job.fn, *job.args)] = job
+
     def dispatch() -> None:
+        now = time.monotonic()
+        # Backed-off retries whose delay elapsed go first: they already
+        # held a slot in a previous attempt and their dependents wait.
+        for entry in sorted(backoff_queue):
+            ready_at, jid = entry
+            if ready_at > now:
+                break
+            backoff_queue.remove(entry)
+            waiting_backoff.discard(jid)
+            if jid in remaining and jid not in outcome.skipped:
+                submit(by_id[jid])
         # Quarantine mode: retry suspects one at a time, so a breakage
         # is only ever attributed to a job that was running alone.
         while suspects:
@@ -187,46 +269,91 @@ def _execute_pool(order: list[Job], by_id: dict[str, Job],
                 return
             jid = suspects.pop(0)
             if jid in remaining and jid not in outcome.skipped:
-                job = by_id[jid]
-                in_flight[executor.submit(job.fn, *job.args)] = job
+                submit(by_id[jid])
                 return
         # Normal mode: dispatch every job whose dependencies succeeded.
         launched = {job.job_id for job in in_flight.values()}
         for job in order:
             if job.job_id not in remaining \
                     or job.job_id in launched \
-                    or job.job_id in outcome.skipped:
+                    or job.job_id in outcome.skipped \
+                    or job.job_id in waiting_backoff:
                 continue
             if all(dep in outcome.results for dep in job.deps):
-                in_flight[executor.submit(job.fn, *job.args)] = job
+                submit(job)
+
+    def rebuild_pool() -> None:
+        nonlocal executor, workers, pool_breakages
+        pool_breakages += 1
+        metrics.pool_rebuilds += 1
+        executor.shutdown(wait=False, cancel_futures=True)
+        if pool_breakages > 1 and workers > 1:
+            workers -= 1
+            logger.warning(
+                "worker pool degraded after repeated crashes: "
+                "breakages=%d workers=%d (was %d)",
+                pool_breakages, workers, max_workers)
+        else:
+            logger.warning(
+                "worker pool rebuilt after a crash: breakages=%d "
+                "workers=%d", pool_breakages, workers)
+        executor = ProcessPoolExecutor(max_workers=workers)
+
+    def next_backoff_delta() -> float | None:
+        if not backoff_queue:
+            return None
+        return max(0.0, min(t for t, _ in backoff_queue)
+                   - time.monotonic())
 
     try:
         while True:
             dispatch()
             if not in_flight:
-                break
-            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                delta = next_backoff_delta()
+                if delta is None:
+                    break
+                time.sleep(delta)
+                continue
+            done, _ = wait(in_flight, timeout=next_backoff_delta(),
+                           return_when=FIRST_COMPLETED)
             pool_broken = False
             requeue: list[Job] = []
             for future in done:
                 job = in_flight.pop(future)
                 try:
-                    outcome.results[job.job_id] = future.result()
-                    remaining.discard(job.job_id)
+                    result = future.result()
                 except BrokenProcessPool:
                     pool_broken = True
                     requeue.append(job)
                 except Exception as exc:
+                    attempt = attempts.get(job.job_id, 1)
+                    if retry.should_retry(exc, attempt):
+                        backoff = retry.backoff(job.job_id, attempt)
+                        metrics.record_retry(backoff)
+                        logger.warning(
+                            "retrying job after transient failure: "
+                            "job=%s attempt=%d error=%s backoff=%.3fs",
+                            job.job_id, attempt, type(exc).__name__,
+                            backoff)
+                        backoff_queue.append(
+                            (time.monotonic() + backoff, job.job_id))
+                        waiting_backoff.add(job.job_id)
+                    else:
+                        remaining.discard(job.job_id)
+                        _record_failure(job, exc, outcome,
+                                        attempts=attempt)
+                        _skip_dependents(job.job_id, by_id, outcome)
+                else:
+                    outcome.results[job.job_id] = result
                     remaining.discard(job.job_id)
-                    _record_failure(job, exc, outcome)
-                    _skip_dependents(job.job_id, by_id, outcome)
+                    if on_complete is not None:
+                        on_complete(job, result)
             if pool_broken:
                 # The pool is poisoned: every other in-flight future is
                 # doomed too.  Gather them all, then triage.
                 requeue.extend(in_flight.values())
                 in_flight.clear()
-                executor.shutdown(wait=False, cancel_futures=True)
-                executor = ProcessPoolExecutor(max_workers=max_workers)
+                rebuild_pool()
                 if len(requeue) == 1:
                     # Unambiguous: this job was alone when the pool died.
                     job = requeue[0]
@@ -239,7 +366,9 @@ def _execute_pool(order: list[Job], by_id: dict[str, Job],
                             stage=job.stage, error_type="WorkerCrash",
                             message=f"worker crashed while running "
                                     f"{job.job_id} ({crash_counts[job.job_id]}"
-                                    f" solo pool breakages)", crashed=True))
+                                    f" solo pool breakages)", crashed=True,
+                            attempts=attempts.get(job.job_id, 1),
+                            transient=True))
                         _skip_dependents(job.job_id, by_id, outcome)
                     else:
                         suspects.append(job.job_id)

@@ -3,15 +3,23 @@
 Layout::
 
     <root>/v<SCHEMA_VERSION>/<kind>/<key[:2]>/<key>.art
+    <root>/quarantine/<kind>/...        (corrupt files moved aside)
+    <root>/runs/<RUN_ID>.jsonl          (run journals; see recovery)
 
 ``key`` is a :func:`repro.engine.keys.stable_digest` of the artifact's
-inputs, so the path *is* the cache lookup.  Writes go through a
-temporary file in the same directory followed by :func:`os.replace`, so
-concurrent writers (pool workers racing on a shared artifact) are safe:
-both compute identical content and the last rename wins atomically.
-Reads verify the envelope digest (:func:`repro.engine.serialize.unpack`)
-and raise :class:`~repro.robustness.errors.TraceIntegrityError` on any
-corruption.
+inputs, so the path *is* the cache lookup.  Writes take an advisory
+file lock with a lease (:class:`~repro.engine.recovery.locks.FileLock`)
+and then go through an fsync'd temporary file in the same directory
+followed by :func:`os.replace` — concurrent writers (pool workers, or a
+resumed run racing a stale worker) serialize on the lock and the rename
+is atomic, so a reader never observes a torn file.
+
+Reads verify the envelope digest (:func:`repro.engine.serialize.unpack`).
+A corrupt envelope is *quarantined* (moved under ``quarantine/``) and
+reported as a cache miss, so the pipeline recomputes and rewrites the
+artifact instead of crashing the suite; the quarantined bytes stay on
+disk for post-mortem.  ``repro cache fsck`` scans the whole store the
+same way (:func:`repro.engine.recovery.fsck.fsck_store`).
 
 Version invalidation is structural: artifacts live under a
 ``v<SCHEMA_VERSION>`` directory, so bumping the schema version orphans
@@ -21,17 +29,24 @@ stale versions and ``clear()`` removes everything.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.engine.keys import KINDS, SCHEMA_VERSION
 from repro.engine.metrics import PipelineMetrics
+from repro.engine.recovery.locks import (DEFAULT_LEASE_SECONDS,
+                                         DEFAULT_TIMEOUT, FileLock)
 from repro.engine.serialize import pack, unpack
+from repro.robustness.errors import TraceIntegrityError
 
 _SUFFIX = ".art"
+_QUARANTINE_DIR = "quarantine"
+#: store-internal directories that are not artifact version dirs
+RESERVED_DIRS = (_QUARANTINE_DIR, "runs")
 
 
 @dataclass
@@ -45,6 +60,8 @@ class StoreStats:
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
     #: other vN directories present (orphaned by schema bumps)
     stale_versions: list[str] = field(default_factory=list)
+    #: files moved aside by corruption recovery / fsck
+    quarantined: int = 0
 
     def render(self) -> str:
         lines = [f"artifact store at {self.root}",
@@ -60,6 +77,9 @@ class StoreStats:
             lines.append(f"  stale versions : "
                          f"{', '.join(self.stale_versions)} "
                          f"(run `repro cache clear` to reclaim)")
+        if self.quarantined:
+            lines.append(f"  quarantined    : {self.quarantined} "
+                         f"(run `repro cache fsck` for details)")
         return "\n".join(lines)
 
 
@@ -67,25 +87,43 @@ class ArtifactStore:
     """Digest-addressed artifact cache rooted at one directory."""
 
     def __init__(self, root: str | os.PathLike,
-                 metrics: PipelineMetrics | None = None):
+                 metrics: PipelineMetrics | None = None,
+                 locking: bool = True,
+                 lock_timeout: float = DEFAULT_TIMEOUT,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS):
         self.root = Path(root)
         self.version_dir = self.root / f"v{SCHEMA_VERSION}"
         self.metrics = metrics if metrics is not None else PipelineMetrics()
+        self.locking = locking
+        self.lock_timeout = lock_timeout
+        self.lease_seconds = lease_seconds
+        #: fault-injection / accounting hook called with
+        #: ``(kind, key, nbytes)`` right before the bytes hit disk;
+        #: raising ``OSError`` here simulates a full disk (chaos tests)
+        self.write_hook: Callable[[str, str, int], None] | None = None
 
     def _path(self, kind: str, key: str) -> Path:
         if kind not in KINDS:
             raise ValueError(f"unknown artifact kind {kind!r}")
         return self.version_dir / kind / key[:2] / f"{key}{_SUFFIX}"
 
+    def _lock_for(self, path: Path) -> FileLock:
+        return FileLock(path.with_name(path.name + ".lock"),
+                        lease_seconds=self.lease_seconds,
+                        timeout=self.lock_timeout)
+
     # ----- access -------------------------------------------------------
 
     def get(self, kind: str, key: str) -> Any | None:
-        """Load an artifact, or None on a miss.
+        """Load an artifact; None on a miss *or* quarantined corruption.
 
-        A present-but-corrupted artifact raises
-        :class:`TraceIntegrityError` — it is never silently treated as a
-        miss, because the same corruption could strike after a result
-        was already served from it.
+        A present-but-corrupt artifact (torn write, flipped bit, schema
+        skew inside the envelope) raises
+        :class:`~repro.robustness.errors.TraceIntegrityError` internally,
+        is moved to ``quarantine/`` and counted as a miss — the caller
+        recomputes and rewrites a valid artifact.  Corruption is never
+        silently *served*; it is also never allowed to crash a suite
+        that could simply recompute.
         """
         path = self._path(kind, key)
         try:
@@ -93,27 +131,87 @@ class ArtifactStore:
         except FileNotFoundError:
             self.metrics.record_miss(kind)
             return None
-        payload = unpack(blob, expect_kind=kind)
+        try:
+            payload = unpack(blob, expect_kind=kind)
+        except TraceIntegrityError as exc:
+            self.quarantine(kind, key, reason=str(exc))
+            self.metrics.record_miss(kind)
+            return None
         self.metrics.record_hit(kind, len(blob))
         return payload
 
     def put(self, kind: str, key: str, payload: Any) -> None:
-        """Atomically persist an artifact (last writer wins)."""
+        """Durably persist an artifact (locked, fsync'd, atomic rename)."""
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = pack(kind, payload)
         self.metrics.record_write(kind, len(blob))
+        lock = self._lock_for(path) if self.locking else None
+        if lock is not None:
+            lock.acquire()
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
-            tmp.write_bytes(blob)
+            if self.write_hook is not None:
+                self.write_hook(kind, key, len(blob))
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         finally:
             if tmp.exists():
                 tmp.unlink(missing_ok=True)
+            if lock is not None:
+                lock.release()
 
     def contains(self, kind: str, key: str) -> bool:
         """Presence probe; does not touch hit/miss counters."""
         return self._path(kind, key).exists()
+
+    def digest_of(self, kind: str, key: str) -> str | None:
+        """SHA-256 of the artifact file's bytes (None when absent).
+
+        This is the digest the run journal records at task-finish and
+        re-verifies on ``--resume`` — over the *whole envelope*, so a
+        torn header is caught as readily as a flipped body bit.
+        """
+        try:
+            return hashlib.sha256(
+                self._path(kind, key).read_bytes()).hexdigest()
+        except FileNotFoundError:
+            return None
+
+    # ----- quarantine ---------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE_DIR
+
+    def quarantine(self, kind: str, key: str,
+                   reason: str = "") -> Path | None:
+        """Move a (presumed corrupt) artifact out of the lookup path."""
+        return self.quarantine_file(self._path(kind, key), kind, reason)
+
+    def quarantine_file(self, path: Path, kind: str,
+                        reason: str = "") -> Path | None:
+        """Move ``path`` under ``quarantine/<kind>/``; returns the new
+        location, or None when the file vanished first (a concurrent
+        reader already quarantined it — not an error)."""
+        dest_dir = self.quarantine_dir / kind
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / path.name
+        if dest.exists():  # repeat offender: keep each copy
+            dest = dest_dir / f"{path.name}.{os.getpid()}" \
+                              f".{os.urandom(3).hex()}"
+        try:
+            os.replace(path, dest)
+        except FileNotFoundError:
+            return None
+        if reason:
+            dest.with_name(dest.name + ".reason").write_text(
+                reason + "\n")
+        self.metrics.record_quarantine(kind)
+        return dest
 
     # ----- maintenance --------------------------------------------------
 
@@ -122,8 +220,13 @@ class ArtifactStore:
         if self.root.is_dir():
             for entry in sorted(self.root.iterdir()):
                 if entry.is_dir() and entry.name.startswith("v") \
-                        and entry != self.version_dir:
+                        and entry != self.version_dir \
+                        and entry.name not in RESERVED_DIRS:
                     stats.stale_versions.append(entry.name)
+        if self.quarantine_dir.is_dir():
+            stats.quarantined = sum(
+                1 for p in self.quarantine_dir.rglob(f"*{_SUFFIX}*")
+                if p.is_file() and not p.name.endswith(".reason"))
         if not self.version_dir.is_dir():
             return stats
         for kind_dir in sorted(self.version_dir.iterdir()):
@@ -147,7 +250,8 @@ class ArtifactStore:
         if not self.root.is_dir():
             return 0
         for entry in list(self.root.iterdir()):
-            if entry.is_dir() and entry.name.startswith("v"):
+            if entry.is_dir() and entry.name.startswith("v") \
+                    and entry.name not in RESERVED_DIRS:
                 removed += sum(1 for _ in entry.rglob(f"*{_SUFFIX}"))
                 shutil.rmtree(entry)
         return removed

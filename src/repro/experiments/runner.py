@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, TypeVar
 
 from repro.emu.memory import EmulationFault
 from repro.emu.trace import ExecutionResult
 from repro.engine.metrics import PipelineMetrics
+from repro.engine.recovery.journal import RunJournal, verify_completed
+from repro.engine.recovery.retry import RetryPolicy, is_transient
 from repro.engine.scheduler import Job, JobFailure, execute_jobs
 from repro.engine.stages import PipelineContext, RunSummary
 from repro.engine.store import ArtifactStore
@@ -93,6 +96,16 @@ class ExperimentSuite:
     selects the process-pool width for the prefetch DAG (1 = serial,
     in-process).  Parallel execution communicates through the store, so
     ``jobs > 1`` without a ``cache_dir`` gets a throwaway temp store.
+
+    Every store-backed run is journaled: a ``run_id`` (generated unless
+    given) names an fsync'd JSONL journal under ``<cache_dir>/runs/``
+    recording each task's start/finish/failure and artifact digests.
+    ``resume=True`` replays an earlier run's journal, re-verifies every
+    recorded artifact against the store (quarantining digest
+    mismatches), and re-executes only the unfinished frontier — a
+    SIGKILLed figure run resumes to byte-identical output with zero
+    recompute of completed tasks.  ``retry`` bounds transient-failure
+    retries in the scheduler (None: the default policy).
     """
 
     workloads: list[Workload] = field(default_factory=all_workloads)
@@ -104,6 +117,9 @@ class ExperimentSuite:
     wall_clock_budget: float | None = None
     cache_dir: str | None = None
     jobs: int = 1
+    run_id: str | None = None
+    resume: bool = False
+    retry: RetryPolicy | None = None
 
     def __post_init__(self):
         if self.mode not in ("strict", "degrade"):
@@ -122,6 +138,69 @@ class ExperimentSuite:
         self._by_name = {w.name: w for w in self.workloads}
         self.failures: list[WorkloadFailure] = []
         self._failed: set[str] = set()
+        self.journal: RunJournal | None = None
+        #: tasks the resumed journal proved complete (artifacts verified)
+        self.resumed_verified: set[str] = set()
+        #: task -> reason a journal completion claim failed verification
+        self.resumed_invalid: dict[str, str] = {}
+        self._journaled: set[str] = set()
+        if store is not None:
+            self._open_journal(store)
+
+    # ----- run journal ----------------------------------------------------
+
+    def _open_journal(self, store: ArtifactStore) -> None:
+        runs_dir = Path(self.cache_dir) / "runs"
+        if self.resume:
+            if self.run_id is None:
+                raise ValueError("resume=True requires a run_id")
+            self.journal, state = RunJournal.resume(runs_dir, self.run_id)
+            self.resumed_verified, self.resumed_invalid = \
+                verify_completed(state, store)
+            self._journaled |= self.resumed_verified
+        else:
+            self.journal = RunJournal.create(
+                runs_dir, self.run_id,
+                meta={"scale": self.scale, "mode": self.mode,
+                      "jobs": self.jobs, "max_steps": self.max_steps,
+                      "workloads": [w.name for w in self.workloads]})
+            self.run_id = self.journal.run_id
+
+    def close_journal(self, ok: bool | None = None) -> None:
+        """Append the run-finish record and release the file handle."""
+        if self.journal is None:
+            return
+        self.journal.run_finish(not self.failures if ok is None else ok)
+        self.journal.close()
+        self.journal = None
+
+    def journal_summary(self) -> str:
+        """One-line resume/progress description for the CLI."""
+        if self.run_id is None:
+            return "journaling disabled (no cache dir)"
+        done = len(self._journaled - self.resumed_verified)
+        parts = [f"run {self.run_id}: {done} tasks completed"]
+        if self.resume:
+            parts.append(f"{len(self.resumed_verified)} resumed "
+                         f"(journal-verified, zero recompute)")
+            if self.resumed_invalid:
+                parts.append(f"{len(self.resumed_invalid)} failed "
+                             f"verification (recomputed)")
+        return ", ".join(parts)
+
+    def _journal_artifacts(self, pairs) -> list[tuple[str, str, str]]:
+        store = self.ctx.store
+        return [(kind, key, store.digest_of(kind, key) or "")
+                for kind, key in pairs]
+
+    def _journal_finish(self, task: str, pairs) -> None:
+        if self.journal is not None:
+            self.journal.task_finish(task, self._journal_artifacts(pairs))
+
+    def _on_job_complete(self, job: Job, _result) -> None:
+        """Scheduler callback: make each pool job's completion durable."""
+        self._journaled.add(job.job_id)
+        self._journal_finish(job.job_id, job.artifacts)
 
     @property
     def metrics(self) -> PipelineMetrics:
@@ -210,11 +289,10 @@ class ExperimentSuite:
                     if store.contains("stats", skey):
                         continue
                     ce_key = self.ctx.compile_key(w, model, machine)
+                    exec_key = self.ctx.execution_key(w, model, machine)
                     ce_id = f"compile:{w.name}:{model.name}:{ce_key[:12]}"
                     ce_cached = store.contains("compiled", ce_key) \
-                        and store.contains(
-                            "execution",
-                            self.ctx.execution_key(w, model, machine))
+                        and store.contains("execution", exec_key)
                     if ce_id not in ce_done and ce_id not in job_ids \
                             and not ce_cached:
                         prep_needed = True
@@ -222,7 +300,9 @@ class ExperimentSuite:
                             job_id=ce_id, fn=compile_emulate,
                             args=(self._job_spec(w.name, model, machine),),
                             deps=(prep_id,), workload=w.name,
-                            stage="compile+emulate"))
+                            stage="compile+emulate",
+                            artifacts=(("compiled", ce_key),
+                                       ("execution", exec_key))))
                         job_ids.add(ce_id)
                     ce_done.add(ce_id)
                     sim_deps = (ce_id,) if ce_id in job_ids else ()
@@ -232,7 +312,8 @@ class ExperimentSuite:
                             job_id=sim_id, fn=simulate,
                             args=(self._job_spec(w.name, model, machine),),
                             deps=sim_deps, workload=w.name,
-                            stage="simulate"))
+                            stage="simulate",
+                            artifacts=(("stats", skey),)))
                         job_ids.add(sim_id)
             if prep_needed:
                 first_machine, first_models = targets[0]
@@ -245,7 +326,12 @@ class ExperimentSuite:
         if not jobs:
             return
         self.metrics.jobs_dispatched += len(jobs)
-        outcome = execute_jobs(jobs, max_workers=self.jobs)
+        if self.journal is not None:
+            for job in jobs:
+                self.journal.task_start(job.job_id)
+        outcome = execute_jobs(jobs, max_workers=self.jobs,
+                               retry=self.retry, metrics=self.metrics,
+                               on_complete=self._on_job_complete)
         for counters in outcome.results.values():
             self.metrics.merge_dict(counters)
         self._absorb_job_failures(outcome.failures)
@@ -255,6 +341,10 @@ class ExperimentSuite:
         for failure in failures:
             if failure.crashed:
                 self.metrics.worker_crashes += 1
+            if self.journal is not None:
+                self.journal.task_fail(
+                    failure.job_id, failure.error_type, failure.message,
+                    transient=failure.transient, attempt=failure.attempts)
             if self.mode != "degrade":
                 if failure.exception is not None:
                     raise failure.exception
@@ -277,8 +367,25 @@ class ExperimentSuite:
         emulation or simulation — the :class:`RunSummary` is served
         straight from the store.
         """
-        summary: RunSummary = self.ctx.run_summary(
-            self._workload(name), model, machine)
+        w = self._workload(name)
+        task = None
+        if self.journal is not None:
+            skey = self.ctx.stats_key(w, model, machine)
+            task = f"simulate:{name}:{model.name}:{skey[:12]}"
+        if task is not None and task not in self._journaled:
+            self.journal.task_start(task)
+            try:
+                summary: RunSummary = self.ctx.run_summary(
+                    w, model, machine)
+            except Exception as exc:
+                self.journal.task_fail(
+                    task, type(exc).__name__, str(exc),
+                    transient=is_transient(exc))
+                raise
+            self._journaled.add(task)
+            self._journal_finish(task, (("stats", skey),))
+        else:
+            summary = self.ctx.run_summary(w, model, machine)
         return WorkloadRun(workload=name, model=model, machine=machine,
                            stats=summary.stats,
                            return_value=summary.return_value,

@@ -162,6 +162,11 @@ def _execute(decoded, memory, layout, collect_trace, max_steps,
             ap_a = cols.addr.append
             ap_v = cols.vidx.append
             values = cols.values
+            # A slow consumer is wall-clock spent inside the emulation
+            # budget: charge each flush, not just every wd_interval
+            # steps (small chunks can flush many times per interval).
+            if wd is not None:
+                wd.beat(steps)
 
         kind, sidx, dest, m0, i0, m1, i1, m2, i2, guard, aux = code[pc]
         steps += 1

@@ -137,8 +137,11 @@ def select_blocks(fn: Function, entry: str, candidates: set[str],
     while len(selected) > 1 and (total_size(selected)
                                  > params.max_instructions
                                  or oversaturated(selected)):
+        # Tie-break by name: iterating the set would break count ties
+        # in str-hash order, which varies per process (PYTHONHASHSEED)
+        # and would make compiled figures differ across CLI invocations.
         coldest = min((b for b in selected if b != entry),
-                      key=lambda b: profile.block_count(fn.name, b))
+                      key=lambda b: (profile.block_count(fn.name, b), b))
         selected.discard(coldest)
         while True:
             selected = close(selected)

@@ -1,0 +1,410 @@
+"""Engine chaos campaign: prove the recovery machinery recovers.
+
+Where :mod:`repro.robustness.faults` corrupts *data* to prove the
+checkers fire, this module attacks the *execution engine* — killing
+workers, tearing artifacts, filling the disk, SIGKILLing a whole suite
+— and demands that every injection ends in one of exactly two states:
+
+* **recover** — the run completes with correct output (retry, pool
+  rebuild, quarantine + recompute, journaled resume), or
+* **typed-failure** — a typed taxonomy error is reported cleanly.
+
+Hangs, crashes of the *parent*, and silently wrong output all fail the
+campaign.  Every injection is deadline-bounded.  Run it via
+``python -m repro selftest --chaos``.
+
+=======================  =============================  ===============
+injection                mechanism                      expected
+=======================  =============================  ===============
+``worker-crash-retry``   pool worker ``os._exit`` on    recover
+                         first attempt (sentinel file)
+``artifact-truncate``    ``.art`` truncated to half     recover
+                         (torn post-crash disk state)
+``envelope-bit-flip``    one byte flipped mid-file,     recover
+                         caught by ``cache fsck``
+``slow-task-timeout``    emulation past its wall-clock  typed-failure
+                         budget (watchdog)
+``disk-full-write``      store ``write_hook`` raises    recover
+                         ``ENOSPC`` once
+``sigkill-resume``       suite process SIGKILLed        recover
+                         mid-run, resumed from journal
+``torn-journal``         partial final journal line     recover
+                         (crash mid-append)
+=======================  =============================  ===============
+"""
+
+from __future__ import annotations
+
+import errno
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.profile import Profile
+from repro.engine.keys import stable_digest
+from repro.engine.recovery.fsck import fsck_store
+from repro.engine.recovery.journal import RunJournal, journal_path, \
+    new_run_id, replay_journal
+from repro.engine.recovery.retry import RetryPolicy, is_transient
+from repro.engine.scheduler import Job, execute_jobs
+from repro.engine.store import ArtifactStore
+from repro.robustness.errors import EmulationTimeout
+from repro.robustness.faults import CAMPAIGN_INPUTS, CAMPAIGN_SOURCE
+from repro.robustness.watchdog import EmulationWatchdog
+from repro.toolchain import Model, compile_for_model, frontend, \
+    run_compiled
+
+#: hard per-injection deadline — a hung recovery is a failed recovery
+_DEADLINE_SECONDS = 120.0
+
+#: workloads the SIGKILL/resume injection runs (small but multi-task)
+_RESUME_WORKLOADS = ("wc", "cmp")
+_RESUME_SCALE = 0.25
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one engine-level injection."""
+
+    injection: str
+    description: str
+    expected: str      # "recover" | "typed-failure"
+    outcome: str       # what actually happened
+    ok: bool
+    message: str = ""
+
+
+def _report(injection: str, description: str, expected: str,
+            ok: bool, outcome: str, message: str = "") -> ChaosReport:
+    return ChaosReport(injection=injection, description=description,
+                       expected=expected, outcome=outcome, ok=ok,
+                       message=message)
+
+
+# ----- pool worker crash ----------------------------------------------------
+
+def _crash_once(sentinel: str) -> dict:
+    """Die hard on the first attempt, succeed on the retry."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("crashed\n")
+        os._exit(9)
+    return {"survived": True}
+
+
+def _steady(value: int) -> int:
+    return value * 2
+
+
+def _inject_worker_crash(jobs: int) -> ChaosReport:
+    description = "pool worker os._exit mid-task; scheduler must " \
+                  "rebuild the pool and retry"
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        sentinel = os.path.join(tmp, "crashed.sentinel")
+        graph = [Job(job_id="chaos-crash", fn=_crash_once,
+                     args=(sentinel,), stage="chaos"),
+                 Job(job_id="chaos-steady", fn=_steady, args=(21,),
+                     stage="chaos"),
+                 Job(job_id="chaos-dependent", fn=_steady, args=(1,),
+                     deps=("chaos-crash",), stage="chaos")]
+        from repro.engine.metrics import PipelineMetrics
+        metrics = PipelineMetrics()
+        outcome = execute_jobs(graph, max_workers=max(2, jobs),
+                               metrics=metrics)
+    ok = outcome.ok \
+        and outcome.results.get("chaos-crash") == {"survived": True} \
+        and outcome.results.get("chaos-steady") == 42 \
+        and metrics.pool_rebuilds >= 1
+    return _report(
+        "worker-crash-retry", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"{metrics.pool_rebuilds} pool rebuilds, "
+        f"{len(outcome.failures)} failures, "
+        f"{len(outcome.results)}/3 jobs completed")
+
+
+# ----- store corruption -----------------------------------------------------
+
+def _inject_artifact_truncate() -> ChaosReport:
+    description = "artifact file truncated to half its bytes (torn " \
+                  "post-crash disk state); read must quarantine and " \
+                  "recompute"
+    payload = {"cycles": list(range(500))}
+    key = stable_digest("chaos", "truncate")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        store = ArtifactStore(tmp)
+        store.put("stats", key, payload)
+        path = store._path("stats", key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        first = store.get("stats", key)          # quarantine + miss
+        store.put("stats", key, payload)         # the recompute
+        second = store.get("stats", key)
+        quarantined = list(Path(tmp, "quarantine").rglob("*.art*"))
+        quarantined = [p for p in quarantined
+                       if not p.name.endswith(".reason")]
+        ok = first is None and second == payload \
+            and store.metrics.quarantined_artifacts == 1 \
+            and len(quarantined) == 1
+    return _report(
+        "artifact-truncate", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"read after truncation -> {'miss' if first is None else 'HIT'}"
+        f", rewrite {'round-trips' if second == payload else 'FAILS'}")
+
+
+def _inject_envelope_bit_flip() -> ChaosReport:
+    description = "one byte flipped inside the envelope; fsck must " \
+                  "detect it, --repair must quarantine it"
+    payload = list(range(1000))
+    key = stable_digest("chaos", "bit-flip")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        store = ArtifactStore(tmp)
+        store.put("execution", key, payload)
+        store.put("stats", stable_digest("chaos", "healthy"), {"ok": 1})
+        path = store._path("execution", key)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        detect = fsck_store(store, repair=False)
+        repair = fsck_store(store, repair=True)
+        clean = fsck_store(store, repair=False)
+        recomputed = store.get("execution", key)  # miss -> recompute
+        store.put("execution", key, payload)
+        ok = detect.corrupt == 1 and not detect.clean \
+            and repair.corrupt == 1 \
+            and clean.clean and clean.scanned == 1 \
+            and recomputed is None \
+            and store.get("execution", key) == payload
+    return _report(
+        "envelope-bit-flip", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"fsck detected {detect.corrupt}, post-repair scan "
+        f"{'clean' if clean.clean else 'STILL CORRUPT'}")
+
+
+def _inject_disk_full() -> ChaosReport:
+    description = "store write_hook raises ENOSPC on the first write; " \
+                  "the retry policy must classify it transient and " \
+                  "the rewrite must succeed"
+    payload = {"figures": [1, 2, 3]}
+    key = stable_digest("chaos", "disk-full")
+    state = {"armed": True, "tripped": False}
+
+    def hook(kind: str, k: str, nbytes: int) -> None:
+        if state["armed"]:
+            state["armed"] = False
+            state["tripped"] = True
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        store = ArtifactStore(tmp)
+        store.write_hook = hook
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.01,
+                             backoff_cap=0.05)
+        attempt = 0
+        classified = False
+        while True:
+            attempt += 1
+            try:
+                store.put("stats", key, payload)
+                break
+            except OSError as exc:
+                classified = is_transient(exc)
+                if not policy.should_retry(exc, attempt):
+                    raise
+                time.sleep(policy.backoff("chaos-disk-full", attempt))
+        debris = [p for p in Path(tmp).rglob("*")
+                  if p.is_file() and (".tmp" in p.name
+                                      or p.name.endswith(".lock"))]
+        ok = state["tripped"] and classified and attempt == 2 \
+            and store.get("stats", key) == payload and not debris
+    return _report(
+        "disk-full-write", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"ENOSPC on attempt 1, success on attempt {attempt}, "
+        f"{len(debris)} tmp/lock files left behind")
+
+
+# ----- slow task ------------------------------------------------------------
+
+def _inject_slow_task() -> ChaosReport:
+    description = "emulation exceeds its wall-clock budget; the " \
+                  "watchdog must raise a typed EmulationTimeout"
+    base = frontend(CAMPAIGN_SOURCE)
+    profile = Profile.collect(base, inputs=CAMPAIGN_INPUTS)
+    from repro.machine.descriptor import scalar_machine
+    compiled = compile_for_model(base, Model.SUPERBLOCK, profile,
+                                 scalar_machine())
+    # A tiny beat interval makes the budget bite on small kernels (the
+    # default 65536-step interval never fires inside one).
+    wd = EmulationWatchdog(wall_clock_budget=1e-9, interval=64)
+    caught: str | None = None
+    message = ""
+    try:
+        run_compiled(compiled, inputs=CAMPAIGN_INPUTS, watchdog=wd)
+    except EmulationTimeout as exc:
+        caught = type(exc).__name__
+        message = str(exc)[:120]
+    except Exception as exc:  # noqa: BLE001 — we classify, not handle
+        caught = type(exc).__name__
+        message = str(exc)[:120]
+    ok = caught == "EmulationTimeout" \
+        and is_transient(EmulationTimeout("probe"))
+    return _report(
+        "slow-task-timeout", description, "typed-failure", ok,
+        f"typed {caught}" if caught else "NO ERROR RAISED", message)
+
+
+# ----- SIGKILL + resume -----------------------------------------------------
+
+def _resume_suite(cache_dir: str, run_id: str | None, resume: bool):
+    from repro.experiments.runner import ExperimentSuite
+    from repro.workloads import get_workload
+    return ExperimentSuite(
+        workloads=[get_workload(n) for n in _RESUME_WORKLOADS],
+        scale=_RESUME_SCALE, cache_dir=cache_dir, run_id=run_id,
+        resume=resume)
+
+
+def _suite_child(cache_dir: str, run_id: str) -> None:
+    """Child process body: run the figure suite to completion."""
+    from repro.machine.descriptor import fig8_machine
+    suite = _resume_suite(cache_dir, run_id, resume=False)
+    suite.speedups(fig8_machine())
+    suite.close_journal()
+
+
+def _inject_sigkill_resume() -> ChaosReport:
+    description = "suite process SIGKILLed mid-figure; --resume must " \
+                  "complete byte-identically with zero recompute of " \
+                  "journaled tasks"
+    from repro.machine.descriptor import fig8_machine
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        cache_dir = os.path.join(tmp, "killed-cache")
+        ref_dir = os.path.join(tmp, "reference-cache")
+        run_id = new_run_id()
+        child = multiprocessing.Process(
+            target=_suite_child, args=(cache_dir, run_id), daemon=True)
+        child.start()
+        jpath = journal_path(os.path.join(cache_dir, "runs"), run_id)
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        finishes = 0
+        while time.monotonic() < deadline and child.is_alive():
+            try:
+                finishes = jpath.read_bytes().count(
+                    b'"type":"task-finish"')
+            except OSError:
+                finishes = 0
+            if finishes >= 1:
+                break
+            time.sleep(0.005)
+        killed_midway = child.is_alive()
+        if killed_midway:
+            os.kill(child.pid, signal.SIGKILL)
+        child.join(timeout=_DEADLINE_SECONDS)
+
+        state = replay_journal(jpath)
+        # Resume against the same cache dir.
+        resumed = _resume_suite(cache_dir, run_id, resume=True)
+        table = resumed.speedups(fig8_machine())
+        resumed_sims = sum(1 for t in resumed.resumed_verified
+                           if t.startswith("simulate:"))
+        sims_recomputed = \
+            resumed.metrics.stages["simulate"].invocations
+        expected_sims = 4 * len(_RESUME_WORKLOADS)  # 3 models + baseline
+        # Differential oracle over the recovered executions.
+        for name in _RESUME_WORKLOADS:
+            resumed.check_model_agreement(name, fig8_machine())
+        resumed.close_journal()
+        # Clean reference from a cold cache, for byte-identity.
+        reference = _resume_suite(ref_dir, None, resume=False)
+        ref_table = reference.speedups(fig8_machine())
+        reference.close_journal()
+        ok = repr(table) == repr(ref_table) \
+            and resumed_sims == len(state.completed) \
+            and sims_recomputed == expected_sims - resumed_sims \
+            and not resumed.resumed_invalid
+    return _report(
+        "sigkill-resume", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"{'killed mid-run' if killed_midway else 'finished early'}, "
+        f"{resumed_sims} tasks journal-verified (zero recompute), "
+        f"{sims_recomputed} recomputed, output "
+        f"{'byte-identical' if repr(table) == repr(ref_table) else 'DIVERGED'}"
+        f", differential oracle clean")
+
+
+def _inject_torn_journal() -> ChaosReport:
+    description = "SIGKILL mid-append leaves a torn final journal " \
+                  "line; replay must keep every durable record"
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        journal = RunJournal.create(tmp, meta={"chaos": True})
+        run_id = journal.run_id
+        journal.task_start("chaos-task")
+        journal.task_finish("chaos-task", [("stats", "k" * 64, "s" * 64)])
+        journal.close()
+        jpath = journal_path(tmp, run_id)
+        with open(jpath, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"task-fi')  # the torn append
+        state = replay_journal(jpath)
+        resumed, rstate = RunJournal.resume(tmp, run_id)
+        resumed.close()
+        ok = state.torn_lines == 1 \
+            and "chaos-task" in state.completed \
+            and "chaos-task" in rstate.completed
+    return _report(
+        "torn-journal", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"{state.torn_lines} torn line tolerated, "
+        f"{len(state.completed)} completed tasks preserved")
+
+
+# ----- the campaign ---------------------------------------------------------
+
+def run_chaos_campaign(jobs: int = 2) -> list[ChaosReport]:
+    """Run every injection; one report each, parent never crashes."""
+    injections = [
+        ("worker-crash-retry", lambda: _inject_worker_crash(jobs)),
+        ("artifact-truncate", _inject_artifact_truncate),
+        ("envelope-bit-flip", _inject_envelope_bit_flip),
+        ("slow-task-timeout", _inject_slow_task),
+        ("disk-full-write", _inject_disk_full),
+        ("sigkill-resume", _inject_sigkill_resume),
+        ("torn-journal", _inject_torn_journal),
+    ]
+    reports: list[ChaosReport] = []
+    for name, injector in injections:
+        start = time.monotonic()
+        try:
+            report = injector()
+        except Exception as exc:  # noqa: BLE001 — campaign must finish
+            report = _report(name, "injection harness", "recover",
+                             False, f"unhandled {type(exc).__name__}",
+                             str(exc)[:300])
+        elapsed = time.monotonic() - start
+        if elapsed > _DEADLINE_SECONDS:
+            report.ok = False
+            report.message += f" [exceeded {_DEADLINE_SECONDS:g}s deadline]"
+        reports.append(report)
+    return reports
+
+
+def format_chaos_reports(reports: list[ChaosReport]) -> str:
+    lines = ["", "engine chaos campaign",
+             f"{'injection':<22s}{'expected':<15s}{'outcome':<24s}"
+             f"{'ok':<4s}",
+             "-" * 65]
+    for r in reports:
+        lines.append(f"{r.injection:<22s}{r.expected:<15s}"
+                     f"{r.outcome:<24s}{'yes' if r.ok else 'NO':<4s}")
+        if r.message:
+            lines.append(f"    {r.message}")
+    recovered = sum(1 for r in reports if r.ok)
+    lines.append(f"{recovered}/{len(reports)} injections ended in clean "
+                 f"recovery or a typed failure")
+    return "\n".join(lines)

@@ -7,11 +7,35 @@ a file because pool workers do not share memory with the test process.
 
 import os
 
-from repro.robustness.errors import CompileError
+from repro.robustness.errors import CompileError, TraceIntegrityError
 
 
 def ok(value):
     return value
+
+
+def flaky_transient(counter_path, succeed_on):
+    """Raise a transient error until attempt ``succeed_on`` (file-counted,
+    so attempts are visible across pool workers)."""
+    try:
+        attempt = int(open(counter_path).read())
+    except (OSError, ValueError):
+        attempt = 0
+    attempt += 1
+    with open(counter_path, "w") as handle:
+        handle.write(str(attempt))
+    if attempt < succeed_on:
+        raise TraceIntegrityError(f"transient corruption, attempt {attempt}")
+    return attempt
+
+
+def crash_once(sentinel_path):
+    """os._exit the worker on the first call, succeed afterwards."""
+    if not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w") as handle:
+            handle.write("crashed\n")
+        os._exit(1)
+    return "survived"
 
 
 def double(value):

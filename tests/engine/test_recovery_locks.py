@@ -1,0 +1,123 @@
+"""Advisory file locks: mutual exclusion, stale recovery, and the
+two-process concurrent-writer guarantee."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.engine.keys import stable_digest
+from repro.engine.recovery.locks import FileLock
+from repro.engine.serialize import unpack
+from repro.engine.store import ArtifactStore
+from repro.robustness.errors import ArtifactLockTimeout
+
+
+def test_acquire_release_round_trip(tmp_path):
+    lock = FileLock(tmp_path / "a.lock")
+    lock.acquire()
+    assert lock.held and lock.path.exists()
+    holder = json.loads(lock.path.read_bytes())
+    assert holder["pid"] == os.getpid()
+    lock.release()
+    assert not lock.held and not lock.path.exists()
+
+
+def test_second_acquirer_times_out_against_live_holder(tmp_path):
+    path = tmp_path / "a.lock"
+    holder = FileLock(path)
+    holder.acquire()
+    waiter = FileLock(path, timeout=0.05, poll_interval=0.01)
+    with pytest.raises(ArtifactLockTimeout) as exc:
+        waiter.acquire()
+    assert exc.value.exit_code == 17
+    holder.release()
+
+
+def test_expired_lease_is_broken(tmp_path):
+    path = tmp_path / "a.lock"
+    # A holder whose lease expired long ago (pid faked dead too).
+    path.write_text(json.dumps({"pid": 2 ** 22 + os.getpid(),
+                                "token": "x",
+                                "expires": time.time() - 60}))
+    lock = FileLock(path, timeout=1.0, poll_interval=0.01)
+    lock.acquire()
+    assert lock.held
+    lock.release()
+
+
+def test_dead_holder_pid_is_broken_before_lease_expiry(tmp_path):
+    path = tmp_path / "a.lock"
+    dead = multiprocessing.Process(target=time.sleep, args=(0,))
+    dead.start()
+    dead.join()
+    path.write_text(json.dumps({"pid": dead.pid, "token": "x",
+                                "expires": time.time() + 3600}))
+    lock = FileLock(path, timeout=1.0, poll_interval=0.01)
+    lock.acquire()
+    assert lock.held
+    lock.release()
+
+
+def test_release_without_token_is_a_noop(tmp_path):
+    path = tmp_path / "a.lock"
+    owner = FileLock(path)
+    owner.acquire()
+    bystander = FileLock(path)
+    bystander.release()          # never acquired: must not unlink
+    assert path.exists()
+    owner.release()
+
+
+def test_broken_owner_cannot_release_successor(tmp_path):
+    path = tmp_path / "a.lock"
+    owner = FileLock(path, lease_seconds=0.0)   # instantly stale
+    owner.acquire()
+    successor = FileLock(path, timeout=1.0, poll_interval=0.01)
+    successor.acquire()          # breaks the stale lock, takes over
+    owner.release()              # token mismatch: must not unlink
+    assert path.exists()
+    successor.release()
+
+
+def test_context_manager(tmp_path):
+    with FileLock(tmp_path / "a.lock") as lock:
+        assert lock.held
+    assert not lock.held
+
+
+# ----- two processes, one artifact key (the satellite guarantee) ------------
+
+def _hammer_store(root: str, key: str, tag: int, rounds: int) -> None:
+    store = ArtifactStore(root)
+    for n in range(rounds):
+        store.put("stats", key, {"writer": tag, "round": n,
+                                 "payload": list(range(200))})
+
+
+def test_concurrent_writers_one_valid_envelope(tmp_path):
+    """Two processes racing on one key must leave exactly one valid,
+    fully-verified envelope — no torn file, no stray tmp debris."""
+    key = stable_digest("concurrent", "writers")
+    procs = [multiprocessing.Process(
+        target=_hammer_store, args=(str(tmp_path), key, tag, 25))
+        for tag in (1, 2)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    store = ArtifactStore(tmp_path)
+    art_files = [p for p in tmp_path.rglob("*.art")
+                 if "quarantine" not in p.parts]
+    assert len(art_files) == 1
+    # The surviving envelope verifies end-to-end (digest included).
+    payload = unpack(art_files[0].read_bytes(), expect_kind="stats")
+    assert payload["writer"] in (1, 2) and payload["round"] == 24
+    assert store.get("stats", key) == payload
+    debris = [p for p in tmp_path.rglob("*")
+              if p.is_file() and (".tmp" in p.name
+                                  or p.name.endswith(".lock"))]
+    assert debris == []

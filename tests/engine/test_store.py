@@ -4,7 +4,6 @@ import pytest
 
 from repro.engine.keys import SCHEMA_VERSION, stable_digest
 from repro.engine.store import ArtifactStore
-from repro.robustness.errors import TraceIntegrityError
 
 KEY = stable_digest("some", "inputs")
 
@@ -37,15 +36,25 @@ def test_unknown_kind_rejected(tmp_path):
         store.put("weights", KEY, 1)
 
 
-def test_corrupted_artifact_raises_not_misses(tmp_path):
+def test_corrupted_artifact_is_quarantined_and_missed(tmp_path):
+    """Corruption becomes quarantine + miss, never a served value."""
     store = ArtifactStore(tmp_path)
     store.put("execution", KEY, list(range(1000)))
     path = store._path("execution", KEY)
     blob = bytearray(path.read_bytes())
     blob[-3] ^= 0x40
     path.write_bytes(bytes(blob))
-    with pytest.raises(TraceIntegrityError):
-        store.get("execution", KEY)
+    assert store.get("execution", KEY) is None
+    assert store.metrics.cache["execution"].misses == 1
+    assert store.metrics.quarantined_artifacts == 1
+    # The corrupt bytes moved aside (with a reason sidecar), the
+    # lookup path is free for a recompute to rewrite.
+    assert not path.exists()
+    quarantined = list((tmp_path / "quarantine").rglob("*.art"))
+    assert len(quarantined) == 1
+    # A rewrite serves cleanly again.
+    store.put("execution", KEY, list(range(1000)))
+    assert store.get("execution", KEY) == list(range(1000))
 
 
 def test_put_leaves_no_temp_files(tmp_path):

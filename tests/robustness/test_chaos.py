@@ -1,0 +1,57 @@
+"""Engine chaos campaign: every injection recovers or fails typed."""
+
+import pytest
+
+from repro.robustness.chaos import (ChaosReport, format_chaos_reports,
+                                    run_chaos_campaign)
+
+EXPECTED_INJECTIONS = {
+    "worker-crash-retry", "artifact-truncate", "envelope-bit-flip",
+    "slow-task-timeout", "disk-full-write", "sigkill-resume",
+    "torn-journal",
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_chaos_campaign(jobs=2)
+
+
+def test_campaign_covers_every_injection_kind(reports):
+    assert {r.injection for r in reports} == EXPECTED_INJECTIONS
+    assert len(reports) >= 6  # the acceptance floor
+
+
+def test_every_injection_recovers_or_fails_typed(reports):
+    bad = [r for r in reports if not r.ok]
+    assert not bad, format_chaos_reports(bad)
+
+
+def test_sigkill_resume_is_byte_identical(reports):
+    resume = next(r for r in reports if r.injection == "sigkill-resume")
+    assert resume.ok
+    assert "byte-identical" in resume.message
+    assert "zero recompute" in resume.message
+    assert "differential oracle clean" in resume.message
+
+
+def test_expectations_split_recover_vs_typed(reports):
+    by_name = {r.injection: r for r in reports}
+    assert by_name["slow-task-timeout"].expected == "typed-failure"
+    assert by_name["slow-task-timeout"].outcome == \
+        "typed EmulationTimeout"
+    recovery = EXPECTED_INJECTIONS - {"slow-task-timeout"}
+    assert all(by_name[name].expected == "recover" for name in recovery)
+
+
+def test_format_renders_summary_line(reports):
+    text = format_chaos_reports(reports)
+    assert "engine chaos campaign" in text
+    assert f"{len(reports)}/{len(reports)} injections" in text
+
+
+def test_format_flags_failures():
+    text = format_chaos_reports([ChaosReport(
+        injection="probe", description="d", expected="recover",
+        outcome="hung", ok=False, message="deadline blown")])
+    assert "NO" in text and "0/1" in text

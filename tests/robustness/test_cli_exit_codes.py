@@ -55,6 +55,24 @@ def test_parse_error_maps_to_exit_11(tmp_path, capsys):
     assert "error[ParseError]" in capsys.readouterr().err
 
 
+def test_sema_error_maps_to_exit_11(tmp_path, capsys):
+    path = tmp_path / "nomain.c"
+    path.write_text("int helper() { return 1; }")
+    code = main(["run", str(path)])
+    assert code == 11
+    err = capsys.readouterr().err
+    assert "error[SemaError]" in err
+    assert "Traceback" not in err
+
+
+def test_lex_error_maps_to_exit_11(tmp_path, capsys):
+    path = tmp_path / "lex.c"
+    path.write_text("int main() { return `; }")
+    code = main(["compile", str(path)])
+    assert code == 11
+    assert "error[LexError]" in capsys.readouterr().err
+
+
 def test_selftest_passes(capsys):
     assert main(["selftest"]) == 0
     out = capsys.readouterr().out

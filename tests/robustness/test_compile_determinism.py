@@ -1,0 +1,40 @@
+"""Cross-process compile determinism.
+
+A resumed (or merely repeated) figure run executes in a fresh process
+with a fresh random ``PYTHONHASHSEED``; byte-identical resume therefore
+requires that compilation decisions never depend on set iteration
+order.  The ``sc`` workload at scale 0.2 ties two blocks on the
+hyperblock resource heuristic, which historically made its CMOV and
+FULLPRED cycle counts a per-process coin flip.
+"""
+
+import os
+import subprocess
+import sys
+
+_PROBE = """
+from repro.toolchain import Model
+from repro.machine.descriptor import fig8_machine
+from repro.workloads.base import all_workloads
+from repro.engine.stages import PipelineContext
+
+w = [x for x in all_workloads() if x.name == "sc"][0]
+ctx = PipelineContext(scale=0.2, store=None)
+for model in (Model.SUPERBLOCK, Model.CMOV, Model.FULLPRED):
+    s = ctx.run_summary(w, model, fig8_machine())
+    print(model.name, s.stats.cycles)
+"""
+
+
+def _cycles_under_seed(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p) or "src"
+    result = subprocess.run([sys.executable, "-c", _PROBE], env=env,
+                            capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_compiled_cycles_identical_across_hash_seeds():
+    assert _cycles_under_seed("1") == _cycles_under_seed("2")

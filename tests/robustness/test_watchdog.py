@@ -61,3 +61,39 @@ def test_step_limit_still_enforced(campaign):
     with pytest.raises(StepLimitExceeded):
         run_program(campaign.compiled[Model.SUPERBLOCK].program,
                     inputs=CAMPAIGN_INPUTS, max_steps=10)
+
+
+def test_streaming_sink_time_charged_to_budget(campaign):
+    """A slow streaming consumer must be charged against the budget.
+
+    The interpreter's step-count cadence alone cannot see wall time
+    burned inside ``sink`` calls: with the beat interval pushed beyond
+    the kernel's dynamic length, only the per-flush beat can fire.
+    Regression test for the streaming path hanging past its budget
+    while a consumer stalls.
+    """
+    from repro.fastpath.interp import run_program_fast
+
+    def stalling_sink(_cols):
+        import time
+        time.sleep(0.02)
+
+    wd = EmulationWatchdog(wall_clock_budget=0.01, interval=1 << 30)
+    with pytest.raises(EmulationTimeout):
+        run_program_fast(campaign.compiled[Model.SUPERBLOCK].program,
+                         inputs=CAMPAIGN_INPUTS, watchdog=wd,
+                         sink=stalling_sink, chunk_events=16)
+    assert wd.heartbeats  # the flush beats left a progress trail
+
+
+def test_streaming_watchdog_quiet_on_healthy_sink(campaign):
+    from repro.fastpath.interp import run_program_fast
+
+    chunks = []
+    wd = EmulationWatchdog(wall_clock_budget=60.0, interval=1 << 30)
+    execution = run_program_fast(
+        campaign.compiled[Model.SUPERBLOCK].program,
+        inputs=CAMPAIGN_INPUTS, watchdog=wd, sink=chunks.append,
+        chunk_events=64)
+    assert chunks
+    assert execution.heartbeats  # flush beats recorded progress
