@@ -1,0 +1,43 @@
+
+float inputs[1024];
+float w1[2048];
+float hidden[32];
+float w2[64];
+float outputs[2];
+float target[2];
+int npat;
+int nin;
+int nhid;
+
+int main() {
+  int p;
+  int i;
+  int h;
+  int o;
+  float acc;
+  float err;
+  float total;
+  total = 0.0;
+  for (p = 0; p < npat; p = p + 1) {
+    for (h = 0; h < nhid; h = h + 1) {
+      acc = 0.0;
+      for (i = 0; i < nin; i = i + 1) {
+        acc = acc + inputs[p * nin + i] * w1[h * nin + i];
+      }
+      if (acc > 4.0) acc = 4.0;
+      if (acc < 0.0 - 4.0) acc = 0.0 - 4.0;
+      hidden[h] = acc / (1.0 + acc * acc);
+    }
+    for (o = 0; o < 2; o = o + 1) {
+      acc = 0.0;
+      for (h = 0; h < nhid; h = h + 1) {
+        acc = acc + hidden[h] * w2[o * nhid + h];
+      }
+      outputs[o] = acc;
+      err = target[o] - acc;
+      if (err < 0.0) err = 0.0 - err;
+      total = total + err;
+    }
+  }
+  return (total * 1000.0) / 1.0;
+}

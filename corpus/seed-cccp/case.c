@@ -1,0 +1,57 @@
+
+char buf[8192];
+int n;
+int directives;
+int comments;
+int strings;
+int code_chars;
+
+int main() {
+  int i;
+  int c;
+  int nxt;
+  int state;
+  int at_line_start;
+  state = 0;
+  at_line_start = 1;
+  i = 0;
+  while (i < n) {
+    c = buf[i];
+    nxt = 0;
+    if (i + 1 < n) nxt = buf[i + 1];
+    if (state == 0) {
+      if (c == '/' && nxt == '*') {
+        state = 1;
+        comments = comments + 1;
+        i = i + 1;
+      } else if (c == '/' && nxt == '/') {
+        state = 2;
+        comments = comments + 1;
+        i = i + 1;
+      } else if (c == '"') {
+        state = 3;
+        strings = strings + 1;
+      } else if (c == '#' && at_line_start) {
+        directives = directives + 1;
+        state = 2;
+      } else if (c != ' ' && c != '\n' && c != '\t') {
+        code_chars = code_chars + 1;
+      }
+    } else if (state == 1) {
+      if (c == '*' && nxt == '/') {
+        state = 0;
+        i = i + 1;
+      }
+    } else if (state == 2) {
+      if (c == '\n') state = 0;
+    } else {
+      if (c == '\\') i = i + 1;
+      else if (c == '"') state = 0;
+    }
+    if (c == '\n') at_line_start = 1;
+    else if (c != ' ' && c != '\t') at_line_start = 0;
+    i = i + 1;
+  }
+  return directives * 100000 + comments * 1000 + strings * 10
+       + code_chars % 10;
+}

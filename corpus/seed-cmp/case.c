@@ -1,0 +1,25 @@
+
+char a[8192];
+char b[8192];
+int n;
+int diffs;
+int firstdiff;
+
+int main() {
+  int i;
+  int ca;
+  int cb;
+  int lines;
+  lines = 0;
+  firstdiff = 0 - 1;
+  for (i = 0; i < n; i = i + 1) {
+    ca = a[i];
+    cb = b[i];
+    if (ca == '\n') lines = lines + 1;
+    if (ca != cb) {
+      diffs = diffs + 1;
+      if (firstdiff < 0) firstdiff = i;
+    }
+  }
+  return diffs * 100000 + (firstdiff + 1) * 10 + lines % 10;
+}

@@ -1,0 +1,58 @@
+
+char buf[8192];
+char out[8192];
+int htab[1024];
+int hval[1024];
+int n;
+
+int main() {
+  int i;
+  int outpos;
+  int prev;
+  int c;
+  int pair;
+  int h;
+  int run;
+  outpos = 0;
+  prev = 0 - 1;
+  run = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    if (c == prev) {
+      run = run + 1;
+      if (run == 255) {
+        out[outpos] = 27;
+        out[outpos + 1] = run;
+        outpos = outpos + 2;
+        run = 0;
+      }
+    } else {
+      if (run > 3) {
+        out[outpos] = 27;
+        out[outpos + 1] = run;
+        outpos = outpos + 2;
+      } else {
+        while (run > 0) {
+          out[outpos] = prev;
+          outpos = outpos + 1;
+          run = run - 1;
+        }
+      }
+      run = 0;
+      pair = prev * 256 + c;
+      h = (pair * 5 + 17) % 1024;
+      if (h < 0) h = h + 1024;
+      if (htab[h] == pair) {
+        out[outpos] = 128 + hval[h] % 96;
+        outpos = outpos + 1;
+      } else {
+        htab[h] = pair;
+        hval[h] = hval[h] + 1;
+        out[outpos] = c;
+        outpos = outpos + 1;
+      }
+      prev = c;
+    }
+  }
+  return outpos * 7 + out[outpos / 2];
+}

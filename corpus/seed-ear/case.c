@@ -1,0 +1,39 @@
+
+float signal[2048];
+float state1[16];
+float state2[16];
+float coeff_a[16];
+float coeff_b[16];
+float energy[16];
+int nsamples;
+int nchan;
+
+int main() {
+  int s;
+  int ch;
+  float x;
+  float y;
+  float rectified;
+  float agc;
+  float total;
+  for (s = 0; s < nsamples; s = s + 1) {
+    x = signal[s];
+    for (ch = 0; ch < nchan; ch = ch + 1) {
+      y = coeff_a[ch] * x - coeff_b[ch] * state1[ch]
+        - 0.5 * state2[ch];
+      state2[ch] = state1[ch];
+      state1[ch] = y;
+      rectified = y;
+      if (rectified < 0.0) rectified = 0.0;
+      agc = energy[ch];
+      if (agc > 100.0) rectified = rectified / 2.0;
+      energy[ch] = agc * 0.99 + rectified;
+      x = y;
+    }
+  }
+  total = 0.0;
+  for (ch = 0; ch < nchan; ch = ch + 1) {
+    total = total + energy[ch];
+  }
+  return total * 100.0;
+}

@@ -1,0 +1,36 @@
+
+char buf[8192];
+int n;
+int words;
+int numbers;
+int operators;
+int braces;
+int spaces;
+
+int main() {
+  int i;
+  int c;
+  int state;
+  state = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    if (c >= 'a' && c <= 'z') {
+      if (state != 1) { words = words + 1; state = 1; }
+    } else if (c >= 'A' && c <= 'Z') {
+      if (state != 1) { words = words + 1; state = 1; }
+    } else if (c >= '0' && c <= '9') {
+      if (state != 2) { numbers = numbers + 1; state = 2; }
+    } else if (c == '{' || c == '}') {
+      braces = braces + 1;
+      state = 0;
+    } else if (c == '+' || c == '-' || c == '^' || c == '/') {
+      operators = operators + 1;
+      state = 0;
+    } else {
+      spaces = spaces + 1;
+      state = 0;
+    }
+  }
+  return words * 100000 + numbers * 1000 + operators * 100
+       + braces * 10 + spaces % 10;
+}

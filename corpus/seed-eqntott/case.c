@@ -1,0 +1,32 @@
+
+int pta[4096];
+int ptb[4096];
+int nterms;
+int width;
+int order;
+
+int cmppt(int a, int b) {
+  int k;
+  int va;
+  int vb;
+  for (k = 0; k < width; k = k + 1) {
+    va = pta[a * width + k];
+    vb = ptb[b * width + k];
+    if (va < vb) return 0 - 1;
+    if (va > vb) return 1;
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int balance;
+  balance = 0;
+  order = 0;
+  for (i = 0; i < nterms; i = i + 1) {
+    order = cmppt(i, i);
+    balance = balance + order;
+    if (order == 0) balance = balance + 1;
+  }
+  return balance;
+}

@@ -1,0 +1,48 @@
+
+int cubes[4096];
+int ncubes;
+int width;
+
+int distance(int a, int b) {
+  int k;
+  int d;
+  int va;
+  int vb;
+  int meet;
+  d = 0;
+  for (k = 0; k < width; k = k + 1) {
+    va = cubes[a * width + k];
+    vb = cubes[b * width + k];
+    meet = va & vb;
+    if (meet == 0) d = d + 1;
+  }
+  return d;
+}
+
+int contains(int a, int b) {
+  int k;
+  int va;
+  int vb;
+  for (k = 0; k < width; k = k + 1) {
+    va = cubes[a * width + k];
+    vb = cubes[b * width + k];
+    if ((va & vb) != vb) return 0;
+  }
+  return 1;
+}
+
+int main() {
+  int i;
+  int j;
+  int mergeable;
+  int covered;
+  mergeable = 0;
+  covered = 0;
+  for (i = 0; i < ncubes; i = i + 1) {
+    for (j = i + 1; j < ncubes; j = j + 1) {
+      if (distance(i, j) == 1) mergeable = mergeable + 1;
+      if (contains(i, j)) covered = covered + 1;
+    }
+  }
+  return mergeable * 1000 + covered;
+}

@@ -1,0 +1,33 @@
+
+char buf[8192];
+char pat[16];
+int n;
+int plen;
+int matches;
+int lines;
+
+int check(int pos) {
+  int k;
+  for (k = 1; k < plen; k = k + 1) {
+    if (buf[pos + k] != pat[k]) return 0;
+  }
+  return 1;
+}
+
+int main() {
+  int i;
+  int c;
+  int p0;
+  p0 = pat[0];
+  i = 0;
+  while (i < n) {
+    c = buf[i];
+    if (c == p0) {
+      if (check(i)) matches = matches + 1;
+    }
+    if (c == '\n') lines = lines + 1;
+    if (c == 0) i = n;
+    i = i + 1;
+  }
+  return matches * 10000 + lines;
+}

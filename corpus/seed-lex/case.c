@@ -1,0 +1,28 @@
+
+char buf[8192];
+int n;
+int cclass[128];
+int delta[32];
+int accept[8];
+int counts[8];
+
+int main() {
+  int i;
+  int c;
+  int state;
+  int cls;
+  int nxt;
+  state = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    cls = cclass[c % 128];
+    nxt = delta[state * 4 + cls];
+    if (nxt != state) {
+      if (accept[state] != 0) {
+        counts[accept[state]] = counts[accept[state]] + 1;
+      }
+    }
+    state = nxt;
+  }
+  return counts[1] * 10000 + counts[2] * 100 + counts[3];
+}

@@ -1,0 +1,41 @@
+
+int op[4096];
+int lhs[4096];
+int rhs[4096];
+int env[32];
+int nroots;
+int roots[256];
+
+int eval(int node) {
+  int kind;
+  int a;
+  int b;
+  kind = op[node];
+  if (kind == 0) return lhs[node];
+  if (kind == 1) return env[lhs[node] % 32];
+  if (kind == 7) return 0 - eval(lhs[node]);
+  a = eval(lhs[node]);
+  if (kind == 5) {
+    if (a != 0) return eval(rhs[node]);
+    return 0;
+  }
+  b = eval(rhs[node]);
+  if (kind == 2) return a + b;
+  if (kind == 3) return a - b;
+  if (kind == 4) return (a * b) % 65536;
+  if (kind == 6) {
+    if (a < b) return 1;
+    return 0;
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int total;
+  total = 0;
+  for (i = 0; i < nroots; i = i + 1) {
+    total = (total + eval(roots[i])) % 1000003;
+  }
+  return total;
+}

@@ -1,0 +1,45 @@
+
+int data[2048];
+int nelem;
+
+int partition(int lo, int hi) {
+  int pivot;
+  int i;
+  int j;
+  int tmp;
+  pivot = data[hi];
+  i = lo - 1;
+  for (j = lo; j < hi; j = j + 1) {
+    if (data[j] <= pivot) {
+      i = i + 1;
+      tmp = data[i];
+      data[i] = data[j];
+      data[j] = tmp;
+    }
+  }
+  tmp = data[i + 1];
+  data[i + 1] = data[hi];
+  data[hi] = tmp;
+  return i + 1;
+}
+
+int quicksort(int lo, int hi) {
+  int p;
+  if (lo >= hi) return 0;
+  p = partition(lo, hi);
+  quicksort(lo, p - 1);
+  quicksort(p + 1, hi);
+  return 0;
+}
+
+int main() {
+  int i;
+  int checksum;
+  quicksort(0, nelem - 1);
+  checksum = 0;
+  for (i = 1; i < nelem; i = i + 1) {
+    if (data[i - 1] > data[i]) return 0 - 1;
+    checksum = (checksum * 31 + data[i]) % 1000003;
+  }
+  return checksum;
+}

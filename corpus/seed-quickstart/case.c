@@ -1,0 +1,22 @@
+
+int a[512];
+int b[512];
+int c[512];
+int n;
+int i_total;
+int j_total;
+int k_total;
+
+int main() {
+  int idx;
+  int j; int k; int i;
+  j = 0; k = 0; i = 0;
+  for (idx = 0; idx < n; idx = idx + 1) {
+    // The paper's Figure 1 kernel:
+    if (a[idx] == 0 || b[idx] == 0) j = j + 1;
+    else if (c[idx] != 0) k = k + 1;
+    else k = k - 1;
+    i = i + 1;
+  }
+  return j * 1000000 + k * 1000 + i;
+}

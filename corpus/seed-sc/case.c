@@ -1,0 +1,46 @@
+
+int kind[1024];
+int parm[1024];
+int value[1024];
+int rows;
+int cols;
+int passes;
+
+int main() {
+  int p;
+  int r;
+  int c;
+  int idx;
+  int k;
+  int acc;
+  int left;
+  int up;
+  int total;
+  for (p = 0; p < passes; p = p + 1) {
+    for (r = 0; r < rows; r = r + 1) {
+      for (c = 0; c < cols; c = c + 1) {
+        idx = r * cols + c;
+        k = kind[idx];
+        if (k == 0) {
+          value[idx] = parm[idx];
+        } else if (k == 1) {
+          left = 0;
+          up = 0;
+          if (c > 0) left = value[idx - 1];
+          if (r > 0) up = value[idx - cols];
+          value[idx] = (left + up + parm[idx]) % 100000;
+        } else {
+          left = 0;
+          if (c > 0) left = value[idx - 1];
+          if (left > parm[idx]) value[idx] = left - parm[idx];
+          else value[idx] = parm[idx] - left;
+        }
+      }
+    }
+  }
+  total = 0;
+  for (idx = 0; idx < rows * cols; idx = idx + 1) {
+    total = (total + value[idx]) % 1000003;
+  }
+  return total;
+}

@@ -1,0 +1,21 @@
+
+char buf[8192];
+int n;
+int nl;
+int nw;
+int nc;
+
+int main() {
+  int i;
+  int inword;
+  int c;
+  inword = 0;
+  for (i = 0; i < n; i = i + 1) {
+    c = buf[i];
+    nc = nc + 1;
+    if (c == '\n') nl = nl + 1;
+    if (c == ' ' || c == '\n' || c == '\t') inword = 0;
+    else if (!inword) { inword = 1; nw = nw + 1; }
+  }
+  return nl * 100000 + nw * 100 + nc % 100;
+}

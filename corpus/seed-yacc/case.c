@@ -1,0 +1,54 @@
+
+int tokens[4096];
+int ntok;
+int stack[256];
+int prec[8];
+
+int main() {
+  int sp;
+  int i;
+  int tok;
+  int shifts;
+  int reduces;
+  int errors;
+  int top;
+  sp = 0;
+  shifts = 0;
+  reduces = 0;
+  errors = 0;
+  for (i = 0; i < ntok; i = i + 1) {
+    tok = tokens[i];
+    if (tok == 0) {
+      stack[sp] = 0;
+      sp = sp + 1;
+      shifts = shifts + 1;
+      if (sp > 250) sp = 1;
+    } else if (tok == 3) {
+      stack[sp] = 3;
+      sp = sp + 1;
+      shifts = shifts + 1;
+      if (sp > 250) sp = 1;
+    } else if (tok == 4) {
+      while (sp > 0 && stack[sp - 1] != 3) {
+        sp = sp - 1;
+        reduces = reduces + 1;
+      }
+      if (sp > 0) sp = sp - 1;
+      else errors = errors + 1;
+    } else {
+      top = 0 - 1;
+      if (sp > 0) top = stack[sp - 1];
+      while (sp > 0 && top != 3 && prec[top] >= prec[tok]) {
+        sp = sp - 1;
+        reduces = reduces + 1;
+        top = 0 - 1;
+        if (sp > 0) top = stack[sp - 1];
+      }
+      stack[sp] = tok;
+      sp = sp + 1;
+      shifts = shifts + 1;
+      if (sp > 250) sp = 1;
+    }
+  }
+  return shifts * 10000 + reduces * 10 + errors;
+}

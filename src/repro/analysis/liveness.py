@@ -18,9 +18,10 @@ single-iteration temporaries as loop-dead.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
-from repro.analysis.cfg import successors_map
+from repro.analysis.cfg import predecessors_map, successors_map
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instruction import Instruction
 from repro.ir.opcodes import OpCategory
@@ -107,26 +108,39 @@ def _scan_block(insts: list[Instruction], live_out: frozenset[Reg],
 
 
 def liveness(fn: Function) -> Liveness:
+    """Worklist fixpoint, seeded in layout order and driven backward.
+
+    A block is rescanned only when some successor's live-in actually
+    grew — the round-robin formulation rescanned the whole function per
+    sweep, which is quadratic-ish on the multi-thousand-block CFGs the
+    fuzzer's diamond-ladder programs produce.  The transfer functions
+    are unchanged and monotone, so the least fixpoint (and therefore
+    every client: DCE, promotion, scheduling) is identical.
+    """
     succs = successors_map(fn)
+    preds = predecessors_map(fn)
+    blocks = {b.name: b for b in fn.blocks}
     live_in: dict[str, frozenset[Reg]] = {b.name: frozenset()
                                           for b in fn.blocks}
     live_out: dict[str, frozenset[Reg]] = {b.name: frozenset()
                                            for b in fn.blocks}
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(fn.blocks):
-            name = block.name
-            out: set[Reg] = set()
-            for s in succs[name]:
-                out |= live_in[s]
-            new_in = frozenset(_scan_block(block.instructions,
-                                           frozenset(out), live_in))
-            out_f = frozenset(out)
-            if out_f != live_out[name] or new_in != live_in[name]:
-                live_out[name] = out_f
-                live_in[name] = new_in
-                changed = True
+    worklist = deque(b.name for b in reversed(fn.blocks))
+    queued = set(worklist)
+    while worklist:
+        name = worklist.popleft()
+        queued.discard(name)
+        out: set[Reg] = set()
+        for s in succs[name]:
+            out |= live_in[s]
+        new_in = frozenset(_scan_block(blocks[name].instructions,
+                                       frozenset(out), live_in))
+        live_out[name] = frozenset(out)
+        if new_in != live_in[name]:
+            live_in[name] = new_in
+            for p in preds[name]:
+                if p not in queued:
+                    queued.add(p)
+                    worklist.append(p)
     return Liveness(live_in=dict(live_in), live_out=dict(live_out))
 
 

@@ -10,6 +10,10 @@ Subcommands:
 * ``cache``    — inspect, verify (``fsck``) or clear the artifact store;
 * ``selftest`` — fault-injection campaign proving the checkers work
   (``--chaos`` adds the engine chaos campaign: crash/corruption/resume);
+* ``fuzz``     — differential fuzzing: ``fuzz run`` executes a seeded
+  campaign over all three models, ``fuzz replay`` re-checks corpus
+  reproducers, ``fuzz corpus`` lists them, ``fuzz seed`` populates the
+  corpus from the workload suite and examples;
 * ``list``     — list the registered workloads.
 
 ``bench`` and ``report`` cache every compiled program, emulation trace
@@ -35,13 +39,17 @@ Examples::
     python -m repro cache clear
     python -m repro selftest
     python -m repro selftest --chaos --jobs 2
+    python -m repro fuzz run --budget 500 --seed 0xfeed --jobs 4
+    python -m repro fuzz replay --all
+    python -m repro fuzz replay finding-0123456789ab
+    python -m repro fuzz seed && python -m repro fuzz corpus
 
 Failures exit with the typed taxonomy's codes (one-line diagnostics,
 no tracebacks): 10 generic pipeline error, 11 compile, 12 pass
 verification, 13 emulation timeout, 14 trace integrity, 15 model
-divergence, 16 emulation fault, 17 artifact lock timeout.  Codes 13,
-14 and 17 are transient (the scheduler retries them); the rest are
-permanent.
+divergence, 16 emulation fault, 17 artifact lock timeout, 18 open
+fuzz findings.  Codes 13, 14 and 17 are transient (the scheduler
+retries them); the rest are permanent.
 """
 
 from __future__ import annotations
@@ -449,6 +457,180 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+# ----- fuzz -----------------------------------------------------------------
+
+
+def _fuzz_config(args):
+    from repro.fuzz.executor import ExecutorConfig
+    return ExecutorConfig(max_steps=args.max_steps,
+                          wall_budget=args.time_budget,
+                          issue_width=args.width,
+                          branch_issue_limit=args.branches)
+
+
+def _write_fuzz_log(path: str, reports) -> None:
+    """One JSON line per case, wall time excluded: two campaigns with
+    the same seed/budget must produce byte-identical logs (CI diffs
+    them to prove reproducibility)."""
+    import json
+    with open(path, "w") as handle:
+        for report in reports:
+            entry = report.to_dict()
+            entry.pop("wall_seconds", None)
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def _cmd_fuzz_run(args) -> int:
+    from repro.engine.metrics import PipelineMetrics
+    from repro.fuzz.runner import run_campaign
+    from repro.robustness.errors import FuzzFindingsError
+
+    seed = int(args.seed, 0)
+    metrics = PipelineMetrics()
+    result = run_campaign(seed, args.budget, jobs=args.jobs,
+                          config=_fuzz_config(args),
+                          corpus_dir=args.corpus_dir,
+                          save_findings=not args.no_save,
+                          reduce_findings=not args.no_reduce,
+                          metrics=metrics)
+    if args.log:
+        _write_fuzz_log(args.log, result.reports)
+    print(f"fuzz campaign seed={seed:#x} budget={args.budget} "
+          f"jobs={args.jobs}")
+    print(f"  {result.case_count} cases in {result.wall_seconds:.1f}s "
+          f"({result.cases_per_second:.2f}/s)")
+    print(f"  {result.finding_count} findings, "
+          f"{result.unique_findings} unique signatures")
+    for key, bucket in result.buckets.items():
+        print(f"  [{key}] {bucket.signature.describe()} "
+              f"({bucket.count} witness(es), first {bucket.case_ids[0]})")
+        reduction = result.reductions.get(key)
+        if reduction is not None:
+            _, stats = reduction
+            print(f"    reduced {stats.original_lines} -> "
+                  f"{stats.reduced_lines} lines "
+                  f"({stats.shrink_ratio * 100:.0f}% shrink, "
+                  f"{stats.tests_run} probes)")
+    for entry_id in result.saved_entries:
+        print(f"    saved corpus/{entry_id}")
+    if args.bench_json:
+        # Fold any existing bench baseline forward so a fuzz campaign
+        # adds its throughput without clobbering the committed
+        # per-stage timings that `report --compare` checks against.
+        import json
+        try:
+            with open(args.bench_json) as handle:
+                metrics.merge_dict(json.load(handle))
+        except (OSError, ValueError):
+            pass
+        metrics.write_json(args.bench_json)
+    if result.finding_count:
+        raise FuzzFindingsError(
+            f"{result.finding_count} finding(s), "
+            f"{result.unique_findings} unique — reproducers saved under "
+            f"corpus/", count=result.finding_count,
+            unique=result.unique_findings)
+    print("  no divergence, no crashes, no hangs")
+    return 0
+
+
+def _cmd_fuzz_replay(args) -> int:
+    from repro.fuzz.corpus import list_entries, load_entry
+    from repro.fuzz.executor import run_case
+    from repro.fuzz.generator import FuzzCase
+    from repro.robustness.errors import FuzzFindingsError
+
+    if args.case is None and not args.all:
+        print("error: give a corpus entry id or --all", file=sys.stderr)
+        return 2
+    entries = list_entries(args.corpus_dir) if args.all \
+        else [load_entry(args.case, args.corpus_dir)]
+    if not entries:
+        print("corpus is empty (run `repro fuzz seed` first)")
+        return 0
+    config = _fuzz_config(args)
+    failures = 0
+    for entry in entries:
+        case = FuzzCase(case_id=entry.entry_id, seed=0,
+                        profile="corpus", source=entry.source,
+                        inputs=entry.inputs)
+        report = run_case(case, config)
+        ok = report.verdict == entry.expect
+        failures += 0 if ok else 1
+        status = "ok" if ok else f"FAIL ({report.verdict})"
+        print(f"  {entry.entry_id:<28s} expect={entry.expect:<8s} "
+              f"{status}")
+        if not ok and report.message:
+            print(f"    {report.message}")
+    print(f"replayed {len(entries)} corpus entries, "
+          f"{failures} failure(s)")
+    if failures:
+        raise FuzzFindingsError(
+            f"{failures} corpus entr(ies) no longer match their "
+            f"expected verdict", count=failures, unique=failures)
+    return 0
+
+
+def _cmd_fuzz_corpus(args) -> int:
+    from repro.fuzz.corpus import list_entries
+
+    entries = list_entries(args.corpus_dir)
+    if not entries:
+        print("corpus is empty (run `repro fuzz seed` first)")
+        return 0
+    for entry in entries:
+        lines = len(entry.source.splitlines())
+        sig = ""
+        if entry.signature:
+            sig = (f"  sig={entry.signature.get('kind')}/"
+                   f"{entry.signature.get('key')}")
+        print(f"  {entry.entry_id:<28s} expect={entry.expect:<8s} "
+              f"{lines:>4d} lines  {entry.provenance}{sig}")
+    print(f"{len(entries)} corpus entries")
+    return 0
+
+
+def _cmd_fuzz_seed(args) -> int:
+    from repro.fuzz.corpus import CorpusEntry, save_entry
+
+    saved = 0
+    for w in all_workloads():
+        inputs = {name: list(values) if isinstance(values, bytes)
+                  else values
+                  for name, values in w.inputs(args.scale).items()}
+        entry = CorpusEntry(entry_id=f"seed-{w.name}", source=w.source,
+                            inputs=inputs, expect="ok",
+                            provenance=f"seed:{w.name}",
+                            notes=f"workload suite @ scale {args.scale}")
+        save_entry(entry, args.corpus_dir)
+        saved += 1
+    quickstart = _load_quickstart_module()
+    if quickstart is not None:
+        entry = CorpusEntry(entry_id="seed-quickstart",
+                            source=quickstart.SOURCE,
+                            inputs=quickstart.make_inputs(n=200),
+                            expect="ok",
+                            provenance="seed:examples/quickstart.py",
+                            notes="Figure 1 kernel from the quickstart")
+        save_entry(entry, args.corpus_dir)
+        saved += 1
+    print(f"seeded {saved} corpus entries")
+    return 0
+
+
+def _load_quickstart_module():
+    import importlib.util
+    from pathlib import Path
+    path = Path(__file__).resolve().parents[2] / "examples" \
+        / "quickstart.py"
+    if not path.is_file():
+        return None
+    spec = importlib.util.spec_from_file_location("_quickstart", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -534,6 +716,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=2, metavar="N",
                    help="pool width for the chaos campaign (default 2)")
     p.set_defaults(func=_cmd_selftest)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing: campaign, corpus "
+                            "replay, corpus management")
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    def _add_fuzz_exec_args(fp: argparse.ArgumentParser) -> None:
+        fp.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="corpus root (default: ./corpus)")
+        fp.add_argument("--max-steps", type=int, default=400_000,
+                        help="emulation step budget per run "
+                             "(default 400000)")
+        fp.add_argument("--time-budget", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per engine run "
+                             "(default 10)")
+        fp.add_argument("--width", type=int, default=8,
+                        help="issue width (default 8)")
+        fp.add_argument("--branches", type=int, default=1,
+                        help="branch issue limit (default 1)")
+
+    fp = fuzz_sub.add_parser("run",
+                             help="run a seeded differential campaign")
+    fp.add_argument("--budget", type=int, default=100, metavar="N",
+                    help="number of cases (default 100)")
+    fp.add_argument("--seed", default="0xfeed", metavar="S",
+                    help="master seed, any int literal "
+                         "(default 0xfeed)")
+    fp.add_argument("--jobs", type=int, default=1, metavar="J",
+                    help="parallel scheduler workers (default 1)")
+    fp.add_argument("--log", default=None, metavar="FILE",
+                    help="write one JSON line per case (wall time "
+                         "excluded, so equal-seed runs diff clean)")
+    fp.add_argument("--no-reduce", action="store_true",
+                    help="skip delta-debugging of findings")
+    fp.add_argument("--no-save", action="store_true",
+                    help="do not write findings to the corpus")
+    fp.add_argument("--bench-json", default=None, metavar="FILE",
+                    help="append fuzz throughput to a bench JSON file")
+    _add_fuzz_exec_args(fp)
+    fp.set_defaults(func=_cmd_fuzz_run)
+
+    fp = fuzz_sub.add_parser("replay",
+                             help="re-run corpus reproducers through "
+                                  "the full differential check")
+    fp.add_argument("case", nargs="?", default=None,
+                    help="corpus entry id or directory")
+    fp.add_argument("--all", action="store_true",
+                    help="replay every corpus entry")
+    _add_fuzz_exec_args(fp)
+    fp.set_defaults(func=_cmd_fuzz_replay)
+
+    fp = fuzz_sub.add_parser("corpus", help="list corpus entries")
+    fp.add_argument("--corpus-dir", default=None, metavar="DIR")
+    fp.set_defaults(func=_cmd_fuzz_corpus)
+
+    fp = fuzz_sub.add_parser("seed",
+                             help="seed the corpus from the workload "
+                                  "suite and examples")
+    fp.add_argument("--corpus-dir", default=None, metavar="DIR")
+    fp.add_argument("--scale", type=float, default=0.1,
+                    help="workload input scale for seeded entries "
+                         "(default 0.1: replay must stay fast)")
+    fp.set_defaults(func=_cmd_fuzz_seed)
 
     p = sub.add_parser("list", help="list registered workloads")
     p.set_defaults(func=_cmd_list)

@@ -69,6 +69,14 @@ class PipelineMetrics:
     quarantined_artifacts: int = 0
     #: process pools rebuilt after a worker crash poisoned one
     pool_rebuilds: int = 0
+    #: differential fuzz cases executed (see :mod:`repro.fuzz`)
+    fuzz_cases: int = 0
+    #: fuzz cases that produced a finding (pre-dedupe)
+    fuzz_findings: int = 0
+    #: distinct triage signatures among the findings
+    fuzz_unique_findings: int = 0
+    #: campaign wall time (generate + execute + triage + reduce)
+    fuzz_seconds: float = 0.0
     #: optional per-stage cProfile collector (see
     #: :mod:`repro.engine.profiling`); attached by the CLI's
     #: ``--profile`` flag, never serialized
@@ -112,6 +120,13 @@ class PipelineMetrics:
     def record_quarantine(self, kind: str) -> None:  # noqa: ARG002
         self.quarantined_artifacts += 1
 
+    def record_fuzz(self, cases: int, findings: int,
+                    unique_findings: int, seconds: float) -> None:
+        self.fuzz_cases += cases
+        self.fuzz_findings += findings
+        self.fuzz_unique_findings += unique_findings
+        self.fuzz_seconds += seconds
+
     # ----- aggregation --------------------------------------------------
 
     @property
@@ -130,6 +145,19 @@ class PipelineMetrics:
     @property
     def compute_seconds(self) -> float:
         return sum(s.wall_seconds for s in self.stages.values())
+
+    @property
+    def fuzz_cases_per_second(self) -> float:
+        if self.fuzz_seconds <= 0:
+            return 0.0
+        return self.fuzz_cases / self.fuzz_seconds
+
+    @property
+    def fuzz_dedupe_ratio(self) -> float:
+        """unique findings / raw findings (1.0 when nothing deduped)."""
+        if not self.fuzz_findings:
+            return 1.0
+        return self.fuzz_unique_findings / self.fuzz_findings
 
     def merge_dict(self, data: dict) -> None:
         """Fold a worker's :meth:`to_dict` counters into this object."""
@@ -150,6 +178,10 @@ class PipelineMetrics:
         self.retry_backoff_seconds += data.get("retry_backoff_seconds", 0.0)
         self.quarantined_artifacts += data.get("quarantined_artifacts", 0)
         self.pool_rebuilds += data.get("pool_rebuilds", 0)
+        self.fuzz_cases += data.get("fuzz_cases", 0)
+        self.fuzz_findings += data.get("fuzz_findings", 0)
+        self.fuzz_unique_findings += data.get("fuzz_unique_findings", 0)
+        self.fuzz_seconds += data.get("fuzz_seconds", 0.0)
 
     # ----- output -------------------------------------------------------
 
@@ -174,6 +206,12 @@ class PipelineMetrics:
             "retry_backoff_seconds": round(self.retry_backoff_seconds, 6),
             "quarantined_artifacts": self.quarantined_artifacts,
             "pool_rebuilds": self.pool_rebuilds,
+            "fuzz_cases": self.fuzz_cases,
+            "fuzz_findings": self.fuzz_findings,
+            "fuzz_unique_findings": self.fuzz_unique_findings,
+            "fuzz_seconds": round(self.fuzz_seconds, 6),
+            "fuzz_cases_per_second": round(self.fuzz_cases_per_second, 3),
+            "fuzz_dedupe_ratio": round(self.fuzz_dedupe_ratio, 4),
         }
 
     def write_json(self, path: str) -> None:
@@ -234,6 +272,14 @@ class PipelineMetrics:
                 f"({self.retry_backoff_seconds:.2f}s backoff), "
                 f"{self.quarantined_artifacts} quarantined, "
                 f"{self.pool_rebuilds} pool rebuilds")
+        if self.fuzz_cases:
+            lines.append(
+                f"  fuzz      {self.fuzz_cases} cases in "
+                f"{self.fuzz_seconds:.2f}s "
+                f"({self.fuzz_cases_per_second:.1f}/s), "
+                f"{self.fuzz_findings} findings "
+                f"({self.fuzz_unique_findings} unique, dedupe ratio "
+                f"{self.fuzz_dedupe_ratio:.2f})")
         return "\n".join(lines)
 
 

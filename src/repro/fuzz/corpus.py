@@ -1,0 +1,107 @@
+"""Durable on-disk regression corpus.
+
+Every entry is one directory under ``corpus/``::
+
+    corpus/<entry-id>/
+        case.c     — the (usually reduced) MiniC reproducer
+        meta.json  — inputs, provenance, expected verdict, and — for
+                     historical findings — the triage signature the
+                     witness originally produced
+
+Entries with ``expect: "ok"`` are semantics regressions: ``repro fuzz
+replay --all`` re-runs the full differential check on each and fails on
+any finding.  Entries with ``expect: "finding"`` document a bug the
+harness once caught; after the fix they are expected to pass, and the
+recorded signature preserves what the failure looked like.
+
+The corpus is committed to the repository — it must survive tooling
+rewrites, so the format is plain source + plain JSON, no pickles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: repository-level default corpus root (package → src → repo)
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "corpus"
+
+_META_NAME = "meta.json"
+_CASE_NAME = "case.c"
+
+
+@dataclass
+class CorpusEntry:
+    """One durable reproducer."""
+
+    entry_id: str
+    source: str
+    inputs: dict[str, list] = field(default_factory=dict)
+    #: "ok" (must pass the differential check) — every committed entry;
+    #: kept as a field so a triaged-but-not-yet-fixed finding can be
+    #: parked in a working corpus without failing replay.
+    expect: str = "ok"
+    #: where the entry came from: "seed:<workload>", "fuzz:<case-id>"
+    provenance: str = ""
+    #: triage signature dict of the original finding, if any
+    signature: dict | None = None
+    notes: str = ""
+
+    def meta_dict(self) -> dict:
+        meta = {"entry_id": self.entry_id, "expect": self.expect,
+                "provenance": self.provenance, "inputs": self.inputs}
+        if self.signature is not None:
+            meta["signature"] = self.signature
+        if self.notes:
+            meta["notes"] = self.notes
+        return meta
+
+
+def entry_dir(entry_id: str, corpus_dir: Path | str | None = None) -> Path:
+    root = Path(corpus_dir) if corpus_dir else DEFAULT_CORPUS_DIR
+    return root / entry_id
+
+
+def save_entry(entry: CorpusEntry,
+               corpus_dir: Path | str | None = None) -> Path:
+    """Write ``entry`` under the corpus root; returns its directory."""
+    directory = entry_dir(entry.entry_id, corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / _CASE_NAME).write_text(entry.source)
+    (directory / _META_NAME).write_text(
+        json.dumps(entry.meta_dict(), indent=2, sort_keys=True) + "\n")
+    return directory
+
+
+def load_entry(entry_id_or_dir: str | Path,
+               corpus_dir: Path | str | None = None) -> CorpusEntry:
+    """Load one entry by id (within ``corpus_dir``) or by directory."""
+    directory = Path(entry_id_or_dir)
+    if not directory.is_dir():
+        directory = entry_dir(str(entry_id_or_dir), corpus_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"no corpus entry at {directory} (looked for {_CASE_NAME} "
+            f"+ {_META_NAME})")
+    source = (directory / _CASE_NAME).read_text()
+    meta = json.loads((directory / _META_NAME).read_text())
+    return CorpusEntry(entry_id=meta.get("entry_id", directory.name),
+                       source=source,
+                       inputs=meta.get("inputs", {}),
+                       expect=meta.get("expect", "ok"),
+                       provenance=meta.get("provenance", ""),
+                       signature=meta.get("signature"),
+                       notes=meta.get("notes", ""))
+
+
+def list_entries(corpus_dir: Path | str | None = None) -> list[CorpusEntry]:
+    """All corpus entries, sorted by id for deterministic replay order."""
+    root = Path(corpus_dir) if corpus_dir else DEFAULT_CORPUS_DIR
+    if not root.is_dir():
+        return []
+    entries = []
+    for directory in sorted(root.iterdir()):
+        if directory.is_dir() and (directory / _META_NAME).is_file():
+            entries.append(load_entry(directory))
+    return entries

@@ -1,0 +1,595 @@
+"""Grammar-based MiniC program generator.
+
+Every case is a *well-formed, fault-free, terminating* MiniC program:
+array indices are masked to the array size, integer divisors are forced
+nonzero, shift amounts are masked to the word width, and every loop
+carries an explicit bounded counter.  A generated program that crashes
+any stage of the toolchain — or whose three compiled models disagree on
+any observable — is therefore always a toolchain bug, never source-level
+undefined behavior.
+
+Generation is deterministic: a case is a pure function of its 64-bit
+seed and its knob profile (via the same cross-version
+:class:`~repro.workloads.base.DeterministicRandom` LCG the workload
+inputs use), so a campaign with a fixed ``--seed`` replays
+case-for-case on any machine and any ``--jobs`` width.
+
+The knob profiles deliberately stress the paper's sharp edges:
+
+* ``deep-nest`` — deeply nested conditionals: hyperblock formation has
+  to merge or reject many-level join points;
+* ``diamond-ladder`` — else-if ladders of if/else diamonds: the shape
+  that grows OR-trees of predicate defines and exercises comparison
+  inversion in the cmov lowering;
+* ``empty-branches`` — branches with empty (or one-sided) bodies: CFG
+  cleanup, branch combining and superblock tails all see degenerate
+  regions;
+* ``loop-carried`` — flag variables set under one predicate and tested
+  by the next iteration (the paper's ``wc`` in-word flag): promotion
+  must not break loop-carried predicate dataflow;
+* ``cmov-select`` — ternary chains and float selects: the
+  full-to-partial conversion lowers these to conditional moves;
+* ``wide-flat`` — long straight-line blocks of independent conditionals:
+  big hyperblocks, OR-tree height reduction, scheduler pressure;
+* ``call-mix`` — helper calls inside predicated regions: speculation
+  and side exits across call boundaries.
+
+Statements are emitted one per line with braces on their own lines, so
+the delta-debugging reducer (:mod:`repro.fuzz.reduce`) can treat lines
+as atomic grammar units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.base import DeterministicRandom
+
+#: reserved identifiers the generator must never shadow
+_KEYWORDS = {"int", "char", "float", "if", "else", "while", "for",
+             "return", "break", "continue", "main"}
+
+
+@dataclass(frozen=True)
+class FuzzKnobs:
+    """Tunable stress knobs for one generation profile."""
+
+    profile: str = "mixed"
+    #: maximum statement-nesting depth inside the main loop
+    max_depth: int = 3
+    #: min/max statements per block
+    block_min: int = 2
+    block_max: int = 5
+    #: probability an ``if`` grows an ``else`` arm (diamond vs triangle)
+    else_prob: float = 0.45
+    #: probability a branch body is left empty (``{ }``)
+    empty_prob: float = 0.08
+    #: probability an ``else`` continues into an ``else if`` ladder rung
+    ladder_prob: float = 0.25
+    #: probability a generated expression is a ``?:`` select
+    select_prob: float = 0.12
+    #: loop-carried predicate flags threaded through the main loop
+    flag_vars: int = 1
+    #: probability a statement slot nests an inner loop (depth permitting)
+    loop_prob: float = 0.10
+    #: probability of a guarded break/continue/early-return inside a loop
+    exit_prob: float = 0.06
+    #: include float globals/arithmetic (stresses FCMP/FMOV lowering)
+    use_floats: bool = False
+    #: emit helper functions and calls into them
+    use_calls: bool = False
+    #: main loop trip count bounds (inclusive)
+    min_trip: int = 4
+    max_trip: int = 24
+    int_arrays: int = 2
+    char_arrays: int = 1
+    array_size: int = 64  # power of two: indices are masked with size-1
+    scalar_globals: int = 3
+    locals_count: int = 4
+    expr_depth: int = 3
+
+
+#: the named stress profiles, in campaign rotation order
+FUZZ_PROFILES: dict[str, FuzzKnobs] = {
+    "mixed": FuzzKnobs(),
+    "deep-nest": FuzzKnobs(profile="deep-nest", max_depth=6, block_min=1,
+                           block_max=3, else_prob=0.7, ladder_prob=0.1,
+                           expr_depth=2),
+    "diamond-ladder": FuzzKnobs(profile="diamond-ladder", else_prob=1.0,
+                                ladder_prob=0.8, max_depth=2,
+                                block_min=1, block_max=3),
+    "empty-branches": FuzzKnobs(profile="empty-branches", empty_prob=0.5,
+                                else_prob=0.6, block_min=1, block_max=4),
+    "loop-carried": FuzzKnobs(profile="loop-carried", flag_vars=3,
+                              else_prob=0.6, max_depth=2),
+    "cmov-select": FuzzKnobs(profile="cmov-select", select_prob=0.55,
+                             use_floats=True, else_prob=0.5, max_depth=2),
+    "wide-flat": FuzzKnobs(profile="wide-flat", max_depth=1, block_min=6,
+                           block_max=12, else_prob=0.3, empty_prob=0.15),
+    "call-mix": FuzzKnobs(profile="call-mix", use_calls=True, max_depth=3,
+                          block_min=2, block_max=4),
+}
+
+#: rotation order (stable: campaign case N uses PROFILE_ORDER[N % len])
+PROFILE_ORDER = tuple(FUZZ_PROFILES)
+
+
+def profile_for_index(index: int) -> FuzzKnobs:
+    """The knob profile campaign case ``index`` is generated with."""
+    return FUZZ_PROFILES[PROFILE_ORDER[index % len(PROFILE_ORDER)]]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated differential-testing case."""
+
+    case_id: str
+    seed: int
+    profile: str
+    source: str
+    inputs: dict[str, list]
+
+    @property
+    def line_count(self) -> int:
+        return len(self.source.splitlines())
+
+
+@dataclass
+class _Scope:
+    """Names visible while generating one function body."""
+
+    int_vars: list[str] = field(default_factory=list)
+    float_vars: list[str] = field(default_factory=list)
+    int_globals: list[str] = field(default_factory=list)
+    float_globals: list[str] = field(default_factory=list)
+    int_arrays: list[tuple[str, int]] = field(default_factory=list)
+    char_arrays: list[tuple[str, int]] = field(default_factory=list)
+    float_arrays: list[tuple[str, int]] = field(default_factory=list)
+    flags: list[str] = field(default_factory=list)
+    helpers: list[tuple[str, int]] = field(default_factory=list)
+    #: nesting stack: "for" entries allow continue, all allow break
+    loop_stack: list[str] = field(default_factory=list)
+    #: live loop counters: readable but never assignment targets, so
+    #: every generated loop terminates by construction
+    protected: set[str] = field(default_factory=set)
+
+
+class _Generator:
+    def __init__(self, seed: int, knobs: FuzzKnobs):
+        self.rng = DeterministicRandom(seed)
+        self.knobs = knobs
+        self.lines: list[str] = []
+        self.indent = 0
+        self.scope = _Scope()
+        self.loop_budget = 6  # inner loops per program, to bound steps
+        # Each ?: lowers to a CFG diamond and they nest multiplicatively;
+        # the budget keeps generated functions in the hundreds of blocks
+        # instead of the tens of thousands.
+        self.select_budget = 24
+        self.tmp_counter = 0
+
+    # ----- emission helpers -------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def chance(self, p: float) -> bool:
+        return self.rng.next_u32() < int(p * 0x1_0000_0000)
+
+    # ----- expressions ------------------------------------------------
+
+    def _int_leaf(self) -> str:
+        r = self.rng
+        choices = ["lit", "lit", "var", "var", "var"]
+        if self.scope.int_globals:
+            choices.append("glob")
+        if self.scope.int_arrays:
+            choices += ["arr", "arr"]
+        if self.scope.char_arrays:
+            choices.append("chararr")
+        if self.scope.flags:
+            choices.append("flag")
+        kind = r.choice(choices)
+        if kind == "lit" or (kind == "var" and not self.scope.int_vars):
+            return str(r.randint(-9, 31))
+        if kind == "var":
+            return r.choice(self.scope.int_vars)
+        if kind == "glob":
+            return r.choice(self.scope.int_globals)
+        if kind == "flag":
+            return r.choice(self.scope.flags)
+        if kind == "chararr":
+            name, size = r.choice(self.scope.char_arrays)
+        else:
+            name, size = r.choice(self.scope.int_arrays)
+        return f"{name}[({self.int_expr(0)}) & {size - 1}]"
+
+    def int_expr(self, depth: int | None = None) -> str:
+        """A side-effect-free int expression, fault-free by construction."""
+        r = self.rng
+        if depth is None:
+            depth = self.knobs.expr_depth
+        if depth <= 0:
+            return self._int_leaf()
+        if self.select_budget > 0 and self.chance(self.knobs.select_prob):
+            self.select_budget -= 1
+            return (f"({self.cond_expr(depth - 1)} ? "
+                    f"{self.int_expr(depth - 1)} : "
+                    f"{self.int_expr(depth - 1)})")
+        if self.scope.helpers and self.chance(0.15):
+            name, arity = r.choice(self.scope.helpers)
+            args = ", ".join(self.int_expr(0) for _ in range(arity))
+            return f"{name}({args})"
+        op = r.choice(["+", "+", "-", "*", "&", "|", "^", "<<", ">>",
+                       "/", "%", "u-", "u!", "u~", "cmp"])
+        a = self.int_expr(depth - 1)
+        b = self.int_expr(depth - 1)
+        if op in ("<<", ">>"):
+            return f"(({a}) {op} (({b}) & 15))"
+        if op in ("/", "%"):
+            # Nonzero divisor by construction: no divide faults.
+            return f"(({a}) {op} ((({b}) & 7) + 1))"
+        if op == "u-":
+            return f"(-({a}))"
+        if op == "u!":
+            return f"(!({a}))"
+        if op == "u~":
+            return f"(~({a}))"
+        if op == "cmp":
+            return f"(({a}) {r.choice(['<', '<=', '>', '>=', '==', '!='])} ({b}))"
+        return f"(({a}) {op} ({b}))"
+
+    def float_expr(self, depth: int | None = None) -> str:
+        r = self.rng
+        if depth is None:
+            depth = min(2, self.knobs.expr_depth)
+        leaves = []
+        if self.scope.float_vars:
+            leaves += ["var", "var"]
+        if self.scope.float_globals:
+            leaves.append("glob")
+        if self.scope.float_arrays:
+            leaves.append("arr")
+        if depth <= 0 or not leaves:
+            if leaves and self.chance(0.7):
+                kind = r.choice(leaves)
+                if kind == "var":
+                    return r.choice(self.scope.float_vars)
+                if kind == "glob":
+                    return r.choice(self.scope.float_globals)
+                name, size = r.choice(self.scope.float_arrays)
+                return f"{name}[({self.int_expr(0)}) & {size - 1}]"
+            return f"{r.randint(-4, 12)}.{r.randint(0, 99):02d}"
+        if self.select_budget > 0 and self.chance(self.knobs.select_prob):
+            self.select_budget -= 1
+            return (f"({self.cond_expr(1)} ? {self.float_expr(depth - 1)} "
+                    f": {self.float_expr(depth - 1)})")
+        op = r.choice(["+", "-", "*"])
+        return f"(({self.float_expr(depth - 1)}) {op} " \
+               f"({self.float_expr(depth - 1)}))"
+
+    def cond_expr(self, depth: int = 1) -> str:
+        """A branch condition: comparisons joined by && / ||."""
+        r = self.rng
+        terms = 1
+        if depth > 0:
+            terms += r.randint(0, 2)
+        parts = []
+        for _ in range(terms):
+            kind = r.next_u32() % 10
+            if kind < 5:
+                op = r.choice(["<", "<=", ">", ">=", "==", "!="])
+                parts.append(f"{self.int_expr(1)} {op} {self.int_expr(1)}")
+            elif kind < 6 and self.knobs.use_floats \
+                    and (self.scope.float_vars or self.scope.float_globals):
+                op = r.choice(["<", ">", "<=", ">="])
+                parts.append(f"{self.float_expr(1)} {op} "
+                             f"{self.float_expr(1)}")
+            elif kind < 8 and self.scope.flags:
+                flag = r.choice(self.scope.flags)
+                parts.append(flag if kind % 2 else f"!{flag}")
+            else:
+                parts.append(f"({self.int_expr(1)} & "
+                             f"{r.choice([1, 3, 7, 15])})")
+        joiner = " && " if r.next_u32() % 2 else " || "
+        return joiner.join(parts)
+
+    # ----- statements -------------------------------------------------
+
+    def assign_stmt(self) -> None:
+        r = self.rng
+        targets = ["local", "local"]
+        if self.scope.int_globals:
+            targets += ["global", "global"]
+        if self.scope.int_arrays:
+            targets.append("array")
+        if self.scope.float_vars and self.knobs.use_floats:
+            targets.append("float")
+        kind = r.choice(targets)
+        writable = [v for v in self.scope.int_vars
+                    if v not in self.scope.protected]
+        if kind == "local" and writable:
+            name = r.choice(writable)
+            self.emit(f"{name} = {self.int_expr()};")
+        elif kind == "global":
+            name = r.choice(self.scope.int_globals)
+            self.emit(f"{name} = {self.int_expr()};")
+        elif kind == "array":
+            name, size = r.choice(self.scope.int_arrays)
+            self.emit(f"{name}[({self.int_expr(1)}) & {size - 1}] = "
+                      f"{self.int_expr()};")
+        elif kind == "float":
+            name = r.choice(self.scope.float_vars
+                            + self.scope.float_globals)
+            self.emit(f"{name} = {self.float_expr()};")
+        else:
+            # "local" rolled in a scope with no int locals (helpers with
+            # every param shadowed can get here): pure expression stmt.
+            self.emit(f"{self.int_expr(1)};")
+
+    def flag_stmt(self) -> None:
+        """Loop-carried predicate update (the wc ``inword`` shape)."""
+        r = self.rng
+        flag = r.choice(self.scope.flags)
+        style = r.next_u32() % 3
+        if style == 0:
+            self.emit(f"if ({self.cond_expr()}) {{")
+            self.indent += 1
+            self.emit(f"{flag} = {r.randint(0, 1)};")
+            self.indent -= 1
+            self.emit("} else {")
+            self.indent += 1
+            self.emit(f"{flag} = {r.randint(0, 1)};")
+            self.indent -= 1
+            self.emit("}")
+        elif style == 1:
+            self.emit(f"{flag} = ({self.cond_expr()}) ? 1 : 0;")
+        else:
+            self.emit(f"{flag} = !{flag};")
+
+    def if_stmt(self, depth: int) -> None:
+        self.emit(f"if ({self.cond_expr()}) {{")
+        self.indent += 1
+        if self.chance(self.knobs.empty_prob):
+            pass  # deliberately empty then-branch
+        else:
+            self.block(depth - 1)
+        self.indent -= 1
+        if self.chance(self.knobs.else_prob):
+            if depth > 1 and self.chance(self.knobs.ladder_prob):
+                # else-if ladder rung: re-enter if_stmt on the same line
+                # budget, producing the diamond-ladder shape.
+                self.emit("} else {")
+                self.indent += 1
+                self.if_stmt(depth - 1)
+                self.indent -= 1
+                self.emit("}")
+                return
+            self.emit("} else {")
+            self.indent += 1
+            if self.chance(self.knobs.empty_prob):
+                pass
+            else:
+                self.block(depth - 1)
+            self.indent -= 1
+        self.emit("}")
+
+    def for_stmt(self, depth: int) -> None:
+        r = self.rng
+        counter = self.fresh_name("t")
+        self.emit(f"int {counter};")
+        self.scope.int_vars.append(counter)
+        self.scope.protected.add(counter)
+        trip = r.randint(2, 8)
+        self.emit(f"for ({counter} = 0; {counter} < {trip}; "
+                  f"{counter} = {counter} + 1) {{")
+        self.scope.loop_stack.append("for")
+        self.indent += 1
+        self.block(depth - 1)
+        self.indent -= 1
+        self.scope.loop_stack.pop()
+        self.emit("}")
+
+    def while_stmt(self, depth: int) -> None:
+        r = self.rng
+        counter = self.fresh_name("w")
+        self.emit(f"int {counter};")
+        self.scope.int_vars.append(counter)
+        self.scope.protected.add(counter)
+        bound = r.randint(2, 8)
+        self.emit(f"{counter} = 0;")
+        self.emit(f"while ({counter} < {bound} && "
+                  f"({self.cond_expr()})) {{")
+        self.scope.loop_stack.append("while")
+        self.indent += 1
+        # Progress first, so a later break can never skip it.
+        self.emit(f"{counter} = {counter} + 1;")
+        self.block(depth - 1)
+        self.indent -= 1
+        self.scope.loop_stack.pop()
+        self.emit("}")
+
+    def exit_stmt(self) -> None:
+        r = self.rng
+        options = ["break"]
+        if self.scope.loop_stack and self.scope.loop_stack[-1] == "for":
+            options.append("continue")
+        options.append("return")
+        kind = r.choice(options)
+        if kind == "return":
+            self.emit(f"if ({self.cond_expr(0)}) {{")
+            self.indent += 1
+            self.emit(f"return {self.int_expr(1)};")
+            self.indent -= 1
+            self.emit("}")
+        else:
+            self.emit(f"if ({self.cond_expr(0)}) {{")
+            self.indent += 1
+            self.emit(f"{kind};")
+            self.indent -= 1
+            self.emit("}")
+
+    def statement(self, depth: int) -> None:
+        r = self.rng
+        k = self.knobs
+        roll = r.next_u32() % 100
+        in_loop = bool(self.scope.loop_stack)
+        if depth > 0 and roll < 30:
+            self.if_stmt(depth)
+        elif depth > 0 and self.loop_budget > 0 \
+                and roll < 30 + int(k.loop_prob * 100):
+            self.loop_budget -= 1
+            if r.next_u32() % 2:
+                self.for_stmt(depth)
+            else:
+                self.while_stmt(depth)
+        elif in_loop and roll >= 100 - int(k.exit_prob * 100):
+            self.exit_stmt()
+        elif self.scope.flags and roll >= 85:
+            self.flag_stmt()
+        else:
+            self.assign_stmt()
+
+    def block(self, depth: int) -> None:
+        r = self.rng
+        for _ in range(r.randint(self.knobs.block_min,
+                                 self.knobs.block_max)):
+            self.statement(depth)
+
+    # ----- program assembly -------------------------------------------
+
+    def fresh_name(self, prefix: str) -> str:
+        self.tmp_counter += 1
+        return f"{prefix}{self.tmp_counter}"
+
+    def helper_function(self, index: int) -> None:
+        r = self.rng
+        name = f"calc{index}"
+        arity = r.randint(1, 2)
+        params = [f"p{i}" for i in range(arity)]
+        self.emit(f"int {name}("
+                  + ", ".join(f"int {p}" for p in params) + ") {")
+        self.indent += 1
+        outer = self.scope
+        self.scope = _Scope(int_vars=list(params),
+                            int_globals=outer.int_globals,
+                            int_arrays=outer.int_arrays,
+                            char_arrays=outer.char_arrays)
+        self.block(1)
+        self.emit(f"return {self.int_expr()};")
+        self.scope = outer
+        self.indent -= 1
+        self.emit("}")
+        self.scope.helpers.append((name, arity))
+
+    def generate(self) -> tuple[str, dict[str, list]]:
+        r = self.rng
+        k = self.knobs
+        inputs: dict[str, list] = {}
+
+        for i in range(k.int_arrays):
+            name = f"a{i}"
+            self.emit(f"int {name}[{k.array_size}];")
+            self.scope.int_arrays.append((name, k.array_size))
+            inputs[name] = [r.randint(-16, 31)
+                            for _ in range(k.array_size)]
+        for i in range(k.char_arrays):
+            name = f"c{i}"
+            self.emit(f"char {name}[{k.array_size}];")
+            self.scope.char_arrays.append((name, k.array_size))
+            inputs[name] = [r.randint(0, 127) for _ in range(k.array_size)]
+        if k.use_floats:
+            self.emit(f"float fa[{k.array_size}];")
+            self.scope.float_arrays.append(("fa", k.array_size))
+            inputs["fa"] = [round(r.randint(-400, 400) / 16.0, 4)
+                            for _ in range(k.array_size)]
+            self.emit("float facc;")
+            self.scope.float_globals.append("facc")
+        self.emit("int n;")
+        trip = r.randint(k.min_trip, k.max_trip)
+        inputs["n"] = [trip]
+        for i in range(k.scalar_globals):
+            name = f"g{i}"
+            self.emit(f"int {name};")
+            self.scope.int_globals.append(name)
+            inputs[name] = [r.randint(-8, 24)]
+        self.emit("")
+
+        if k.use_calls:
+            for i in range(r.randint(1, 2)):
+                self.helper_function(i)
+                self.emit("")
+
+        self.emit("int main() {")
+        self.indent += 1
+        for i in range(k.locals_count):
+            name = f"v{i}"
+            self.emit(f"int {name};")
+            self.scope.int_vars.append(name)
+        for i in range(k.flag_vars):
+            name = f"fl{i}"
+            self.emit(f"int {name};")
+            self.scope.flags.append(name)
+        if k.use_floats:
+            self.emit("float fv;")
+            self.scope.float_vars.append("fv")
+        iv = self.fresh_name("i")
+        self.emit(f"int {iv};")
+        for name in self.scope.int_vars:
+            self.emit(f"{name} = {self.int_expr(1)};")
+        for name in self.scope.flags:
+            self.emit(f"{name} = {r.randint(0, 1)};")
+        if k.use_floats:
+            self.emit("fv = 0.0;")
+
+        self.emit(f"for ({iv} = 0; {iv} < n; {iv} = {iv} + 1) {{")
+        self.scope.loop_stack.append("for")
+        self.indent += 1
+        self.scope.int_vars.append(iv)
+        self.scope.protected.add(iv)
+        self.block(k.max_depth)
+        self.indent -= 1
+        self.scope.loop_stack.pop()
+        self.emit("}")
+
+        # Fold everything observable into globals (store stream) and the
+        # return value, so silent corruption anywhere must surface.
+        acc = []
+        for idx, name in enumerate(self.scope.int_vars[:6]):
+            acc.append(f"({name} << {idx % 5})")
+        for name in self.scope.flags:
+            acc.append(name)
+        if self.scope.int_globals:
+            sink = self.scope.int_globals[0]
+            self.emit(f"{sink} = {' + '.join(acc[:4])};")
+        if k.use_floats:
+            self.emit("facc = facc + fv;")
+        self.emit(f"return {' ^ '.join(acc) if acc else '0'};")
+        self.indent -= 1
+        self.emit("}")
+        return "\n".join(self.lines) + "\n", inputs
+
+
+def generate_case(master_seed: int, index: int,
+                  knobs: FuzzKnobs | None = None) -> FuzzCase:
+    """Deterministically generate campaign case ``index``.
+
+    The case seed mixes ``master_seed`` and ``index`` through the LCG's
+    own constants, so neighbouring indices produce unrelated streams.
+    """
+    if knobs is None:
+        knobs = profile_for_index(index)
+    case_seed = (master_seed * 6364136223846793005
+                 + (index + 1) * 1442695040888963407) & ((1 << 64) - 1)
+    source, inputs = _Generator(case_seed, knobs).generate()
+    case_id = f"case-{master_seed:x}-{index:05d}"
+    return FuzzCase(case_id=case_id, seed=case_seed, profile=knobs.profile,
+                    source=source, inputs=inputs)
+
+
+def generate_source(seed: int, knobs: FuzzKnobs | None = None
+                    ) -> tuple[str, dict[str, list]]:
+    """Generate one (source, inputs) pair directly from a raw seed."""
+    if knobs is None:
+        knobs = FuzzKnobs()
+    return _Generator(seed, knobs).generate()

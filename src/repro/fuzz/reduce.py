@@ -1,0 +1,161 @@
+"""Delta-debugging reducer: shrink a witness to a near-minimal repro.
+
+A raw fuzz witness is typically dozens of lines of which only a handful
+matter.  The reducer works on *source lines* (the generator emits one
+statement per line, with every ``{`` at end-of-line and every region
+closed by a bare ``}`` line, precisely so reduction can operate
+syntactically):
+
+1. **Region pass** — try deleting whole balanced ``{ … }`` regions
+   (an ``if``/``else`` chain or loop and everything inside it), largest
+   first.  One successful deletion here removes more than many line
+   probes, so this runs before ddmin.
+2. **Line ddmin** — classic ddmin with granularity doubling over the
+   brace-free lines (removing a brace line alone would unbalance the
+   program; the region pass already handles those).
+
+Both passes repeat until a round makes no progress.  The caller
+supplies the *interestingness* predicate — typically "does this
+candidate still produce the same triage signature?" — which implicitly
+rejects syntactically broken candidates too (they produce a
+``frontend-reject`` signature instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class ReductionStats:
+    """Bookkeeping for one reduction run."""
+
+    original_lines: int
+    reduced_lines: int
+    tests_run: int = 0
+    rounds: int = 0
+
+    @property
+    def shrink_ratio(self) -> float:
+        """Fraction of lines removed (0.0 = no shrink)."""
+        if self.original_lines == 0:
+            return 0.0
+        return 1.0 - self.reduced_lines / self.original_lines
+
+    def to_dict(self) -> dict:
+        return {"original_lines": self.original_lines,
+                "reduced_lines": self.reduced_lines,
+                "tests_run": self.tests_run, "rounds": self.rounds,
+                "shrink_ratio": round(self.shrink_ratio, 4)}
+
+
+def _brace_regions(lines: list[str]) -> list[tuple[int, int]]:
+    """Balanced ``{ … }`` regions as inclusive (start, end) line spans.
+
+    A region starts at a line ending in ``{`` and ends where the depth
+    returns to the opener's level on a bare ``}`` line — so an entire
+    ``if/else`` chain (whose branches are stitched by ``} else {``
+    lines at the same depth) is one region.  Largest regions first.
+    """
+    opens: list[tuple[int, int]] = []  # (depth-before-line, start)
+    regions: list[tuple[int, int]] = []
+    depth = 0
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        next_depth = depth + stripped.count("{") - stripped.count("}")
+        if stripped.endswith("{") and not stripped.startswith("}"):
+            opens.append((depth, i))
+        while opens and next_depth <= opens[-1][0]:
+            _, start = opens.pop()
+            regions.append((start, i))
+        depth = next_depth
+    regions.sort(key=lambda span: span[0] - span[1])  # largest first
+    return regions
+
+
+def _simple_line_indices(lines: list[str]) -> list[int]:
+    """Indices safe to delete individually: no braces, not a return."""
+    out = []
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or "{" in stripped or "}" in stripped:
+            continue
+        if stripped.startswith("return"):
+            continue
+        out.append(i)
+    return out
+
+
+def _without(lines: list[str], drop: set[int]) -> list[str]:
+    return [line for i, line in enumerate(lines) if i not in drop]
+
+
+def _region_pass(lines: list[str],
+                 interesting: Callable[[str], bool],
+                 stats: ReductionStats) -> tuple[list[str], bool]:
+    progress = False
+    while True:
+        for start, end in _brace_regions(lines):
+            trial = _without(lines, set(range(start, end + 1)))
+            stats.tests_run += 1
+            if interesting("\n".join(trial) + "\n"):
+                lines = trial
+                progress = True
+                break
+        else:
+            return lines, progress
+
+
+def _ddmin_pass(lines: list[str],
+                interesting: Callable[[str], bool],
+                stats: ReductionStats) -> tuple[list[str], bool]:
+    progress = False
+    granularity = 2
+    while True:
+        removable = _simple_line_indices(lines)
+        if not removable:
+            return lines, progress
+        chunk_size = max(1, -(-len(removable) // granularity))
+        removed = False
+        for at in range(0, len(removable), chunk_size):
+            chunk = set(removable[at:at + chunk_size])
+            trial = _without(lines, chunk)
+            stats.tests_run += 1
+            if interesting("\n".join(trial) + "\n"):
+                lines = trial
+                removed = progress = True
+                granularity = max(2, granularity - 1)
+                break
+        if not removed:
+            if chunk_size == 1:
+                return lines, progress
+            granularity = min(len(removable), granularity * 2)
+
+
+def reduce_source(source: str,
+                  interesting: Callable[[str], bool],
+                  *, max_rounds: int = 8
+                  ) -> tuple[str, ReductionStats]:
+    """Shrink ``source`` while ``interesting`` stays true.
+
+    ``interesting`` receives a candidate source and returns True when
+    the candidate still reproduces the finding (same triage signature).
+    Raises ``ValueError`` if the original itself is not interesting —
+    that means the finding is flaky and must not be reduced against.
+    """
+    lines = source.splitlines()
+    stats = ReductionStats(original_lines=len(lines),
+                           reduced_lines=len(lines))
+    stats.tests_run += 1
+    if not interesting("\n".join(lines) + "\n"):
+        raise ValueError("witness is not reproducible; refusing to "
+                         "reduce against a flaky predicate")
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        lines, shrunk_regions = _region_pass(lines, interesting, stats)
+        lines, shrunk_lines = _ddmin_pass(lines, interesting, stats)
+        if not (shrunk_regions or shrunk_lines):
+            break
+    stats.reduced_lines = len(lines)
+    return "\n".join(lines) + "\n", stats

@@ -73,7 +73,9 @@ _EXACT_FIELDS = ("return_value", "dynamic_count", "suppressed_count",
 
 def assert_fastpath_equivalent(compiled, inputs=None, machine=None,
                                max_steps: int = 50_000_000,
-                               *, workload: str = "?") -> None:
+                               *, workload: str = "?",
+                               wall_budget: float | None = None
+                               ) -> ExecutionResult:
     """Differential mode for the fastpath: legacy vs fast vs streaming.
 
     Runs the legacy object-graph emulate+simulate, the columnar
@@ -82,24 +84,38 @@ def assert_fastpath_equivalent(compiled, inputs=None, machine=None,
     observable, every trace event, and every ``SimulationStats`` field
     is identical.  This is the oracle behind the ``--differential``
     CLI flag and the acceptance gate for the fastpath.
+
+    ``wall_budget`` arms a fresh :class:`EmulationWatchdog` per engine
+    run (fresh, because budgets are per-execution, not per-oracle call).
+    Returns the legacy :class:`ExecutionResult` so callers layering a
+    cross-model comparison on top — the fuzz executor — can reuse it
+    as that model's canonical execution instead of running a fourth
+    time.
     """
     from repro.emu.interpreter import run_program
     from repro.fastpath.decode import decode_program
     from repro.fastpath.interp import run_program_fast
     from repro.fastpath.simulate import (emulate_and_simulate_stream,
                                          prepare_sim, simulate_columns)
+    from repro.robustness.watchdog import EmulationWatchdog
     from repro.sim.pipeline import simulate_trace
+
+    def watchdog() -> "EmulationWatchdog | None":
+        if wall_budget is None:
+            return None
+        return EmulationWatchdog(wall_clock_budget=wall_budget)
 
     if machine is None:
         machine = compiled.machine
     model = getattr(compiled.model, "value", str(compiled.model))
 
     legacy = run_program(compiled.program, inputs=inputs,
-                         collect_trace=True, max_steps=max_steps)
+                         collect_trace=True, max_steps=max_steps,
+                         watchdog=watchdog())
     decoded = decode_program(compiled.program)
     fast = run_program_fast(compiled.program, inputs=inputs,
                             collect_trace=True, max_steps=max_steps,
-                            decoded=decoded)
+                            decoded=decoded, watchdog=watchdog())
     for fname in _EXACT_FIELDS:
         a, b = getattr(fast, fname), getattr(legacy, fname)
         if a != b:
@@ -125,7 +141,8 @@ def assert_fastpath_equivalent(compiled, inputs=None, machine=None,
 
     streamed, stream_stats = emulate_and_simulate_stream(
         compiled.program, compiled.addresses, machine, inputs=inputs,
-        max_steps=max_steps, decoded=decoded, prep=prep)
+        max_steps=max_steps, decoded=decoded, prep=prep,
+        watchdog=watchdog())
     if stream_stats != legacy_stats:
         raise ModelDivergenceError(
             f"{workload}: streaming simulation of {model} diverges: "
@@ -139,3 +156,4 @@ def assert_fastpath_equivalent(compiled, inputs=None, machine=None,
                 f"on {fname}: {a!r} vs legacy {b!r}",
                 workload=workload, model=model,
                 kind=f"fastpath-stream-{fname}")
+    return legacy

@@ -107,3 +107,22 @@ class ModelDivergenceError(ReproError):
         self.workload = workload
         self.model = model
         self.kind = kind
+        #: for store-stream divergences, the first divergent store
+        #: ("store#3 @0x1a0 7 vs 9"), attached by the fuzz executor
+        self.first_event: str | None = None
+
+
+class FuzzFindingsError(ReproError):
+    """A fuzzing campaign or corpus replay ended with open findings.
+
+    Raised by ``repro fuzz run`` / ``repro fuzz replay`` after triage:
+    ``count`` raw findings collapsed to ``unique`` signatures, each with
+    a reproducer saved under ``corpus/``.
+    """
+
+    exit_code = 18
+
+    def __init__(self, message: str, *, count: int = 0, unique: int = 0):
+        super().__init__(message)
+        self.count = count
+        self.unique = unique

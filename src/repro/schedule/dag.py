@@ -200,6 +200,7 @@ def build_dag(fn: Function, block: BasicBlock, live: Liveness,
 
     last_store_at: dict[str, int] = {}
     loads_since: dict[str, list[int]] = {}
+    last_mem_write: int | None = None
 
     def conflicting_stores(key: str) -> list[int]:
         if key == "*":
@@ -229,6 +230,15 @@ def build_dag(fn: Function, block: BasicBlock, live: Liveness,
                 graph.add_edge(i, j, 1)
             for i in conflicting_loads(key):
                 graph.add_edge(i, j, 0)
+            # The dynamic store stream is an architectural observable
+            # (the differential oracle compares it across models), so
+            # writes keep program order even when disambiguation proves
+            # them independent.  Latency 0 lets ready stores share a
+            # cycle, but a cheap store can no longer hoist above a
+            # slower one's operand chain.
+            if last_mem_write is not None:
+                graph.add_edge(last_mem_write, j, 0)
+            last_mem_write = j
             if key == "*":
                 last_store_at.clear()
                 loads_since.clear()

@@ -167,3 +167,54 @@ def test_nested_loops():
     assert not outer.is_innermost
     assert inner.body < outer.body
     assert innermost_loops(fn) == [inner]
+
+
+def _round_robin_liveness(fn):
+    """The pre-worklist formulation, kept as the test oracle: sweep
+    every block until nothing changes."""
+    from repro.analysis.cfg import successors_map
+    from repro.analysis.liveness import Liveness, _scan_block
+
+    succs = successors_map(fn)
+    live_in = {b.name: frozenset() for b in fn.blocks}
+    live_out = {b.name: frozenset() for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(fn.blocks):
+            name = block.name
+            out = set()
+            for s in succs[name]:
+                out |= live_in[s]
+            new_in = frozenset(_scan_block(block.instructions,
+                                           frozenset(out), live_in))
+            out_f = frozenset(out)
+            if out_f != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out_f
+                live_in[name] = new_in
+                changed = True
+    return Liveness(live_in=dict(live_in), live_out=dict(live_out))
+
+
+def test_worklist_liveness_matches_round_robin_on_real_code():
+    # Regression for the worklist rewrite: the fixpoint must be
+    # identical to the old whole-function sweep on real compiled code,
+    # including predicated hyperblocks.
+    from repro.analysis.profile import Profile
+    from repro.fuzz.generator import generate_case
+    from repro.machine.descriptor import MachineDescription
+    from repro.toolchain import Model, compile_for_model, frontend
+
+    case = generate_case(0x11e, 2)
+    machine = MachineDescription(issue_width=8, branch_issue_limit=1,
+                                 name="8-issue,1-branch")
+    base = frontend(case.source)
+    profile = Profile.collect(base, inputs=case.inputs,
+                              max_steps=300_000)
+    for model in (Model.SUPERBLOCK, Model.FULLPRED):
+        compiled = compile_for_model(base, model, profile, machine)
+        for fn in compiled.program.functions.values():
+            got = liveness(fn)
+            want = _round_robin_liveness(fn)
+            assert got.live_in == want.live_in, (model, fn.name)
+            assert got.live_out == want.live_out, (model, fn.name)

@@ -1,0 +1,59 @@
+"""Corpus: on-disk round trips and deterministic listing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import CorpusEntry, list_entries, load_entry, save_entry
+
+
+def _entry(entry_id="finding-abc123", **kw) -> CorpusEntry:
+    defaults = dict(source="int main() { return 1; }\n",
+                    inputs={"n": [4]}, expect="finding",
+                    provenance="fuzz:case-feed-00007",
+                    signature={"kind": "divergence", "error_type": "E",
+                               "detail": [], "key": "abc123def456"},
+                    notes="one witness")
+    defaults.update(kw)
+    return CorpusEntry(entry_id=entry_id, **defaults)
+
+
+def test_save_load_roundtrip(tmp_path):
+    saved_dir = save_entry(_entry(), tmp_path)
+    assert (saved_dir / "case.c").is_file()
+    loaded = load_entry("finding-abc123", tmp_path)
+    original = _entry()
+    assert loaded == original
+
+
+def test_load_by_directory_path(tmp_path):
+    saved_dir = save_entry(_entry(), tmp_path)
+    assert load_entry(saved_dir).entry_id == "finding-abc123"
+
+
+def test_load_missing_entry_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_entry("nope", tmp_path)
+
+
+def test_list_entries_sorted_and_skips_strays(tmp_path):
+    save_entry(_entry("zz-last"), tmp_path)
+    save_entry(_entry("aa-first"), tmp_path)
+    (tmp_path / "stray-dir").mkdir()          # no meta.json: ignored
+    (tmp_path / "stray-file").write_text("")  # not a dir: ignored
+    ids = [e.entry_id for e in list_entries(tmp_path)]
+    assert ids == ["aa-first", "zz-last"]
+
+
+def test_list_entries_missing_root_is_empty(tmp_path):
+    assert list_entries(tmp_path / "absent") == []
+
+
+def test_meta_is_plain_json(tmp_path):
+    saved_dir = save_entry(_entry(), tmp_path)
+    meta = json.loads((saved_dir / "meta.json").read_text())
+    assert meta["expect"] == "finding"
+    assert meta["signature"]["kind"] == "divergence"
+    assert meta["inputs"] == {"n": [4]}

@@ -1,0 +1,70 @@
+"""Generator: determinism, profile rotation, and program validity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emu.interpreter import run_program
+from repro.fuzz.generator import (FUZZ_PROFILES, PROFILE_ORDER, FuzzKnobs,
+                                  generate_case, generate_source,
+                                  profile_for_index)
+from repro.toolchain import frontend
+
+
+def test_same_seed_same_case():
+    a = generate_case(0xabc, 7)
+    b = generate_case(0xabc, 7)
+    assert a == b
+
+
+def test_different_indices_differ():
+    sources = {generate_case(0xabc, i).source for i in range(8)}
+    assert len(sources) == 8
+
+
+def test_case_id_encodes_seed_and_index():
+    case = generate_case(0xfeed, 3)
+    assert case.case_id == "case-feed-00003"
+
+
+def test_profile_rotation_covers_all_profiles():
+    seen = {generate_case(1, i).profile
+            for i in range(len(PROFILE_ORDER))}
+    assert seen == set(FUZZ_PROFILES)
+
+
+def test_profile_for_index_matches_generated_case():
+    for i in (0, 3, 11):
+        knobs = profile_for_index(i)
+        assert generate_case(1, i).profile == knobs.profile
+
+
+@pytest.mark.parametrize("index", range(10))
+def test_generated_programs_compile_and_terminate(index):
+    case = generate_case(0x5eed, index)
+    program = frontend(case.source)
+    result = run_program(program, inputs=case.inputs,
+                         max_steps=300_000)
+    assert isinstance(result.return_value, int)
+
+
+def test_one_statement_per_line_for_reduction():
+    # The reducer removes whole lines; every opening brace must sit at
+    # end-of-line and every region must close on a bare `}` line.
+    source, _ = generate_source(99, FuzzKnobs())
+    depth = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if "{" in stripped:
+            assert stripped.endswith("{")
+        depth += stripped.count("{") - stripped.count("}")
+        assert depth >= 0
+    assert depth == 0
+
+
+def test_inputs_are_json_clean():
+    case = generate_case(0x77, 2)
+    for name, values in case.inputs.items():
+        assert isinstance(name, str)
+        assert isinstance(values, list)
+        assert all(isinstance(v, (int, float)) for v in values)

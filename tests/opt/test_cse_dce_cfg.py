@@ -162,6 +162,59 @@ def test_merge_straightline():
     assert fn.entry.instructions[-1].op is Opcode.RET
 
 
+def test_merge_straightline_collapses_long_chain():
+    # Regression: the fuzzer's diamond-heavy programs produce jump
+    # chains thousands of blocks long; merging once restarted the whole
+    # scan per merged block (minutes of compile time for one witness).
+    # The chain-following rewrite must collapse the chain and keep the
+    # instruction order intact.
+    n = 400
+    fn = Function("f")
+    for i in range(n):
+        block = fn.new_block(f"b{i}")
+        block.append(Instruction(Opcode.MOV, dest=VReg(i),
+                                 srcs=(Imm(i),)))
+        if i + 1 < n:
+            block.append(Instruction(Opcode.JUMP, target=f"b{i + 1}"))
+        else:
+            block.append(Instruction(Opcode.RET, srcs=(VReg(0),)))
+    assert merge_straightline(fn)
+    assert len(fn.blocks) == 1
+    movs = [inst.srcs[0].value for inst in fn.entry.instructions
+            if inst.op is Opcode.MOV]
+    assert movs == list(range(n))
+    assert fn.entry.instructions[-1].op is Opcode.RET
+
+
+def test_merge_straightline_keeps_doubly_referenced_target():
+    # `a` both branches and jumps to `b`: the jump is not the only edge
+    # into `b`, so merging would strand the conditional branch.
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.BEQ, srcs=(VReg(0), Imm(0)),
+                         target="b"))
+    a.append(Instruction(Opcode.JUMP, target="b"))
+    b = fn.new_block("b")
+    b.append(Instruction(Opcode.RET, srcs=(VReg(0),)))
+    assert not merge_straightline(fn)
+    assert len(fn.blocks) == 2
+
+
+def test_merge_straightline_missing_target_raises():
+    # A dangling jump target must fail loudly (KeyError from the CFG
+    # predecessor map, or IRError from the merge itself), never merge.
+    from repro.ir.function import IRError
+    fn = Function("f")
+    a = fn.new_block("a")
+    a.append(Instruction(Opcode.JUMP, target="ghost"))
+    try:
+        merge_straightline(fn)
+    except (IRError, KeyError):
+        pass
+    else:  # pragma: no cover - regression guard
+        raise AssertionError("dangling jump target must raise")
+
+
 def test_normalize_splits_interior_branches():
     fn = Function("f")
     a = fn.new_block("a")

@@ -210,3 +210,43 @@ def test_scheduler_never_drops_instructions():
     fn, block = _fn_with(insts)
     schedule_block(fn, block, _machine(width=3))
     assert len(block.instructions) == 21
+
+
+def test_store_stream_keeps_program_order():
+    # Regression found by the differential fuzzer (case-feed-00204):
+    # two stores to distinct globals carry no alias edge, so the
+    # scheduler was free to emit the cheap-operand store first.  The
+    # emulator executes emission order and the differential oracle
+    # treats the dynamic store stream as observable, so superblock code
+    # diverged from the predicated models.  Writes must keep program
+    # order even when provably independent.
+    insts = [
+        Instruction(Opcode.MUL, dest=VReg(0), srcs=(VReg(8), VReg(9))),
+        Instruction(Opcode.MUL, dest=VReg(1), srcs=(VReg(0), VReg(9))),
+        Instruction(Opcode.MUL, dest=VReg(2), srcs=(VReg(1), VReg(9))),
+        Instruction(Opcode.STORE, srcs=(GlobalAddr("g2"), Imm(0),
+                                        VReg(2))),
+        Instruction(Opcode.STORE, srcs=(GlobalAddr("g1"), Imm(0),
+                                        VReg(7))),
+    ]
+    fn, block = _fn_with(insts)
+    schedule_block(fn, block, _machine(width=8))
+    stores = [i.srcs[0].name for i in block.instructions
+              if i.op is Opcode.STORE]
+    assert stores == ["g2", "g1"]
+
+
+def test_store_order_edge_still_allows_same_cycle_issue():
+    # The ordering edge is latency 0: two ready stores to distinct
+    # globals still dual-issue.
+    insts = [
+        Instruction(Opcode.STORE, srcs=(GlobalAddr("a"), Imm(0),
+                                        VReg(1))),
+        Instruction(Opcode.STORE, srcs=(GlobalAddr("b"), Imm(0),
+                                        VReg(2))),
+    ]
+    fn, block = _fn_with(insts)
+    result = schedule_block(fn, block, _machine(width=8))
+    cycles = [result.cycles[i.uid] for i in block.instructions
+              if i.op is Opcode.STORE]
+    assert cycles[0] == cycles[1] == 0
