@@ -9,7 +9,17 @@ Subcommands:
 * ``figures``  — alias of ``report`` (the paper's figures);
 * ``cache``    — inspect, verify (``fsck``) or clear the artifact store;
 * ``selftest`` — fault-injection campaign proving the checkers work
-  (``--chaos`` adds the engine chaos campaign: crash/corruption/resume);
+  (``--chaos`` adds the engine chaos campaign — crash/corruption/
+  resume — and the service chaos campaign: queue saturation, quota
+  exhaustion, breaker trips, kill+resume, dedup storms);
+* ``serve``    — long-lived multi-tenant experiment service: bounded
+  admission with load shedding, per-tenant quotas, single-flight
+  dedup, a circuit breaker over the worker pool and graceful SIGTERM
+  drain (interrupted jobs resume on restart);
+* ``submit``   — submit a MiniC file, a workload or the figure suite
+  to a running service; ``--wait`` blocks for the canonical result;
+* ``status``   — one job's record from the service;
+* ``watch``    — stream a job's journal progress until it finishes;
 * ``fuzz``     — differential fuzzing: ``fuzz run`` executes a seeded
   campaign over all three models, ``fuzz replay`` re-checks corpus
   reproducers, ``fuzz corpus`` lists them, ``fuzz seed`` populates the
@@ -39,6 +49,10 @@ Examples::
     python -m repro cache clear
     python -m repro selftest
     python -m repro selftest --chaos --jobs 2
+    python -m repro serve --workers 2 --queue-depth 16
+    python -m repro submit --workload wc --wait -o wc.json
+    python -m repro submit kernel.c --deadline 120 --tenant alice
+    python -m repro watch J0123456789abcdef
     python -m repro fuzz run --budget 500 --seed 0xfeed --jobs 4
     python -m repro fuzz replay --all
     python -m repro fuzz replay finding-0123456789ab
@@ -48,8 +62,10 @@ Failures exit with the typed taxonomy's codes (one-line diagnostics,
 no tracebacks): 10 generic pipeline error, 11 compile, 12 pass
 verification, 13 emulation timeout, 14 trace integrity, 15 model
 divergence, 16 emulation fault, 17 artifact lock timeout, 18 open
-fuzz findings.  Codes 13, 14 and 17 are transient (the scheduler
-retries them); the rest are permanent.
+fuzz findings, 19 service overloaded (load shed), 20 tenant quota
+exceeded, 21 job deadline exceeded.  Codes 13, 14, 17, 19 and 20 are
+transient (retry, honouring any Retry-After hint); the rest are
+permanent.
 """
 
 from __future__ import annotations
@@ -448,12 +464,129 @@ def _cmd_selftest(args) -> int:
         chaos = run_chaos_campaign(jobs=args.jobs)
         print(format_chaos_reports(chaos))
         ok = ok and all(r.ok for r in chaos)
+        from repro.service.chaos import run_service_chaos_campaign
+        service = run_service_chaos_campaign()
+        print(format_chaos_reports(service)
+              .replace("engine chaos campaign",
+                       "service chaos campaign"))
+        ok = ok and all(r.ok for r in service)
     return 0 if ok else 1
 
 
 def _cmd_list(_args) -> int:
     for w in all_workloads():
         print(f"{w.name:<10s} {w.category:<8s} {w.stands_for}")
+    return 0
+
+
+# ----- experiment service ---------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.breaker import BreakerConfig
+    from repro.service.quota import QuotaConfig
+    from repro.service.server import ServiceConfig, serve_forever
+    try:
+        config = ServiceConfig(
+            cache_dir=args.cache_dir, host=args.host, port=args.port,
+            jobs=args.jobs, workers=args.workers,
+            queue_depth=args.queue_depth,
+            quota=QuotaConfig(rate=args.quota_rate,
+                              burst=args.quota_burst,
+                              max_concurrent=args.quota_concurrent),
+            breaker=BreakerConfig(),
+            drain_grace=args.drain_grace,
+            bench_json=args.bench_json)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    return serve_forever(config)
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+    return ServiceClient(host=args.host, port=args.port,
+                         cache_dir=args.cache_dir)
+
+
+def _submit_spec(args):
+    from repro.service.spec import ServiceJobSpec
+    targets = [bool(args.file), bool(args.workload), args.figures]
+    if sum(targets) != 1:
+        raise ReproError("submit needs exactly one of: a MiniC FILE, "
+                         "--workload NAME, or --figures")
+    kind = "figures" if args.figures \
+        else ("bench" if args.workload else "source")
+    models = tuple(m.strip() for m in args.models.split(",")) \
+        if args.models else ("superblock", "cmov", "fullpred")
+    return ServiceJobSpec(
+        kind=kind,
+        source=_read_source(args.file) if kind == "source" else None,
+        workload=args.workload if kind == "bench" else None,
+        models=models, width=args.width, branches=args.branches,
+        real_caches=args.real_caches, scale=args.scale,
+        max_steps=args.max_steps, deadline=args.deadline)
+
+
+def _emit_result(result_json: str, args) -> None:
+    """Write the canonical result bytes verbatim (plus one newline)."""
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result_json + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(result_json)
+
+
+def _cmd_submit(args) -> int:
+    client = _service_client(args)
+    response = client.submit(_submit_spec(args), tenant=args.tenant)
+    job = response["job"]
+    if response.get("deduped"):
+        print(f"coalesced with in-flight job {job['job_id']} "
+              f"(single-flight dedup)", file=sys.stderr)
+    print(f"job {job['job_id']} {job['state']} "
+          f"(run {job['run_id']})", file=sys.stderr)
+    if not args.wait:
+        print(job["job_id"])
+        return 0
+    _emit_result(client.result(job["job_id"], timeout=args.timeout),
+                 args)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json as _json
+    job = _service_client(args).status(args.job_id)
+    if args.json:
+        print(_json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    line = f"job {job['job_id']}: {job['state']}"
+    if job.get("error"):
+        line += (f" ({job['error']['type']}: "
+                 f"{job['error']['message']})")
+    print(line + f" [tenant {job['tenant']}, mode {job['mode']}, "
+                 f"observers {job['observers']}]")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    client = _service_client(args)
+    final = None
+    for event in client.watch(args.job_id):
+        if event.get("event") == "journal":
+            record = event["record"]
+            label = record.get("task") or record.get("run_id", "")
+            print(f"{record['type']:<13s} {label}")
+        elif event.get("event") == "end":
+            final = event["job"]
+    if final is None:
+        raise ReproError("watch stream ended without a final state")
+    print(f"job {final['job_id']}: {final['state']}", file=sys.stderr)
+    if final["state"] == "failed":
+        error = final.get("error") or {}
+        print(f"error[{error.get('type', 'ReproError')}]: "
+              f"{error.get('message', '')}", file=sys.stderr)
+        return int(error.get("exit_code", ReproError.exit_code))
     return 0
 
 
@@ -780,6 +913,102 @@ def build_parser() -> argparse.ArgumentParser:
                     help="workload input scale for seeded entries "
                          "(default 0.1: replay must stay fast)")
     fp.set_defaults(func=_cmd_fuzz_seed)
+
+    def _add_service_conn_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--cache-dir", default=_default_cache_dir(),
+                        metavar="DIR",
+                        help="service cache dir; its "
+                             "service/service.json names the endpoint "
+                             "(default $REPRO_CACHE_DIR or "
+                             ".repro-cache)")
+        sp.add_argument("--host", default=None,
+                        help="server host (overrides discovery)")
+        sp.add_argument("--port", type=int, default=None,
+                        help="server port (overrides discovery)")
+
+    p = sub.add_parser("serve",
+                       help="run the multi-tenant experiment service")
+    p.add_argument("--cache-dir", default=_default_cache_dir(),
+                   metavar="DIR",
+                   help="shared artifact store + service state "
+                        "(default $REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0: OS-assigned, recorded "
+                        "in <cache-dir>/service/service.json)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="process-pool width per job execution "
+                        "(default 1)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent job executions (default 2)")
+    p.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                   help="admission queue bound; submissions past it "
+                        "are shed with exit 19 (default 16)")
+    p.add_argument("--quota-rate", type=float, default=2.0,
+                   metavar="R", help="per-tenant submissions/second "
+                                     "refill (default 2)")
+    p.add_argument("--quota-burst", type=int, default=8, metavar="N",
+                   help="per-tenant submission burst (default 8)")
+    p.add_argument("--quota-concurrent", type=int, default=4,
+                   metavar="N", help="per-tenant concurrent jobs "
+                                     "(default 4)")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="SIGTERM drain grace before handing unfinished "
+                        "jobs to the next instance (default 30)")
+    p.add_argument("--bench-json", metavar="PATH",
+                   help="merge + write service pipeline metrics here "
+                        "on drain")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a job to a running service")
+    p.add_argument("file", nargs="?", default=None, metavar="FILE",
+                   help="MiniC source file ('-' for stdin)")
+    p.add_argument("--workload", default=None, metavar="NAME",
+                   help="submit a registered workload instead")
+    p.add_argument("--figures", action="store_true",
+                   help="submit the whole figure suite")
+    _add_machine_args(p)
+    p.add_argument("--models", default=None, metavar="A,B",
+                   help="comma-separated subset of "
+                        "superblock,cmov,fullpred (default all)")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="workload scale factor (default 0.5)")
+    p.add_argument("--max-steps", type=int, default=20_000_000,
+                   help="emulation step budget (default 20M)")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock deadline from admission; expiry "
+                        "fails the job with exit 21")
+    p.add_argument("--tenant", default="default",
+                   help="tenant the job is charged to")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes and print its "
+                        "canonical result JSON")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="stop waiting after this long (job keeps "
+                        "running)")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="with --wait: write the result JSON here "
+                        "verbatim")
+    _add_service_conn_args(p)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status", help="show one service job's record")
+    p.add_argument("job_id", metavar="JOB_ID")
+    p.add_argument("--json", action="store_true",
+                   help="print the full record as JSON")
+    _add_service_conn_args(p)
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("watch",
+                       help="stream a service job's journal progress")
+    p.add_argument("job_id", metavar="JOB_ID")
+    _add_service_conn_args(p)
+    p.set_defaults(func=_cmd_watch)
 
     p = sub.add_parser("list", help="list registered workloads")
     p.set_defaults(func=_cmd_list)

@@ -77,6 +77,19 @@ class PipelineMetrics:
     fuzz_unique_findings: int = 0
     #: campaign wall time (generate + execute + triage + reduce)
     fuzz_seconds: float = 0.0
+    #: experiment-service submissions accepted into the admission queue
+    jobs_admitted: int = 0
+    #: submissions rejected by load shedding (queue full / draining)
+    jobs_shed: int = 0
+    #: submissions coalesced onto an identical in-flight/completed job
+    #: by single-flight dedup (they consumed no compute)
+    jobs_deduped: int = 0
+    #: worker-pool circuit breaker transitions to the open state
+    breaker_trips: int = 0
+    #: service jobs that reached a terminal state (done or failed)
+    service_jobs_done: int = 0
+    #: total service job execution wall time (queue wait excluded)
+    service_seconds: float = 0.0
     #: optional per-stage cProfile collector (see
     #: :mod:`repro.engine.profiling`); attached by the CLI's
     #: ``--profile`` flag, never serialized
@@ -127,6 +140,10 @@ class PipelineMetrics:
         self.fuzz_unique_findings += unique_findings
         self.fuzz_seconds += seconds
 
+    def record_service_job(self, seconds: float) -> None:
+        self.service_jobs_done += 1
+        self.service_seconds += seconds
+
     # ----- aggregation --------------------------------------------------
 
     @property
@@ -159,6 +176,13 @@ class PipelineMetrics:
             return 1.0
         return self.fuzz_unique_findings / self.fuzz_findings
 
+    @property
+    def service_jobs_per_second(self) -> float:
+        """Service throughput over execution wall time."""
+        if self.service_seconds <= 0:
+            return 0.0
+        return self.service_jobs_done / self.service_seconds
+
     def merge_dict(self, data: dict) -> None:
         """Fold a worker's :meth:`to_dict` counters into this object."""
         for name, stage in data.get("stages", {}).items():
@@ -182,6 +206,12 @@ class PipelineMetrics:
         self.fuzz_findings += data.get("fuzz_findings", 0)
         self.fuzz_unique_findings += data.get("fuzz_unique_findings", 0)
         self.fuzz_seconds += data.get("fuzz_seconds", 0.0)
+        self.jobs_admitted += data.get("jobs_admitted", 0)
+        self.jobs_shed += data.get("jobs_shed", 0)
+        self.jobs_deduped += data.get("jobs_deduped", 0)
+        self.breaker_trips += data.get("breaker_trips", 0)
+        self.service_jobs_done += data.get("service_jobs_done", 0)
+        self.service_seconds += data.get("service_seconds", 0.0)
 
     # ----- output -------------------------------------------------------
 
@@ -212,6 +242,14 @@ class PipelineMetrics:
             "fuzz_seconds": round(self.fuzz_seconds, 6),
             "fuzz_cases_per_second": round(self.fuzz_cases_per_second, 3),
             "fuzz_dedupe_ratio": round(self.fuzz_dedupe_ratio, 4),
+            "jobs_admitted": self.jobs_admitted,
+            "jobs_shed": self.jobs_shed,
+            "jobs_deduped": self.jobs_deduped,
+            "breaker_trips": self.breaker_trips,
+            "service_jobs_done": self.service_jobs_done,
+            "service_seconds": round(self.service_seconds, 6),
+            "service_jobs_per_second": round(
+                self.service_jobs_per_second, 3),
         }
 
     def write_json(self, path: str) -> None:
@@ -280,6 +318,14 @@ class PipelineMetrics:
                 f"{self.fuzz_findings} findings "
                 f"({self.fuzz_unique_findings} unique, dedupe ratio "
                 f"{self.fuzz_dedupe_ratio:.2f})")
+        if self.jobs_admitted or self.jobs_shed or self.jobs_deduped:
+            lines.append(
+                f"  service   {self.jobs_admitted} admitted, "
+                f"{self.jobs_shed} shed, {self.jobs_deduped} deduped, "
+                f"{self.breaker_trips} breaker trips, "
+                f"{self.service_jobs_done} done in "
+                f"{self.service_seconds:.2f}s "
+                f"({self.service_jobs_per_second:.2f}/s)")
         return "\n".join(lines)
 
 

@@ -20,6 +20,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.robustness.errors import (ArtifactLockTimeout, EmulationTimeout,
+                                     QuotaExceededError,
+                                     ServiceOverloadedError,
                                      TraceIntegrityError)
 
 #: exception classes whose failures are worth retrying.  Order matters
@@ -33,6 +35,8 @@ TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
     TraceIntegrityError,
     EmulationTimeout,
     ArtifactLockTimeout,
+    ServiceOverloadedError,
+    QuotaExceededError,
     TimeoutError,
     ConnectionError,
     OSError,

@@ -51,6 +51,7 @@ from typing import Any, Callable
 
 from repro.engine.metrics import PipelineMetrics
 from repro.engine.recovery.retry import RetryPolicy, is_transient
+from repro.robustness.errors import classify_exception
 
 logger = logging.getLogger("repro.engine.scheduler")
 
@@ -206,7 +207,12 @@ def _execute_serial(order: list[Job], by_id: dict[str, Job],
             attempt += 1
             try:
                 result = job.fn(*job.args)
-            except Exception as exc:
+            except Exception as raw:
+                # Classify, don't swallow: everything downstream (the
+                # failure record, the journal, the service's error
+                # mapping) sees a typed taxonomy member, never a stray
+                # KeyError out of a pass.
+                exc = classify_exception(raw)
                 if retry.should_retry(exc, attempt):
                     backoff = retry.backoff(job.job_id, attempt)
                     metrics.record_retry(backoff)
@@ -325,7 +331,8 @@ def _execute_pool(order: list[Job], by_id: dict[str, Job],
                 except BrokenProcessPool:
                     pool_broken = True
                     requeue.append(job)
-                except Exception as exc:
+                except Exception as raw:
+                    exc = classify_exception(raw)
                     attempt = attempts.get(job.job_id, 1)
                     if retry.should_retry(exc, attempt):
                         backoff = retry.backoff(job.job_id, attempt)

@@ -40,7 +40,7 @@ from repro.machine.descriptor import (CacheConfig, MachineDescription,
                                       fig8_machine, fig9_machine,
                                       fig10_machine, scalar_machine)
 from repro.robustness.differential import assert_equivalent, values_differ
-from repro.robustness.errors import ReproError
+from repro.robustness.errors import ReproError, classify_exception
 from repro.robustness.report import WorkloadFailure, format_failures
 from repro.sim.pipeline import SimulationStats
 from repro.toolchain import Model, ToolchainOptions
@@ -377,11 +377,18 @@ class ExperimentSuite:
             try:
                 summary: RunSummary = self.ctx.run_summary(
                     w, model, machine)
-            except Exception as exc:
+            except Exception as raw:
+                # Journal and re-raise the *classified* failure, so
+                # both the journal record and whoever catches it (the
+                # CLI's exit-code mapping, the experiment service) see
+                # a typed taxonomy member.
+                exc = classify_exception(raw)
                 self.journal.task_fail(
                     task, type(exc).__name__, str(exc),
                     transient=is_transient(exc))
-                raise
+                if exc is raw:
+                    raise
+                raise exc from raw
             self._journaled.add(task)
             self._journal_finish(task, (("stats", skey),))
         else:

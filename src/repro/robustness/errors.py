@@ -126,3 +126,96 @@ class FuzzFindingsError(ReproError):
         super().__init__(message)
         self.count = count
         self.unique = unique
+
+
+class ServiceOverloadedError(ReproError):
+    """The experiment service shed this submission under load.
+
+    The admission queue was full (or the server is draining), so the
+    request was rejected *before* consuming memory or compute —
+    explicit load-shedding instead of unbounded queue growth.
+    ``retry_after`` (seconds) is the server's hint for when capacity
+    should free up; transient by classification.
+    """
+
+    exit_code = 19
+
+    def __init__(self, message: str, *, retry_after: float = 1.0,
+                 queue_depth: int | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+
+
+class QuotaExceededError(ReproError):
+    """A tenant exhausted its token-bucket rate or concurrency quota.
+
+    ``retry_after`` is the time until the bucket refills one token (0
+    when the *concurrency* limit, not the rate, was hit — retry when
+    one of the tenant's jobs finishes).  Transient by classification.
+    """
+
+    exit_code = 20
+
+    def __init__(self, message: str, *, tenant: str | None = None,
+                 retry_after: float = 0.0, kind: str = "rate"):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = retry_after
+        self.kind = kind
+
+
+class DeadlineExceededError(ReproError):
+    """A job's wall-clock deadline expired before it completed.
+
+    Raised either before execution starts (the job aged out in the
+    admission queue) or from the emulation watchdog the remaining
+    budget was propagated into.  Permanent: retrying the same deadline
+    would expire again.
+    """
+
+    exit_code = 21
+
+    def __init__(self, message: str, *, deadline: float = 0.0,
+                 elapsed: float = 0.0):
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+# ----- classification -------------------------------------------------------
+
+def _classified_bases() -> tuple[type[BaseException], ...]:
+    """Exception bases the pipeline recognizes as already classified.
+
+    Imported lazily: the language frontend does not depend on the
+    robustness package, and keeping it that way at module-import time
+    avoids any chance of a cycle.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+    from repro.ir.function import IRError
+    from repro.lang.lexer import LexError
+    from repro.lang.parser import ParseError
+    from repro.lang.sema import SemaError
+    return (ReproError, EmulationFault, IRError, LexError, ParseError,
+            SemaError, BrokenProcessPool, OSError, TimeoutError,
+            ConnectionError, KeyboardInterrupt, SystemExit)
+
+
+def classify_exception(exc: BaseException) -> BaseException:
+    """Normalize ``exc`` into the typed taxonomy.
+
+    Exceptions the pipeline already maps to exit codes (the taxonomy,
+    emulation faults, frontend errors, OS-level transients) pass
+    through unchanged; anything else — a stray ``KeyError`` deep in a
+    pass, an ``AssertionError`` in a worker — is wrapped in a generic
+    :class:`ReproError` that names the original type, so downstream
+    consumers (the scheduler's failure records, the experiment
+    service's error mapping) never see an unclassified exception.
+    """
+    if isinstance(exc, _classified_bases()):
+        return exc
+    wrapped = ReproError(
+        f"unclassified {type(exc).__name__}: {exc}")
+    wrapped.__cause__ = exc
+    return wrapped

@@ -1,0 +1,26 @@
+"""Multi-tenant experiment service over the execution engine.
+
+The engine underneath (content-addressed store, journaled resumable
+runs, DAG scheduler, typed failures) was only reachable as a one-shot
+CLI; this package wraps it in a long-lived asyncio front end:
+
+* :mod:`repro.service.spec` — canonical job specs and the CAS request
+  digest everything else keys on;
+* :mod:`repro.service.quota` — per-tenant token buckets and
+  concurrent-job limits;
+* :mod:`repro.service.singleflight` — request coalescing: N identical
+  submissions share one execution and one byte-identical result;
+* :mod:`repro.service.breaker` — circuit breaker around the worker
+  pool, degrading to serial execution on crash storms;
+* :mod:`repro.service.executor` — the synchronous bridge onto the
+  existing pipeline (journal + resume, deadline -> watchdog);
+* :mod:`repro.service.server` — the asyncio job server
+  (``python -m repro serve``) with bounded admission, load shedding
+  and graceful SIGTERM drain;
+* :mod:`repro.service.client` — the thin client behind
+  ``repro submit/status/watch``;
+* :mod:`repro.service.chaos` — service-level chaos injections for
+  ``repro selftest --chaos``.
+"""
+
+from repro.service.spec import ServiceJobSpec  # noqa: F401

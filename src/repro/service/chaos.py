@@ -1,0 +1,359 @@
+"""Service chaos campaign: prove the server degrades, never dies.
+
+Extends the engine campaign (:mod:`repro.robustness.chaos`) one layer
+up — the injections attack the *service* (admission, quotas, breaker,
+drain/restart) and demand the same two clean endings: **recover** or a
+**typed-failure**.  Run via ``python -m repro selftest --chaos``.
+
+===========================  ==============================  ==============
+injection                    mechanism                       expected
+===========================  ==============================  ==============
+``service-queue-             submissions past the bounded    typed-failure
+saturation``                 queue are shed
+``service-quota-             tenant exceeds the concurrency  typed-failure
+exhaustion``                 cap and the token bucket
+``service-breaker-trip``     crash-evidence storm trips the  recover
+                             breaker; serial mode; half-open
+                             trial closes it again
+``service-kill-resume``      SIGKILL mid-job; re-execution   recover
+                             resumes the journal to
+                             byte-identical output with
+                             zero recompute
+``service-dedup-storm``      N concurrent identical          recover
+                             submissions -> one execution,
+                             identical bytes for all
+===========================  ==============================  ==============
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+import threading
+import time
+
+from repro.engine.recovery.journal import journal_path, replay_journal
+from repro.robustness.chaos import _DEADLINE_SECONDS, ChaosReport
+from repro.robustness.errors import (QuotaExceededError,
+                                     ServiceOverloadedError)
+from repro.service.breaker import CLOSED, OPEN, BreakerConfig
+from repro.service.client import ServiceClient
+from repro.service.executor import (ExecutionOutcome, execute_job,
+                                    result_to_json)
+from repro.service.quota import QuotaConfig, QuotaManager
+from repro.service.server import ServiceConfig, ServiceRunner
+from repro.service.singleflight import run_id_for
+from repro.service.spec import ServiceJobSpec
+
+
+def _report(injection: str, description: str, expected: str,
+            ok: bool, outcome: str, message: str = "") -> ChaosReport:
+    return ChaosReport(injection=injection, description=description,
+                       expected=expected, outcome=outcome, ok=ok,
+                       message=message)
+
+
+class _ManualClock:
+    """Injectable monotonic clock the breaker/quota injections drive."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _spec(i: int = 0) -> ServiceJobSpec:
+    """Distinct digests per ``i`` (max_steps is digest-relevant)."""
+    return ServiceJobSpec(kind="bench", workload="wc", scale=0.25,
+                          max_steps=1_000_000 + i)
+
+
+def _stub_executor(delay: float = 0.0, sick=None, calls=None):
+    """A fake ``execute_job``: no pipeline, deterministic output.
+
+    ``sick`` (a mutable ``{"value": bool}``) makes pooled executions
+    report crash evidence while set — the breaker injections' storm.
+    """
+    def run(spec, cache_dir, run_id, jobs=1, deadline_remaining=None):
+        if calls is not None:
+            calls.append(run_id)
+        if delay:
+            time.sleep(delay)
+        crash = bool(sick and sick["value"] and jobs > 1)
+        return ExecutionOutcome(
+            result_json=result_to_json(
+                {"digest": spec.request_digest()}),
+            counters={}, crash_evidence=crash, resumed_tasks=0,
+            wall_seconds=delay)
+    return run
+
+
+def _open_quota() -> QuotaConfig:
+    """Quotas wide enough to never interfere with an injection."""
+    return QuotaConfig(rate=10_000.0, burst=10_000,
+                       max_concurrent=10_000)
+
+
+# ----- injections -----------------------------------------------------------
+
+def _inject_queue_saturation() -> ChaosReport:
+    description = "submissions past the bounded admission queue must " \
+                  "be shed with the typed overload error and a " \
+                  "Retry-After hint"
+    with tempfile.TemporaryDirectory(prefix="repro-svc-chaos-") as tmp:
+        config = ServiceConfig(cache_dir=tmp, queue_depth=2, workers=1,
+                               quota=_open_quota(), drain_grace=30.0)
+        shed_errors: list[ServiceOverloadedError] = []
+        admitted = 0
+        with ServiceRunner(config,
+                           executor=_stub_executor(delay=0.5)) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            for i in range(8):
+                try:
+                    client.submit(_spec(i))
+                    admitted += 1
+                except ServiceOverloadedError as exc:
+                    shed_errors.append(exc)
+            stats = client.stats()
+        shed = stats["metrics"]["jobs_shed"]
+        hints_ok = all(getattr(e, "retry_after", 0) > 0
+                       for e in shed_errors)
+        ok = bool(shed_errors) and shed == len(shed_errors) \
+            and hints_ok and ServiceOverloadedError.exit_code == 19
+    return _report(
+        "service-queue-saturation", description, "typed-failure", ok,
+        "typed-failure" if ok else "NOT shed cleanly",
+        f"{admitted} admitted, {len(shed_errors)} shed typed "
+        f"(ServiceOverloadedError, exit 19), retry_after hints "
+        f"{'present' if hints_ok else 'MISSING'}")
+
+
+def _inject_quota_exhaustion() -> ChaosReport:
+    description = "a tenant exceeding its concurrency cap or token " \
+                  "bucket must be rejected with the typed quota error"
+    clock = _ManualClock()
+    with tempfile.TemporaryDirectory(prefix="repro-svc-chaos-") as tmp:
+        config = ServiceConfig(
+            cache_dir=tmp, queue_depth=100, workers=1,
+            quota=QuotaConfig(rate=0.5, burst=100, max_concurrent=2),
+            drain_grace=30.0)
+        concurrency_hits: list[QuotaExceededError] = []
+        with ServiceRunner(config, executor=_stub_executor(delay=0.5),
+                           clock=clock) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            for i in range(4):
+                try:
+                    client.submit(_spec(i), tenant="greedy")
+                except QuotaExceededError as exc:
+                    concurrency_hits.append(exc)
+        concurrency_ok = len(concurrency_hits) == 2 and all(
+            e.kind == "concurrency" for e in concurrency_hits)
+        # Token-bucket exhaustion, driven deterministically.
+        quotas = QuotaManager(
+            config=QuotaConfig(rate=0.5, burst=2, max_concurrent=100),
+            clock=clock)
+        quotas.admit("bursty")
+        quotas.admit("bursty")
+        rate_hit = None
+        try:
+            quotas.admit("bursty")
+        except QuotaExceededError as exc:
+            rate_hit = exc
+        refilled = False
+        if rate_hit is not None:
+            clock.advance(rate_hit.retry_after + 0.01)
+            quotas.admit("bursty")  # refilled bucket must admit again
+            refilled = True
+        rate_ok = rate_hit is not None and rate_hit.kind == "rate" \
+            and rate_hit.retry_after > 0 and refilled
+        ok = concurrency_ok and rate_ok \
+            and QuotaExceededError.exit_code == 20
+    return _report(
+        "service-quota-exhaustion", description, "typed-failure", ok,
+        "typed-failure" if ok else "NOT rejected cleanly",
+        f"concurrency cap: {len(concurrency_hits)}/2 typed rejections; "
+        f"token bucket: {'rejected then refilled after retry_after' if rate_ok else 'FAILED'}"
+        f" (QuotaExceededError, exit 20)")
+
+
+def _inject_breaker_trip() -> ChaosReport:
+    description = "a crash-evidence storm must trip the breaker to " \
+                  "serial execution, then recover via a clean " \
+                  "half-open trial"
+    clock = _ManualClock()
+    sick = {"value": True}
+    with tempfile.TemporaryDirectory(prefix="repro-svc-chaos-") as tmp:
+        config = ServiceConfig(
+            cache_dir=tmp, jobs=2, workers=1, queue_depth=100,
+            quota=_open_quota(),
+            breaker=BreakerConfig(threshold=3, window=60.0,
+                                  cooldown=5.0),
+            drain_grace=30.0)
+        with ServiceRunner(config, executor=_stub_executor(sick=sick),
+                           clock=clock) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+
+            def run_one(i: int) -> dict:
+                job = client.submit(_spec(i))["job"]
+                return client.wait(job["job_id"], timeout=30.0)
+
+            storm = [run_one(i) for i in range(3)]
+            after_trip = client.stats()["service"]
+            serial_job = run_one(10)      # open -> serial mode
+            sick["value"] = False         # the pool "heals"
+            clock.advance(config.breaker.cooldown + 0.1)
+            trial_job = run_one(11)       # half-open pooled trial
+            after_trial = client.stats()["service"]
+            closed_job = run_one(12)      # breaker closed again
+        ok = (all(j["mode"] == "pool" for j in storm)
+              and after_trip["breaker"] == OPEN
+              and after_trip["breaker_trips"] == 1
+              and serial_job["mode"] == "serial"
+              and trial_job["mode"] == "pool"
+              and after_trial["breaker"] == CLOSED
+              and closed_job["mode"] == "pool")
+    return _report(
+        "service-breaker-trip", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"3 pooled crash-evidence jobs tripped the breaker "
+        f"(state {after_trip['breaker']}, trips "
+        f"{after_trip['breaker_trips']}), degraded job ran "
+        f"{serial_job['mode']}, half-open trial ran "
+        f"{trial_job['mode']} and {'closed' if ok else 'did NOT close'} "
+        f"the breaker")
+
+
+def _kill_child(cache_dir: str, run_id: str, spec_dict: dict) -> None:
+    spec = ServiceJobSpec.from_dict(spec_dict)
+    execute_job(spec, cache_dir, run_id, jobs=1)
+
+
+def _inject_kill_resume() -> ChaosReport:
+    description = "a job SIGKILLed mid-execution must resume from its " \
+                  "journal to byte-identical output with zero " \
+                  "recompute of completed tasks"
+    spec = _spec(0)
+    run_id = run_id_for(spec.request_digest())
+    with tempfile.TemporaryDirectory(prefix="repro-svc-chaos-") as tmp:
+        cache_dir = os.path.join(tmp, "killed-cache")
+        ref_dir = os.path.join(tmp, "reference-cache")
+        child = multiprocessing.Process(
+            target=_kill_child,
+            args=(cache_dir, run_id, spec.to_dict()), daemon=True)
+        child.start()
+        jpath = journal_path(os.path.join(cache_dir, "runs"), run_id)
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while time.monotonic() < deadline and child.is_alive():
+            try:
+                if jpath.read_bytes().count(b'"type":"task-finish"'):
+                    break
+            except OSError:
+                pass
+            time.sleep(0.005)
+        killed_midway = child.is_alive()
+        if killed_midway:
+            os.kill(child.pid, signal.SIGKILL)
+        child.join(timeout=_DEADLINE_SECONDS)
+
+        completed = len(replay_journal(jpath).completed)
+        outcome = execute_job(spec, cache_dir, run_id, jobs=1)
+        reference = execute_job(spec, ref_dir, "REF", jobs=1)
+        # 3 models + the 1-issue baseline = 4 simulate tasks total.
+        recomputed = outcome.counters["stages"] \
+            .get("simulate", {}).get("invocations", 0)
+        identical = outcome.result_json == reference.result_json
+        ok = identical and outcome.resumed_tasks == completed \
+            and recomputed == 4 - outcome.resumed_tasks
+    return _report(
+        "service-kill-resume", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"{'killed mid-job' if killed_midway else 'finished early'}, "
+        f"{outcome.resumed_tasks} tasks journal-verified (zero "
+        f"recompute), {recomputed} recomputed, output "
+        f"{'byte-identical' if identical else 'DIVERGED'} vs cold "
+        f"reference")
+
+
+def _inject_dedup_storm() -> ChaosReport:
+    description = "N concurrent identical submissions must coalesce " \
+                  "into exactly one execution with byte-identical " \
+                  "results for every observer"
+    n = 6
+    calls: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-svc-chaos-") as tmp:
+        config = ServiceConfig(cache_dir=tmp, workers=2,
+                               queue_depth=100, quota=_open_quota(),
+                               drain_grace=30.0)
+        executor = _stub_executor(delay=0.3, calls=calls)
+        with ServiceRunner(config, executor=executor) as runner:
+            client = ServiceClient("127.0.0.1", runner.port)
+            barrier = threading.Barrier(n)
+            responses: list[dict] = [None] * n
+
+            def storm(i: int) -> None:
+                barrier.wait()
+                responses[i] = client.submit(_spec(0), tenant=f"t{i}")
+
+            threads = [threading.Thread(target=storm, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=_DEADLINE_SECONDS)
+            job_ids = {r["job"]["job_id"] for r in responses if r}
+            final = client.wait(job_ids.pop(), timeout=30.0) \
+                if len(job_ids) == 1 else None
+            stats = client.stats()["metrics"]
+        deduped = sum(1 for r in responses if r and r["deduped"])
+        results = {json.dumps(r["job"]["spec"], sort_keys=True)
+                   for r in responses if r}
+        ok = (all(responses) and not job_ids and final is not None
+              and len(calls) == 1 and deduped == n - 1
+              and stats["jobs_admitted"] == 1
+              and stats["jobs_deduped"] == n - 1
+              and len(results) == 1
+              and final["state"] == "done"
+              and final["observers"] == n)
+    return _report(
+        "service-dedup-storm", description, "recover", ok,
+        "recovered" if ok else "NOT coalesced",
+        f"{n} concurrent submissions -> {len(calls)} execution(s), "
+        f"{deduped} deduped, {stats['jobs_admitted']} admitted, "
+        f"observers={final['observers'] if final else '?'}; all "
+        f"observers share one record and its result bytes")
+
+
+# ----- the campaign ---------------------------------------------------------
+
+def run_service_chaos_campaign() -> list[ChaosReport]:
+    """Run every service injection; parent never crashes."""
+    injections = [
+        ("service-queue-saturation", _inject_queue_saturation),
+        ("service-quota-exhaustion", _inject_quota_exhaustion),
+        ("service-breaker-trip", _inject_breaker_trip),
+        ("service-kill-resume", _inject_kill_resume),
+        ("service-dedup-storm", _inject_dedup_storm),
+    ]
+    reports: list[ChaosReport] = []
+    for name, injector in injections:
+        start = time.monotonic()
+        try:
+            report = injector()
+        except Exception as exc:  # noqa: BLE001 — campaign must finish
+            report = _report(name, "injection harness", "recover",
+                             False, f"unhandled {type(exc).__name__}",
+                             str(exc)[:300])
+        elapsed = time.monotonic() - start
+        if elapsed > _DEADLINE_SECONDS:
+            report.ok = False
+            report.message += f" [exceeded {_DEADLINE_SECONDS:g}s " \
+                              f"deadline]"
+        reports.append(report)
+    return reports

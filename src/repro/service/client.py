@@ -1,0 +1,160 @@
+"""Synchronous client for the experiment service.
+
+One plain TCP connection per request (the protocol is stateless except
+for ``watch``, which streams on its own connection).  Server-side
+errors come back typed and are re-raised here as the *same* taxonomy
+class — a shed submission raises :class:`ServiceOverloadedError` with
+its ``retry_after`` hint on the client exactly as it did on the
+server, so ``repro submit`` exits with the documented code.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Iterator
+
+from repro.robustness import errors as _errors
+from repro.robustness.errors import ReproError
+from repro.service.server import read_endpoint
+from repro.service.spec import ServiceJobSpec
+
+
+def _raise_remote(payload: dict) -> None:
+    """Re-raise a ``{"ok": false, ...}`` response as its taxonomy class."""
+    name = str(payload.get("error") or "ReproError")
+    message = str(payload.get("message") or "service error")
+    cls = getattr(_errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    try:
+        exc = cls(message)
+    except TypeError:
+        exc = ReproError(message)
+    if payload.get("retry_after") is not None:
+        exc.retry_after = float(payload["retry_after"])
+    for attr in ("kind", "tenant"):
+        if payload.get(attr) is not None:
+            setattr(exc, attr, payload[attr])
+    raise exc
+
+
+class ServiceClient:
+    """Talks the JSON-lines protocol to one server endpoint."""
+
+    def __init__(self, host: str | None = None, port: int | None = None,
+                 cache_dir: str | None = None, timeout: float = 30.0):
+        if host is None or port is None:
+            if cache_dir is None:
+                raise ReproError("service endpoint unknown: pass "
+                                 "host/port or a cache dir holding "
+                                 "service/service.json")
+            host, port = read_endpoint(cache_dir)
+        self.host, self.port, self.timeout = host, int(port), timeout
+
+    # ----- transport ----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach experiment service at {self.host}:"
+                f"{self.port} ({exc}) — is `repro serve` "
+                f"running?") from exc
+
+    def _request(self, payload: dict) -> dict:
+        with self._connect() as sock:
+            sock.sendall(json.dumps(payload).encode() + b"\n")
+            response = self._read_line(sock.makefile("rb"))
+        if response is None:
+            raise ReproError("experiment service closed the connection "
+                             "without answering")
+        if not response.get("ok"):
+            _raise_remote(response)
+        return response
+
+    @staticmethod
+    def _read_line(stream) -> dict | None:
+        line = stream.readline()
+        if not line:
+            return None
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise ReproError(f"malformed service response: {exc}") \
+                from None
+        return data if isinstance(data, dict) else None
+
+    # ----- operations ---------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})
+
+    def drain(self) -> dict:
+        return self._request({"op": "drain"})
+
+    def submit(self, spec: ServiceJobSpec | dict,
+               tenant: str = "default") -> dict:
+        """Submit one job; returns the response with ``job`` and
+        ``deduped``.  Raises the typed rejection on shed/quota."""
+        spec_dict = spec.to_dict() if isinstance(spec, ServiceJobSpec) \
+            else spec
+        return self._request({"op": "submit", "tenant": tenant,
+                              "spec": spec_dict})
+
+    def status(self, job_id: str) -> dict:
+        """The job record dict for ``job_id``."""
+        return self._request({"op": "status", "job_id": job_id})["job"]
+
+    def watch(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's journal events; ends after the ``end`` event."""
+        with self._connect() as sock:
+            sock.settimeout(None)  # journal gaps outlast the default
+            sock.sendall(json.dumps({"op": "watch", "job_id": job_id})
+                         .encode() + b"\n")
+            stream = sock.makefile("rb")
+            while True:
+                event = self._read_line(stream)
+                if event is None:
+                    return
+                if not event.get("ok"):
+                    _raise_remote(event)
+                yield event
+                if event.get("event") == "end":
+                    return
+
+    def wait(self, job_id: str, timeout: float | None = None,
+             poll: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns the final record.
+
+        Raises :class:`ReproError` on timeout (the job keeps running —
+        this only stops waiting for it).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ReproError(
+                    f"timed out after {timeout:g}s waiting for job "
+                    f"{job_id} (still {job['state']})")
+            time.sleep(poll)
+
+    def result(self, job_id: str, timeout: float | None = None) -> str:
+        """Wait for the job and return its canonical result JSON.
+
+        A failed job re-raises its recorded typed error.
+        """
+        job = self.wait(job_id, timeout=timeout)
+        if job["state"] == "failed":
+            error = job.get("error") or {}
+            _raise_remote({"error": error.get("type"),
+                           "message": error.get("message")})
+        return job["result_json"]

@@ -1,0 +1,128 @@
+"""Per-tenant admission quotas: token-bucket rate + concurrency caps.
+
+Two independent limits per tenant:
+
+* a **token bucket** (``rate`` tokens/second refill, ``burst``
+  capacity) charged once per *new execution* admitted — single-flight
+  observers attach to an existing execution for free, since they cost
+  the service nothing;
+* a **concurrent-job cap**: queued + running executions charged to the
+  tenant.  Released when the job reaches a terminal state.
+
+Both failures raise the typed :class:`QuotaExceededError` with a
+``retry_after`` hint (time until the bucket refills one token; 0 for
+the concurrency cap — retry when one of your jobs finishes).
+
+The clock is injectable so tests control refill deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.robustness.errors import QuotaExceededError
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Per-tenant limits; one config applies to every tenant."""
+
+    rate: float = 2.0          # token refill per second
+    burst: int = 8             # bucket capacity (max stored tokens)
+    max_concurrent: int = 4    # queued + running executions per tenant
+
+    def __post_init__(self):
+        if self.rate <= 0 or self.burst < 1 or self.max_concurrent < 1:
+            raise ValueError(f"invalid quota config {self!r}")
+
+
+class TokenBucket:
+    """Classic token bucket with a monotonic, injectable clock."""
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def take(self) -> bool:
+        """Consume one token; False when the bucket is empty."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until one full token is available."""
+        self._refill()
+        deficit = max(0.0, 1.0 - self._tokens)
+        return deficit / self.rate
+
+
+@dataclass
+class QuotaManager:
+    """Admission-side quota enforcement for all tenants."""
+
+    config: QuotaConfig = field(default_factory=QuotaConfig)
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self):
+        self._buckets: dict[str, TokenBucket] = {}
+        self._active: dict[str, int] = {}
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.config.rate, self.config.burst, self.clock)
+        return bucket
+
+    def active_jobs(self, tenant: str) -> int:
+        return self._active.get(tenant, 0)
+
+    def admit(self, tenant: str) -> None:
+        """Charge one new execution to ``tenant`` or raise typed.
+
+        Checks the concurrency cap first (cheap, and a rate token must
+        not be burned on a submission that the cap rejects anyway),
+        then the token bucket.
+        """
+        if self.active_jobs(tenant) >= self.config.max_concurrent:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has {self.active_jobs(tenant)} "
+                f"jobs in flight (limit "
+                f"{self.config.max_concurrent}) — retry when one "
+                f"finishes", tenant=tenant, retry_after=0.0,
+                kind="concurrency")
+        bucket = self._bucket(tenant)
+        if not bucket.take():
+            after = bucket.retry_after()
+            raise QuotaExceededError(
+                f"tenant {tenant!r} exceeded its submission rate "
+                f"({self.config.rate:g}/s, burst {self.config.burst}) "
+                f"— retry in {after:.2f}s", tenant=tenant,
+                retry_after=after, kind="rate")
+        self._active[tenant] = self.active_jobs(tenant) + 1
+
+    def restore(self, tenant: str) -> None:
+        """Re-charge a recovered job's concurrency slot without
+        consuming a rate token — it was already paid for when the
+        previous server admitted it."""
+        self._active[tenant] = self.active_jobs(tenant) + 1
+
+    def release(self, tenant: str) -> None:
+        """One of ``tenant``'s executions reached a terminal state."""
+        count = self.active_jobs(tenant)
+        if count > 0:
+            self._active[tenant] = count - 1

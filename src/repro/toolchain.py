@@ -43,7 +43,7 @@ from repro.regions.promotion import promote_all
 from repro.regions.superblock import SuperblockParams, form_superblocks
 from repro.regions.unroll import UnrollParams, unroll_function_loops
 from repro.robustness.errors import (CompileError, PassVerificationError,
-                                     TraceIntegrityError)
+                                     ReproError, TraceIntegrityError)
 from repro.robustness.passgate import Degradation, PassGate
 from repro.robustness.watchdog import EmulationWatchdog
 from repro.schedule.list_scheduler import ScheduleResult, schedule_program
@@ -226,6 +226,10 @@ def compile_for_model(base: Program, model: Model, profile: Profile,
     try:
         schedule = schedule_program(program, machine)
         addresses = assign_addresses(program, machine.instruction_bytes)
+    except ReproError:
+        # Already classified (e.g. a CompileError out of the
+        # scheduler's own invariants) — never double-wrap.
+        raise
     except Exception as exc:
         raise CompileError(
             f"scheduling {model.value} program failed: {exc}",

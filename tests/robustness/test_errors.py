@@ -1,29 +1,60 @@
 """The typed error taxonomy: hierarchy and exit-code contract."""
 
 from repro.emu.memory import EmulationFault
-from repro.robustness.errors import (CompileError, EmulationTimeout,
+from repro.engine.recovery.retry import is_transient
+from repro.robustness.errors import (ArtifactLockTimeout, CompileError,
+                                     DeadlineExceededError,
+                                     EmulationTimeout,
+                                     FuzzFindingsError,
                                      ModelDivergenceError,
-                                     PassVerificationError, ReproError,
+                                     PassVerificationError,
+                                     QuotaExceededError, ReproError,
+                                     ServiceOverloadedError,
                                      TraceIntegrityError)
 
 ALL = (ReproError, CompileError, PassVerificationError, EmulationTimeout,
        TraceIntegrityError, ModelDivergenceError)
 
+#: every (class, exit code) pair the README table documents
+DOCUMENTED = {
+    ReproError: 10, CompileError: 11, PassVerificationError: 12,
+    EmulationTimeout: 13, TraceIntegrityError: 14,
+    ModelDivergenceError: 15, ArtifactLockTimeout: 17,
+    FuzzFindingsError: 18, ServiceOverloadedError: 19,
+    QuotaExceededError: 20, DeadlineExceededError: 21,
+}
+
 
 def test_every_class_is_a_repro_error():
-    for cls in ALL:
+    for cls in DOCUMENTED:
         assert issubclass(cls, ReproError)
 
 
 def test_exit_codes_are_distinct_and_documented():
-    codes = {cls: cls.exit_code for cls in ALL}
-    assert len(set(codes.values())) == len(ALL)
-    assert codes[ReproError] == 10
-    assert codes[CompileError] == 11
-    assert codes[PassVerificationError] == 12
-    assert codes[EmulationTimeout] == 13
-    assert codes[TraceIntegrityError] == 14
-    assert codes[ModelDivergenceError] == 15
+    codes = {cls: cls.exit_code for cls in DOCUMENTED}
+    assert len(set(codes.values())) == len(DOCUMENTED)
+    assert codes == DOCUMENTED
+    assert 16 not in codes.values()  # EmulationFault, mapped in cli
+
+
+def test_transience_split_matches_the_readme_table():
+    transient = {EmulationTimeout, TraceIntegrityError,
+                 ArtifactLockTimeout, ServiceOverloadedError,
+                 QuotaExceededError}
+    for cls in DOCUMENTED:
+        sample = cls("probe")
+        assert is_transient(sample) == (cls in transient), cls
+
+
+def test_service_errors_carry_retry_hints():
+    shed = ServiceOverloadedError("full", retry_after=2.5,
+                                  queue_depth=16)
+    assert (shed.retry_after, shed.queue_depth) == (2.5, 16)
+    quota = QuotaExceededError("slow down", tenant="alice",
+                               retry_after=1.0, kind="rate")
+    assert (quota.tenant, quota.kind) == ("alice", "rate")
+    late = DeadlineExceededError("too late", deadline=10.0, elapsed=12.0)
+    assert (late.deadline, late.elapsed) == (10.0, 12.0)
 
 
 def test_timeout_is_also_an_emulation_fault():

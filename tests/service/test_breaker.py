@@ -1,0 +1,101 @@
+"""Circuit breaker: trip, serial degradation, half-open recovery."""
+
+import pytest
+
+from repro.service.breaker import (CLOSED, HALF_OPEN, OPEN,
+                                   BreakerConfig, CircuitBreaker)
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def breaker():
+    clock = ManualClock()
+    b = CircuitBreaker(config=BreakerConfig(threshold=3, window=60.0,
+                                            cooldown=30.0),
+                       clock=clock)
+    b.manual_clock = clock
+    return b
+
+
+def _storm(breaker, n):
+    for _ in range(n):
+        assert breaker.acquire_mode() == "pool"
+        breaker.record("pool", crash_evidence=True)
+
+
+def test_closed_breaker_hands_out_the_pool(breaker):
+    assert breaker.state == CLOSED
+    assert breaker.acquire_mode() == "pool"
+    breaker.record("pool", crash_evidence=False)
+    assert breaker.state == CLOSED
+
+
+def test_crash_storm_trips_to_serial(breaker):
+    _storm(breaker, 3)
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    assert breaker.acquire_mode() == "serial"
+
+
+def test_evidence_outside_the_window_never_trips(breaker):
+    for _ in range(2):
+        breaker.acquire_mode()
+        breaker.record("pool", crash_evidence=True)
+    breaker.manual_clock.now += 61.0  # both crashes age out
+    breaker.acquire_mode()
+    breaker.record("pool", crash_evidence=True)
+    assert breaker.state == CLOSED
+
+
+def test_serial_outcomes_never_feed_the_breaker(breaker):
+    _storm(breaker, 3)
+    for _ in range(10):
+        assert breaker.acquire_mode() == "serial"
+        breaker.record("serial", crash_evidence=True)
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+
+
+def test_half_open_issues_exactly_one_trial(breaker):
+    _storm(breaker, 3)
+    breaker.manual_clock.now += 30.0
+    assert breaker.acquire_mode() == "pool"   # the trial
+    assert breaker.state == HALF_OPEN
+    assert breaker.acquire_mode() == "serial"  # not a second one
+
+
+def test_clean_trial_closes_the_breaker(breaker):
+    _storm(breaker, 3)
+    breaker.manual_clock.now += 30.0
+    assert breaker.acquire_mode() == "pool"
+    breaker.record("pool", crash_evidence=False)
+    assert breaker.state == CLOSED
+    assert breaker.acquire_mode() == "pool"
+
+
+def test_crashing_trial_reopens_and_restarts_cooldown(breaker):
+    _storm(breaker, 3)
+    breaker.manual_clock.now += 30.0
+    assert breaker.acquire_mode() == "pool"
+    breaker.record("pool", crash_evidence=True)
+    assert breaker.state == OPEN
+    breaker.manual_clock.now += 29.0  # cooldown restarted, not over
+    assert breaker.acquire_mode() == "serial"
+    breaker.manual_clock.now += 1.0
+    assert breaker.acquire_mode() == "pool"
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        BreakerConfig(threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(window=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(cooldown=0)

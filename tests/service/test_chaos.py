@@ -1,0 +1,50 @@
+"""Service chaos campaign: every injection recovers or fails typed."""
+
+import pytest
+
+from repro.robustness.chaos import format_chaos_reports
+from repro.service.chaos import run_service_chaos_campaign
+
+EXPECTED_INJECTIONS = {
+    "service-queue-saturation", "service-quota-exhaustion",
+    "service-breaker-trip", "service-kill-resume",
+    "service-dedup-storm",
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_service_chaos_campaign()
+
+
+def test_campaign_covers_every_injection_kind(reports):
+    assert {r.injection for r in reports} == EXPECTED_INJECTIONS
+
+
+def test_every_injection_recovers_or_fails_typed(reports):
+    bad = [r for r in reports if not r.ok]
+    assert not bad, format_chaos_reports(bad)
+
+
+def test_kill_resume_is_byte_identical_with_zero_recompute(reports):
+    resume = next(r for r in reports
+                  if r.injection == "service-kill-resume")
+    assert resume.ok
+    assert "byte-identical" in resume.message
+    assert "zero recompute" in resume.message
+
+
+def test_dedup_storm_coalesced_to_one_execution(reports):
+    storm = next(r for r in reports
+                 if r.injection == "service-dedup-storm")
+    assert storm.ok
+    assert "1 execution(s)" in storm.message
+
+
+def test_shedding_and_quota_fail_typed(reports):
+    by_name = {r.injection: r for r in reports}
+    assert by_name["service-queue-saturation"].expected \
+        == "typed-failure"
+    assert by_name["service-quota-exhaustion"].expected \
+        == "typed-failure"
+    assert by_name["service-breaker-trip"].expected == "recover"

@@ -1,0 +1,70 @@
+"""Real-pipeline service execution: determinism, resume, deadlines."""
+
+import json
+
+import pytest
+
+from repro.robustness.errors import DeadlineExceededError
+from repro.service.client import ServiceClient
+from repro.service.executor import execute_job
+from repro.service.quota import QuotaConfig
+from repro.service.server import ServiceConfig, ServiceRunner
+from repro.service.singleflight import run_id_for
+from repro.service.spec import ServiceJobSpec
+
+SPEC = ServiceJobSpec(kind="bench", workload="wc", scale=0.25,
+                      max_steps=2_000_000)
+
+
+def test_execution_is_byte_deterministic_across_stores(tmp_path):
+    a = execute_job(SPEC, str(tmp_path / "a"), "RUN-A")
+    b = execute_job(SPEC, str(tmp_path / "b"), "RUN-B")
+    assert a.result_json == b.result_json
+    result = json.loads(a.result_json)
+    assert result["kind"] == "bench"
+    assert set(result["workloads"]["wc"]["models"]) == \
+        {"superblock", "cmov", "fullpred"}
+    speedup = result["workloads"]["wc"]["models"]["fullpred"]["speedup"]
+    assert speedup > 0
+
+
+def test_second_execution_resumes_with_zero_recompute(tmp_path):
+    run_id = run_id_for(SPEC.request_digest())
+    first = execute_job(SPEC, str(tmp_path), run_id)
+    again = execute_job(SPEC, str(tmp_path), run_id)
+    assert again.result_json == first.result_json
+    # 3 models + the 1-issue baseline: all four journal-verified.
+    assert again.resumed_tasks == 4
+    assert again.counters["stages"].get(
+        "simulate", {}).get("invocations", 0) == 0
+
+
+def test_expired_deadline_fails_typed_before_execution(tmp_path):
+    hurried = ServiceJobSpec(kind="bench", workload="wc", scale=0.25,
+                             max_steps=2_000_000, deadline=10.0)
+    with pytest.raises(DeadlineExceededError) as exc:
+        execute_job(hurried, str(tmp_path), "RUN-X",
+                    deadline_remaining=-1.0)
+    assert exc.value.exit_code == 21
+
+
+def test_service_end_to_end_with_real_pipeline(tmp_path):
+    """Two identical submissions against a live server running the
+    real pipeline: one execution, byte-identical canonical results."""
+    config = ServiceConfig(
+        cache_dir=str(tmp_path), workers=1,
+        quota=QuotaConfig(rate=100, burst=100, max_concurrent=100))
+    with ServiceRunner(config) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        first = client.submit(SPEC, tenant="alice")
+        second = client.submit(SPEC, tenant="bob")
+        assert second["deduped"] is True
+        assert second["job"]["job_id"] == first["job"]["job_id"]
+        result = client.result(first["job"]["job_id"], timeout=120)
+        assert result == client.result(second["job"]["job_id"])
+        metrics = client.stats()["metrics"]
+        assert metrics["jobs_admitted"] == 1
+        assert metrics["jobs_deduped"] == 1
+        assert metrics["service_jobs_done"] == 1
+        assert json.loads(result)["workloads"]["wc"]["baseline_cycles"] \
+            > 0

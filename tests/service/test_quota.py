@@ -1,0 +1,104 @@
+"""Per-tenant quotas: token bucket refill and the concurrency cap."""
+
+import pytest
+
+from repro.robustness.errors import QuotaExceededError
+from repro.service.quota import QuotaConfig, QuotaManager, TokenBucket
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_bucket_burst_then_refill():
+    clock = ManualClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    assert [bucket.take() for _ in range(4)] == [True, True, True,
+                                                False]
+    assert bucket.retry_after() == pytest.approx(0.5)
+    clock.now += 0.5
+    assert bucket.take()
+
+
+def test_bucket_never_exceeds_burst():
+    clock = ManualClock()
+    bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+    clock.now += 1000.0
+    assert [bucket.take() for _ in range(3)] == [True, True, False]
+
+
+def test_concurrency_cap_is_checked_before_the_bucket():
+    clock = ManualClock()
+    quotas = QuotaManager(config=QuotaConfig(rate=1.0, burst=1,
+                                             max_concurrent=1),
+                          clock=clock)
+    quotas.admit("t")
+    with pytest.raises(QuotaExceededError) as exc:
+        quotas.admit("t")
+    assert exc.value.kind == "concurrency"
+    assert exc.value.retry_after == 0.0
+    assert exc.value.exit_code == 20
+    # The rejected admit must not have burned the (empty) bucket's
+    # refill progress: releasing frees the slot, and the bucket is the
+    # next gate.
+    quotas.release("t")
+    with pytest.raises(QuotaExceededError) as exc:
+        quotas.admit("t")
+    assert exc.value.kind == "rate"
+    assert exc.value.retry_after > 0
+
+
+def test_rate_rejection_names_the_tenant_and_refills():
+    clock = ManualClock()
+    quotas = QuotaManager(config=QuotaConfig(rate=0.5, burst=2,
+                                             max_concurrent=10),
+                          clock=clock)
+    quotas.admit("alice")
+    quotas.admit("alice")
+    with pytest.raises(QuotaExceededError) as exc:
+        quotas.admit("alice")
+    assert exc.value.tenant == "alice"
+    clock.now += exc.value.retry_after + 0.01
+    quotas.admit("alice")
+
+
+def test_tenants_are_isolated():
+    clock = ManualClock()
+    quotas = QuotaManager(config=QuotaConfig(rate=1.0, burst=1,
+                                             max_concurrent=1),
+                          clock=clock)
+    quotas.admit("a")
+    quotas.admit("b")  # a's exhaustion never throttles b
+    assert quotas.active_jobs("a") == quotas.active_jobs("b") == 1
+
+
+def test_restore_charges_concurrency_without_a_token():
+    clock = ManualClock()
+    quotas = QuotaManager(config=QuotaConfig(rate=0.001, burst=1,
+                                             max_concurrent=2),
+                          clock=clock)
+    quotas.admit("t")          # consumes the only token
+    quotas.restore("t")        # recovered job: no token needed
+    assert quotas.active_jobs("t") == 2
+    with pytest.raises(QuotaExceededError) as exc:
+        quotas.admit("t")
+    assert exc.value.kind == "concurrency"
+
+
+def test_release_never_goes_negative():
+    quotas = QuotaManager()
+    quotas.release("ghost")
+    assert quotas.active_jobs("ghost") == 0
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        QuotaConfig(rate=0)
+    with pytest.raises(ValueError):
+        QuotaConfig(burst=0)
+    with pytest.raises(ValueError):
+        QuotaConfig(max_concurrent=0)

@@ -1,0 +1,257 @@
+"""End-to-end service tests over a real socket, stub executors.
+
+The pipeline itself is exercised by ``test_service_pipeline.py`` and
+the chaos campaign; here a stub executor keeps the focus on the
+service semantics: admission, dedup, quotas, deadlines, drain/restart.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.robustness.errors import (DeadlineExceededError,
+                                     QuotaExceededError, ReproError,
+                                     ServiceOverloadedError)
+from repro.service.client import ServiceClient
+from repro.service.executor import ExecutionOutcome, result_to_json
+from repro.service.quota import QuotaConfig
+from repro.service.server import (ServiceConfig, ServiceRunner,
+                                  read_endpoint)
+from repro.service.spec import ServiceJobSpec
+
+
+def spec_for(i=0, **kwargs):
+    kwargs.setdefault("max_steps", 1_000_000 + i)
+    return ServiceJobSpec(kind="bench", workload="wc", scale=0.25,
+                          **kwargs)
+
+
+def stub_executor(delay=0.0, calls=None, honor_deadline=False):
+    def run(spec, cache_dir, run_id, jobs=1, deadline_remaining=None):
+        if calls is not None:
+            calls.append({"run_id": run_id, "jobs": jobs,
+                          "deadline_remaining": deadline_remaining})
+        if honor_deadline and deadline_remaining is not None \
+                and deadline_remaining <= 0:
+            raise DeadlineExceededError("expired in the queue",
+                                        deadline=spec.deadline or 0)
+        if delay:
+            time.sleep(delay)
+        return ExecutionOutcome(
+            result_json=result_to_json(
+                {"digest": spec.request_digest()}),
+            counters={}, crash_evidence=False, resumed_tasks=0,
+            wall_seconds=delay)
+    return run
+
+
+def open_quota():
+    return QuotaConfig(rate=10_000.0, burst=10_000,
+                       max_concurrent=10_000)
+
+
+def config_for(tmp_path, **kwargs):
+    kwargs.setdefault("quota", open_quota())
+    kwargs.setdefault("queue_depth", 32)
+    kwargs.setdefault("workers", 2)
+    return ServiceConfig(cache_dir=str(tmp_path), **kwargs)
+
+
+def test_submit_status_wait_round_trip(tmp_path):
+    with ServiceRunner(config_for(tmp_path),
+                       executor=stub_executor(delay=0.05)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        response = client.submit(spec_for(0))
+        assert response["deduped"] is False
+        job_id = response["job"]["job_id"]
+        final = client.wait(job_id, timeout=10)
+        assert final["state"] == "done"
+        assert final["result_json"] == result_to_json(
+            {"digest": spec_for(0).request_digest()})
+        assert client.result(job_id) == final["result_json"]
+
+
+def test_endpoint_discovery_via_cache_dir(tmp_path):
+    with ServiceRunner(config_for(tmp_path)) as runner:
+        host, port = read_endpoint(tmp_path)
+        assert (host, port) == ("127.0.0.1", runner.port)
+        client = ServiceClient(cache_dir=str(tmp_path))
+        assert client.ping()["ok"]
+    with pytest.raises(ReproError):  # endpoint file removed on drain
+        read_endpoint(tmp_path)
+
+
+def test_concurrent_identical_submissions_execute_once(tmp_path):
+    """The dedup satellite: N simultaneous clients, one execution,
+    byte-identical result bytes for every observer."""
+    n = 5
+    calls = []
+    with ServiceRunner(config_for(tmp_path),
+                       executor=stub_executor(delay=0.3,
+                                              calls=calls)) as runner:
+        barrier = threading.Barrier(n)
+        responses = [None] * n
+
+        def submit(i):
+            client = ServiceClient("127.0.0.1", runner.port)
+            barrier.wait()
+            responses[i] = client.submit(spec_for(0), tenant=f"t{i}")
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(responses)
+        job_ids = {r["job"]["job_id"] for r in responses}
+        assert len(job_ids) == 1
+        assert sum(r["deduped"] for r in responses) == n - 1
+        client = ServiceClient("127.0.0.1", runner.port)
+        results = {client.result(job_id, timeout=10)
+                   for job_id in job_ids for _ in range(n)}
+        assert len(results) == 1  # byte-identical for all observers
+        metrics = client.stats()["metrics"]
+        assert metrics["jobs_admitted"] == 1
+        assert metrics["jobs_deduped"] == n - 1
+        final = client.status(job_ids.pop())
+        assert final["observers"] == n
+    assert len(calls) == 1  # exactly one execution happened
+
+
+def test_completed_digest_served_from_done_cache(tmp_path):
+    calls = []
+    with ServiceRunner(config_for(tmp_path),
+                       executor=stub_executor(calls=calls)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        first = client.submit(spec_for(0))
+        client.wait(first["job"]["job_id"], timeout=10)
+        again = client.submit(spec_for(0))
+        assert again["deduped"] is True
+        assert again["job"]["job_id"] == first["job"]["job_id"]
+    assert len(calls) == 1
+
+
+def test_queue_saturation_sheds_typed(tmp_path):
+    config = config_for(tmp_path, queue_depth=2, workers=1)
+    with ServiceRunner(config,
+                       executor=stub_executor(delay=0.5)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        shed = []
+        for i in range(8):
+            try:
+                client.submit(spec_for(i))
+            except ServiceOverloadedError as exc:
+                shed.append(exc)
+        assert shed
+        assert all(e.exit_code == 19 for e in shed)
+        assert all(e.retry_after > 0 for e in shed)
+        assert client.stats()["metrics"]["jobs_shed"] == len(shed)
+
+
+def test_quota_rejection_travels_typed_over_the_wire(tmp_path):
+    config = config_for(
+        tmp_path, workers=1,
+        quota=QuotaConfig(rate=1000, burst=1000, max_concurrent=1))
+    with ServiceRunner(config,
+                       executor=stub_executor(delay=0.5)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        client.submit(spec_for(0), tenant="alice")
+        with pytest.raises(QuotaExceededError) as exc:
+            client.submit(spec_for(1), tenant="alice")
+        assert exc.value.exit_code == 20
+        assert exc.value.kind == "concurrency"
+        assert exc.value.tenant == "alice"
+        # Dedup observers ride for free: same digest, same tenant.
+        assert client.submit(spec_for(0),
+                             tenant="alice")["deduped"] is True
+        # Other tenants are unaffected.
+        client.submit(spec_for(2), tenant="bob")
+
+
+def test_deadline_propagates_and_expires_typed(tmp_path):
+    calls = []
+    config = config_for(tmp_path, workers=1)
+    executor = stub_executor(delay=0.3, calls=calls,
+                             honor_deadline=True)
+    with ServiceRunner(config, executor=executor) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        blocker = client.submit(spec_for(0))["job"]
+        roomy = client.submit(spec_for(1, deadline=60.0))["job"]
+        doomed = client.submit(spec_for(2, deadline=0.05))["job"]
+        assert client.wait(roomy["job_id"], timeout=10)["state"] \
+            == "done"
+        final = client.wait(doomed["job_id"], timeout=10)
+        assert final["state"] == "failed"
+        assert final["error"]["type"] == "DeadlineExceededError"
+        assert final["error"]["exit_code"] == 21
+        with pytest.raises(DeadlineExceededError):
+            client.result(doomed["job_id"])
+        client.wait(blocker["job_id"], timeout=10)
+    by_run = {c["run_id"]: c for c in calls}
+    assert by_run[blocker["run_id"]]["deadline_remaining"] is None
+    assert 50 < by_run[roomy["run_id"]]["deadline_remaining"] <= 60
+
+
+def test_watch_streams_until_end(tmp_path):
+    with ServiceRunner(config_for(tmp_path),
+                       executor=stub_executor(delay=0.2)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        job_id = client.submit(spec_for(0))["job"]["job_id"]
+        events = list(client.watch(job_id))
+        assert events[0]["event"] == "job"
+        assert events[-1]["event"] == "end"
+        assert events[-1]["job"]["state"] == "done"
+
+
+def test_protocol_rejects_garbage_typed(tmp_path):
+    with ServiceRunner(config_for(tmp_path)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        with pytest.raises(ReproError):
+            client.status("J-no-such-job")
+        with pytest.raises(ReproError):
+            client._request({"op": "frobnicate"})
+        with pytest.raises(ReproError):
+            client.submit({"kind": "teapot"})
+
+
+def test_drain_then_restart_resumes_interrupted_jobs(tmp_path):
+    slow = config_for(tmp_path, workers=1, drain_grace=0.05)
+    runner = ServiceRunner(slow, executor=stub_executor(delay=0.4))
+    runner.start()
+    client = ServiceClient("127.0.0.1", runner.port)
+    running = client.submit(spec_for(0))["job"]
+    queued = client.submit(spec_for(1))["job"]
+    runner.stop(timeout=30)  # grace expires with both jobs unfinished
+
+    fast = config_for(tmp_path, workers=1)
+    with ServiceRunner(fast, executor=stub_executor()) as restarted:
+        client = ServiceClient("127.0.0.1", restarted.port)
+        for job in (running, queued):
+            final = client.wait(job["job_id"], timeout=10)
+            assert final["state"] == "done"
+            assert final["result_json"]
+        # Same digests resubmitted now coalesce with the recovery.
+        assert client.submit(spec_for(0))["deduped"] is True
+        assert client.stats()["metrics"]["jobs_admitted"] == 2
+
+
+def test_draining_server_sheds_new_submissions(tmp_path):
+    config = config_for(tmp_path, workers=1, drain_grace=5.0)
+    with ServiceRunner(config,
+                       executor=stub_executor(delay=0.5)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        client.submit(spec_for(0))  # keeps the drain window open
+        client.drain()
+        with pytest.raises(ServiceOverloadedError):
+            client.submit(spec_for(1))
+
+
+def test_breaker_mode_recorded_on_the_job(tmp_path):
+    with ServiceRunner(config_for(tmp_path, jobs=2),
+                       executor=stub_executor()) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        job_id = client.submit(spec_for(0))["job"]["job_id"]
+        assert client.wait(job_id, timeout=10)["mode"] == "pool"
+        assert client.stats()["service"]["breaker"] == "closed"

@@ -1,0 +1,107 @@
+"""Single-flight registry and job-record persistence."""
+
+from repro.service.singleflight import (DONE, FAILED, RUNNING,
+                                        JobRecord, SingleFlight,
+                                        job_id_for, load_records,
+                                        run_id_for, save_record)
+from repro.service.spec import ServiceJobSpec
+
+
+def _record(digest="d" * 64, state="queued", **kwargs):
+    return JobRecord(job_id=job_id_for(digest), digest=digest,
+                     tenant="t",
+                     spec=ServiceJobSpec(kind="bench", workload="wc"),
+                     state=state, run_id=run_id_for(digest), **kwargs)
+
+
+def test_ids_are_deterministic_functions_of_the_digest():
+    assert job_id_for("a" * 64) == "J" + "a" * 16
+    assert run_id_for("a" * 64) == "S" + "a" * 16
+
+
+def test_active_record_coalesces():
+    reg = SingleFlight()
+    record = _record(state=RUNNING)
+    reg.admit(record)
+    assert reg.coalesce(record.digest) is record
+    assert reg.active_count == 1
+
+
+def test_done_record_serves_from_cache():
+    reg = SingleFlight()
+    record = _record(state=DONE)
+    record.result_json = '{"x":1}'
+    reg.admit(record)
+    reg.finish(record)
+    assert reg.active_count == 0
+    assert reg.coalesce(record.digest) is record
+
+
+def test_failed_record_is_evicted_for_retry():
+    reg = SingleFlight()
+    record = _record(state=FAILED)
+    reg.admit(record)
+    reg.finish(record)
+    assert reg.coalesce(record.digest) is None
+    assert reg.lookup(record.digest) is None  # evicted, not cached
+
+
+def test_done_cache_is_bounded():
+    reg = SingleFlight(done_limit=2)
+    records = [_record(digest=c * 64, state=DONE) for c in "abc"]
+    for r in records:
+        reg.admit(r)
+        reg.finish(r)
+    assert reg.lookup("a" * 64) is None       # oldest evicted
+    assert reg.lookup("b" * 64) is records[1]
+    assert reg.lookup("c" * 64) is records[2]
+
+
+def test_by_job_id_searches_active_then_done():
+    reg = SingleFlight()
+    active, done = _record(digest="a" * 64), _record(digest="b" * 64,
+                                                     state=DONE)
+    reg.admit(active)
+    reg.admit(done)
+    reg.finish(done)
+    assert reg.by_job_id(active.job_id) is active
+    assert reg.by_job_id(done.job_id) is done
+    assert reg.by_job_id("J-missing") is None
+
+
+def test_records_persist_and_reload(tmp_path):
+    record = _record(state=DONE, submitted_at=12.5)
+    record.result_json = '{"cycles":7}'
+    record.observers = 3
+    save_record(tmp_path, record)
+    (loaded,) = load_records(tmp_path)
+    assert loaded.job_id == record.job_id
+    assert loaded.state == DONE
+    assert loaded.result_json == '{"cycles":7}'
+    assert loaded.observers == 3
+    assert loaded.spec == record.spec
+
+
+def test_save_is_idempotent_per_transition(tmp_path):
+    record = _record()
+    save_record(tmp_path, record)
+    record.state = RUNNING
+    save_record(tmp_path, record)
+    (loaded,) = load_records(tmp_path)
+    assert loaded.state == RUNNING
+
+
+def test_unparsable_record_files_are_skipped(tmp_path):
+    save_record(tmp_path, _record())
+    junk = tmp_path / "service" / "jobs" / "Jjunk.json"
+    junk.write_text("{torn")
+    assert len(load_records(tmp_path)) == 1
+
+
+def test_failure_round_trips(tmp_path):
+    record = _record(state=FAILED)
+    record.error = {"type": "CompileError", "message": "boom",
+                    "exit_code": 11}
+    save_record(tmp_path, record)
+    (loaded,) = load_records(tmp_path)
+    assert loaded.error["exit_code"] == 11

@@ -1,0 +1,84 @@
+"""Job specs: validation, wire format, and the CAS request digest."""
+
+import pytest
+
+from repro.robustness.errors import ReproError
+from repro.service.spec import ServiceJobSpec
+
+
+def test_digest_is_stable_across_processes_and_orderings():
+    a = ServiceJobSpec(kind="bench", workload="wc",
+                       models=("cmov", "superblock", "fullpred"))
+    b = ServiceJobSpec(kind="bench", workload="wc",
+                       models=("superblock", "fullpred", "cmov"))
+    assert a.request_digest() == b.request_digest()
+    assert len(a.request_digest()) == 64
+
+
+def test_delivery_knobs_do_not_enter_the_digest():
+    base = ServiceJobSpec(kind="bench", workload="wc")
+    hurried = ServiceJobSpec(kind="bench", workload="wc", deadline=5.0)
+    assert base.request_digest() == hurried.request_digest()
+
+
+def test_compute_knobs_do_enter_the_digest():
+    base = ServiceJobSpec(kind="bench", workload="wc")
+    for other in (
+            ServiceJobSpec(kind="bench", workload="cmp"),
+            ServiceJobSpec(kind="bench", workload="wc", scale=0.25),
+            ServiceJobSpec(kind="bench", workload="wc", width=4),
+            ServiceJobSpec(kind="bench", workload="wc",
+                           real_caches=True),
+            ServiceJobSpec(kind="bench", workload="wc",
+                           models=("cmov",)),
+            ServiceJobSpec(kind="bench", workload="wc",
+                           max_steps=1_000_000)):
+        assert base.request_digest() != other.request_digest()
+
+
+def test_round_trips_through_the_wire_format():
+    spec = ServiceJobSpec(kind="source", source="int main(){return 3;}",
+                          models=("cmov",), width=4, deadline=30.0)
+    again = ServiceJobSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.deadline == 30.0
+    assert again.request_digest() == spec.request_digest()
+
+
+@pytest.mark.parametrize("data", [
+    {"kind": "teapot"},
+    {"kind": "source"},
+    {"kind": "source", "source": "   "},
+    {"kind": "bench"},
+    {"kind": "bench", "workload": "no-such-workload"},
+    {"kind": "bench", "workload": "wc", "models": ["alpha"]},
+    {"kind": "bench", "workload": "wc", "models": []},
+    {"kind": "bench", "workload": "wc", "width": 0},
+    {"kind": "bench", "workload": "wc", "scale": -1},
+    {"kind": "bench", "workload": "wc", "max_steps": 0},
+    {"kind": "bench", "workload": "wc", "deadline": -5},
+    {"kind": "bench", "workload": "wc", "surprise": 1},
+    "not an object",
+])
+def test_invalid_specs_raise_typed(data):
+    with pytest.raises(ReproError):
+        ServiceJobSpec.from_dict(data)
+
+
+def test_workload_expansion_per_kind():
+    bench = ServiceJobSpec(kind="bench", workload="wc")
+    assert [w.name for w in bench.workloads()] == ["wc"]
+    src = ServiceJobSpec(kind="source", source="int main(){return 1;}")
+    (w,) = src.workloads()
+    assert w.name.startswith("svc-")
+    assert w.source == "int main(){return 1;}"
+    figures = ServiceJobSpec(kind="figures")
+    assert len(figures.workloads()) >= 4
+
+
+def test_machine_reflects_spec_knobs():
+    spec = ServiceJobSpec(kind="bench", workload="wc", width=4,
+                          branches=2)
+    machine = spec.machine()
+    assert machine.issue_width == 4
+    assert machine.branch_issue_limit == 2
