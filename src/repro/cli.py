@@ -7,6 +7,13 @@ Subcommands:
 * ``bench``    — run one registered workload under all three models;
 * ``report``   — regenerate every figure/table (the paper's evaluation);
 * ``figures``  — alias of ``report`` (the paper's figures);
+* ``sweep``    — design-space exploration: ``sweep run`` expands a
+  declarative TOML/JSON grid (issue widths x branch limits x cache
+  geometries x BTBs x latency tables x models) into a deduplicated
+  machine lattice and measures every point (deterministic at any
+  ``--jobs``, resumable, warm points are zero-compute), ``sweep
+  report`` renders speedup surfaces and Pareto frontiers from a
+  stored result, ``sweep diff`` compares two results point-for-point;
 * ``cache``    — inspect, verify (``fsck``) or clear the artifact store;
 * ``selftest`` — fault-injection campaign proving the checkers work
   (``--chaos`` adds the engine chaos campaign — crash/corruption/
@@ -49,8 +56,13 @@ Examples::
     python -m repro cache clear
     python -m repro selftest
     python -m repro selftest --chaos --jobs 2
+    python -m repro sweep run examples/paper_sweep.toml --jobs 4 -o sweep.json
+    python -m repro sweep run grid.json --report --resume R20260807-...
+    python -m repro sweep report sweep.json
+    python -m repro sweep diff old.json new.json
     python -m repro serve --workers 2 --queue-depth 16
     python -m repro submit --workload wc --wait -o wc.json
+    python -m repro submit --sweep examples/paper_sweep.toml --wait
     python -m repro submit kernel.c --deadline 120 --tenant alice
     python -m repro watch J0123456789abcdef
     python -m repro fuzz run --budget 500 --seed 0xfeed --jobs 4
@@ -59,7 +71,8 @@ Examples::
     python -m repro fuzz seed && python -m repro fuzz corpus
 
 Failures exit with the typed taxonomy's codes (one-line diagnostics,
-no tracebacks): 10 generic pipeline error, 11 compile, 12 pass
+no tracebacks): 10 generic pipeline error, 11 compile or invalid
+spec (bad sweep grid, unknown latency op-class name), 12 pass
 verification, 13 emulation timeout, 14 trace integrity, 15 model
 divergence, 16 emulation fault, 17 artifact lock timeout, 18 open
 fuzz findings, 19 service overloaded (load shed), 20 tenant quota
@@ -204,14 +217,14 @@ def _attach_profiler(suite, args):
     return profiler
 
 
-def _print_metrics(suite, args, profiler=None) -> int:
+def _print_metrics(metrics, args, profiler=None) -> int:
     """Pipeline summary to stderr; counters to --bench-json; profiles
     next to it; baseline comparison last.  Returns the exit code the
     comparison demands (0 when clean or not requested)."""
-    print(suite.metrics.render(), file=sys.stderr)
+    print(metrics.render(), file=sys.stderr)
     bench_json = getattr(args, "bench_json", None)
     if bench_json:
-        suite.metrics.write_json(bench_json)
+        metrics.write_json(bench_json)
         print(f"wrote {bench_json}", file=sys.stderr)
     if profiler is not None:
         out_dir = os.path.dirname(bench_json) or "." if bench_json else "."
@@ -223,7 +236,7 @@ def _print_metrics(suite, args, profiler=None) -> int:
         import json as _json
         with open(baseline_path) as handle:
             baseline = _json.load(handle)
-        regressions = compare_stage_walltimes(suite.metrics.to_dict(),
+        regressions = compare_stage_walltimes(metrics.to_dict(),
                                               baseline)
         if regressions:
             print(f"stage regressions vs {baseline_path}:",
@@ -372,7 +385,7 @@ def _cmd_bench(args) -> int:
     except BaseException:
         suite.close_journal(ok=False)
         raise
-    exit_code = _print_metrics(suite, args, profiler)
+    exit_code = _print_metrics(suite.metrics, args, profiler)
     _finish_run(suite)
     return exit_code
 
@@ -420,7 +433,7 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
-    compare_exit = _print_metrics(suite, args, profiler)
+    compare_exit = _print_metrics(suite.metrics, args, profiler)
     _finish_run(suite)
     if suite.failures:
         return 1
@@ -510,10 +523,16 @@ def _service_client(args):
 
 def _submit_spec(args):
     from repro.service.spec import ServiceJobSpec
-    targets = [bool(args.file), bool(args.workload), args.figures]
+    targets = [bool(args.file), bool(args.workload), args.figures,
+               bool(args.sweep)]
     if sum(targets) != 1:
         raise ReproError("submit needs exactly one of: a MiniC FILE, "
-                         "--workload NAME, or --figures")
+                         "--workload NAME, --figures, or --sweep SPEC")
+    if args.sweep:
+        from repro.sweep import SweepSpec
+        return ServiceJobSpec(
+            kind="sweep", sweep=SweepSpec.from_file(args.sweep).to_dict(),
+            deadline=args.deadline)
     kind = "figures" if args.figures \
         else ("bench" if args.workload else "source")
     models = tuple(m.strip() for m in args.models.split(",")) \
@@ -577,6 +596,11 @@ def _cmd_watch(args) -> int:
             record = event["record"]
             label = record.get("task") or record.get("run_id", "")
             print(f"{record['type']:<13s} {label}")
+        elif event.get("event") == "progress":
+            total = event.get("tasks_total")
+            done = event.get("tasks_done", 0)
+            bar = f"{done}/{total}" if total else str(done)
+            print(f"{'progress':<13s} {bar} [{event.get('task', '')}]")
         elif event.get("event") == "end":
             final = event["job"]
     if final is None:
@@ -587,6 +611,59 @@ def _cmd_watch(args) -> int:
         print(f"error[{error.get('type', 'ReproError')}]: "
               f"{error.get('message', '')}", file=sys.stderr)
         return int(error.get("exit_code", ReproError.exit_code))
+    return 0
+
+
+# ----- sweep ----------------------------------------------------------------
+
+
+def _cmd_sweep_run(args) -> int:
+    from repro.engine.metrics import PipelineMetrics
+    from repro.sweep import SweepSpec, run_sweep
+    from repro.sweep.report import render
+    spec = SweepSpec.from_file(args.spec)
+    metrics = PipelineMetrics()
+    profiler = None
+    if args.profile:
+        from repro.engine.profiling import StageProfiler
+        profiler = StageProfiler()
+        metrics.profiler = profiler
+        if args.jobs > 1:
+            print("note: --profile captures in-process work only; pool "
+                  "workers (--jobs) are not profiled", file=sys.stderr)
+    outcome = run_sweep(spec, cache_dir=_cache_dir(args),
+                        jobs=args.jobs, metrics=metrics,
+                        **_suite_recovery_kwargs(args))
+    if outcome.run_id is not None:
+        print(f"run id: {outcome.run_id} (resume with --resume "
+              f"{outcome.run_id})", file=sys.stderr)
+    print(f"sweep {spec.name}: {outcome.points_total} points "
+          f"({outcome.points_cached} warm, {outcome.resumed_tasks} "
+          f"journal-resumed)", file=sys.stderr)
+    result_json = outcome.result.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result_json + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.report_text:
+        print(render(outcome.result.to_dict()), end="")
+    elif not args.output:
+        print(result_json)
+    return _print_metrics(metrics, args, profiler)
+
+
+def _cmd_sweep_report(args) -> int:
+    from repro.sweep import SweepResult
+    from repro.sweep.report import render
+    print(render(SweepResult.from_file(args.result).to_dict()), end="")
+    return 0
+
+
+def _cmd_sweep_diff(args) -> int:
+    from repro.sweep import SweepResult
+    from repro.sweep.report import diff
+    print(diff(SweepResult.from_file(args.old).to_dict(),
+               SweepResult.from_file(args.new).to_dict()), end="")
     return 0
 
 
@@ -926,6 +1003,38 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--port", type=int, default=None,
                         help="server port (overrides discovery)")
 
+    p = sub.add_parser("sweep",
+                       help="design-space sweeps: grid run, report, "
+                            "diff")
+    sweep_sub = p.add_subparsers(dest="sweep_cmd", required=True)
+
+    sp = sweep_sub.add_parser(
+        "run", help="expand a sweep spec into its machine lattice and "
+                    "measure every point")
+    sp.add_argument("spec", metavar="SPEC",
+                    help="sweep spec file (.toml on Python 3.11+, or "
+                         ".json)")
+    sp.add_argument("-o", "--output", default=None, metavar="PATH",
+                    help="write the canonical SweepResult JSON here "
+                         "(default: stdout unless --report)")
+    sp.add_argument("--report", action="store_true", dest="report_text",
+                    help="print the rendered surface/Pareto report "
+                         "instead of raw JSON")
+    _add_engine_args(sp)
+    _add_perf_args(sp)
+    sp.set_defaults(func=_cmd_sweep_run)
+
+    sp = sweep_sub.add_parser("report",
+                              help="render a stored SweepResult JSON")
+    sp.add_argument("result", metavar="RESULT_JSON")
+    sp.set_defaults(func=_cmd_sweep_report)
+
+    sp = sweep_sub.add_parser(
+        "diff", help="compare two SweepResult files point-for-point")
+    sp.add_argument("old", metavar="OLD_JSON")
+    sp.add_argument("new", metavar="NEW_JSON")
+    sp.set_defaults(func=_cmd_sweep_diff)
+
     p = sub.add_parser("serve",
                        help="run the multi-tenant experiment service")
     p.add_argument("--cache-dir", default=_default_cache_dir(),
@@ -970,6 +1079,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="submit a registered workload instead")
     p.add_argument("--figures", action="store_true",
                    help="submit the whole figure suite")
+    p.add_argument("--sweep", default=None, metavar="SPEC",
+                   help="submit a design-space sweep spec file "
+                        "(.toml/.json, see EXPERIMENTS.md)")
     _add_machine_args(p)
     p.add_argument("--models", default=None, metavar="A,B",
                    help="comma-separated subset of "

@@ -90,6 +90,13 @@ class PipelineMetrics:
     service_jobs_done: int = 0
     #: total service job execution wall time (queue wait excluded)
     service_seconds: float = 0.0
+    #: design-space sweep points evaluated (see :mod:`repro.sweep`)
+    sweep_points_total: int = 0
+    #: sweep points served entirely from the artifact store (no
+    #: compile/emulate/simulate performed)
+    sweep_points_cached: int = 0
+    #: sweep campaign wall time (expand + fan-out + aggregate)
+    sweep_seconds: float = 0.0
     #: optional per-stage cProfile collector (see
     #: :mod:`repro.engine.profiling`); attached by the CLI's
     #: ``--profile`` flag, never serialized
@@ -144,6 +151,12 @@ class PipelineMetrics:
         self.service_jobs_done += 1
         self.service_seconds += seconds
 
+    def record_sweep(self, points: int, cached: int,
+                     seconds: float) -> None:
+        self.sweep_points_total += points
+        self.sweep_points_cached += cached
+        self.sweep_seconds += seconds
+
     # ----- aggregation --------------------------------------------------
 
     @property
@@ -183,6 +196,13 @@ class PipelineMetrics:
             return 0.0
         return self.service_jobs_done / self.service_seconds
 
+    @property
+    def sweep_points_per_second(self) -> float:
+        """Sweep throughput over campaign wall time."""
+        if self.sweep_seconds <= 0:
+            return 0.0
+        return self.sweep_points_total / self.sweep_seconds
+
     def merge_dict(self, data: dict) -> None:
         """Fold a worker's :meth:`to_dict` counters into this object."""
         for name, stage in data.get("stages", {}).items():
@@ -212,6 +232,9 @@ class PipelineMetrics:
         self.breaker_trips += data.get("breaker_trips", 0)
         self.service_jobs_done += data.get("service_jobs_done", 0)
         self.service_seconds += data.get("service_seconds", 0.0)
+        self.sweep_points_total += data.get("sweep_points_total", 0)
+        self.sweep_points_cached += data.get("sweep_points_cached", 0)
+        self.sweep_seconds += data.get("sweep_seconds", 0.0)
 
     # ----- output -------------------------------------------------------
 
@@ -250,6 +273,11 @@ class PipelineMetrics:
             "service_seconds": round(self.service_seconds, 6),
             "service_jobs_per_second": round(
                 self.service_jobs_per_second, 3),
+            "sweep_points_total": self.sweep_points_total,
+            "sweep_points_cached": self.sweep_points_cached,
+            "sweep_seconds": round(self.sweep_seconds, 6),
+            "sweep_points_per_second": round(
+                self.sweep_points_per_second, 3),
         }
 
     def write_json(self, path: str) -> None:
@@ -326,6 +354,12 @@ class PipelineMetrics:
                 f"{self.service_jobs_done} done in "
                 f"{self.service_seconds:.2f}s "
                 f"({self.service_jobs_per_second:.2f}/s)")
+        if self.sweep_points_total:
+            lines.append(
+                f"  sweep     {self.sweep_points_total} points "
+                f"({self.sweep_points_cached} warm) in "
+                f"{self.sweep_seconds:.2f}s "
+                f"({self.sweep_points_per_second:.2f}/s)")
         return "\n".join(lines)
 
 

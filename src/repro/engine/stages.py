@@ -126,13 +126,16 @@ class PipelineContext:
                 compiled.program)
         return decoded
 
-    def _prep_for(self, compile_key: str,
-                  compiled: CompiledProgram) -> SimPrep:
+    def _prep_for(self, compile_key: str, compiled: CompiledProgram,
+                  machine: MachineDescription) -> SimPrep:
+        # Keyed by compile key: latency overrides are part of the
+        # schedule digest, so every machine mapping to this key
+        # resolves the same latency table.
         prep = self._prep.get(compile_key)
         if prep is None:
             prep = self._prep[compile_key] = prepare_sim(
                 self._decoded_for(compile_key, compiled),
-                compiled.addresses)
+                compiled.addresses, machine)
         return prep
 
     def frontend_program(self, workload: Workload) -> Program:
@@ -260,7 +263,7 @@ class PipelineContext:
                         trace,
                         self._prep_for(
                             self.compile_key(workload, model, machine),
-                            compiled),
+                            compiled, machine),
                         machine)
                 else:
                     stats = simulate_trace(trace, compiled.addresses,

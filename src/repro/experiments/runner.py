@@ -120,6 +120,9 @@ class ExperimentSuite:
     run_id: str | None = None
     resume: bool = False
     retry: RetryPolicy | None = None
+    #: extra keys merged into the journal's run-start meta (e.g. the
+    #: sweep digest and task total that ``repro watch`` streams)
+    journal_meta: dict | None = None
 
     def __post_init__(self):
         if self.mode not in ("strict", "degrade"):
@@ -159,11 +162,13 @@ class ExperimentSuite:
                 verify_completed(state, store)
             self._journaled |= self.resumed_verified
         else:
-            self.journal = RunJournal.create(
-                runs_dir, self.run_id,
-                meta={"scale": self.scale, "mode": self.mode,
-                      "jobs": self.jobs, "max_steps": self.max_steps,
-                      "workloads": [w.name for w in self.workloads]})
+            meta = {"scale": self.scale, "mode": self.mode,
+                    "jobs": self.jobs, "max_steps": self.max_steps,
+                    "workloads": [w.name for w in self.workloads]}
+            if self.journal_meta:
+                meta.update(self.journal_meta)
+            self.journal = RunJournal.create(runs_dir, self.run_id,
+                                             meta=meta)
             self.run_id = self.journal.run_id
 
     def close_journal(self, ok: bool | None = None) -> None:
@@ -323,6 +328,20 @@ class ExperimentSuite:
                                          first_machine),),
                     workload=w.name, stage="prepare"))
                 job_ids.add(prep_id)
+        if not jobs:
+            return
+        self.execute_plan(jobs)
+
+    def execute_plan(self, jobs: list[Job]) -> None:
+        """Journal and execute an externally built job DAG.
+
+        The sweep runner constructs its own plan (point jobs instead of
+        per-triple simulate jobs) but shares the suite's dispatch path:
+        every job's start/finish lands in the run journal, pool-worker
+        counters merge into :attr:`metrics`, and failures feed the
+        suite's failure policy.  Runs through the scheduler even at
+        ``jobs=1`` so the journal is identical at any parallelism.
+        """
         if not jobs:
             return
         self.metrics.jobs_dispatched += len(jobs)

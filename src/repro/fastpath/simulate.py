@@ -65,14 +65,17 @@ class SimPrep:
         self.nregs = nregs
 
 
-def prepare_sim(decoded: DecodedProgram,
-                addresses: dict[int, int]) -> SimPrep:
+def prepare_sim(decoded: DecodedProgram, addresses: dict[int, int],
+                machine: MachineDescription | None = None) -> SimPrep:
     """Lower static instructions to simulator arrays.
 
-    The latency table is machine-independent (every
-    :class:`MachineDescription` delegates to the PA-7100 table), so one
-    prep serves all machines simulating the same compiled program.
+    ``machine`` supplies the latency table (PA-7100 defaults plus any
+    ``latency_overrides``); omitting it keeps the plain PA-7100 table.
+    Latencies are schedule-relevant (DAG edge weights), so every
+    machine sharing a compiled program's ``schedule_digest`` resolves
+    the same table and one prep serves all of them.
     """
+    latency_of = _pa7100_latency if machine is None else machine.latency
     regmap: dict = {}
 
     def rid(r) -> int:
@@ -102,7 +105,7 @@ def prepare_sim(decoded: DecodedProgram,
         elif cat is OpCategory.JUMP and inst.pred is not None:
             f |= F_DYNBRANCH | F_JUMP
         pc_addr.append(get_addr(inst.uid, 0))
-        lat.append(_pa7100_latency(inst.op))
+        lat.append(latency_of(inst.op))
         flags.append(f)
         used.append(tuple(rid(r) for r in inst.used_regs()))
         d = [] if inst.dest is None else [rid(inst.dest)]
@@ -305,7 +308,7 @@ def emulate_and_simulate_stream(
     if decoded is None:
         decoded = decode_program(program)
     if prep is None:
-        prep = prepare_sim(decoded, addresses)
+        prep = prepare_sim(decoded, addresses, machine)
     sim = StreamSimulator(prep, machine)
     execution = run_program_fast(
         program, inputs=inputs, max_steps=max_steps, watchdog=watchdog,

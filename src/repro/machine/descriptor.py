@@ -9,9 +9,74 @@ paper's configurations (Figures 8-11) are provided as constructors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
-from repro.ir.opcodes import Opcode
+from repro.ir.opcodes import Opcode, OpCategory, category
 from repro.machine.latencies import latency as _pa7100_latency
+
+#: op-class names a latency override may target: a coarse category
+#: ("load", "falu") or an individual opcode mnemonic ("mul", "div_f").
+_CATEGORY_NAMES = {c.value: c for c in OpCategory}
+_OPCODE_NAMES = {o.value: o for o in Opcode}
+
+
+def normalize_latency_overrides(overrides) -> tuple[tuple[str, int], ...]:
+    """Validate and canonicalize a latency-override table.
+
+    Accepts a mapping or an iterable of ``(name, cycles)`` pairs and
+    returns a sorted tuple — the hashable canonical form embedded in
+    :class:`MachineDescription`.  Unknown op-class names and
+    non-positive cycle counts raise a typed ``SpecError`` *here*, before
+    any digest is computed, so a typo can never be silently hashed into
+    a never-matching cache key.
+    """
+    from repro.robustness.errors import SpecError
+    items = overrides.items() if hasattr(overrides, "items") else overrides
+    table: dict[str, int] = {}
+    for pair in items:
+        try:
+            name, cycles = pair
+        except (TypeError, ValueError):
+            raise SpecError(
+                f"latency override {pair!r} is not a (name, cycles) pair",
+                field="latency_overrides") from None
+        if name not in _CATEGORY_NAMES and name not in _OPCODE_NAMES:
+            known = ", ".join(sorted(_CATEGORY_NAMES))
+            raise SpecError(
+                f"unknown op class {name!r} in latency overrides "
+                f"(categories: {known}; or any opcode mnemonic)",
+                field="latency_overrides")
+        if not isinstance(cycles, int) or isinstance(cycles, bool) \
+                or not 1 <= cycles <= 1024:
+            raise SpecError(
+                f"latency override {name!r} must be an integer cycle "
+                f"count in [1, 1024], got {cycles!r}",
+                field="latency_overrides")
+        if name in table and table[name] != cycles:
+            raise SpecError(
+                f"conflicting latency overrides for {name!r}: "
+                f"{table[name]} vs {cycles}", field="latency_overrides")
+        table[name] = cycles
+    return tuple(sorted(table.items()))
+
+
+@lru_cache(maxsize=64)
+def _split_overrides(overrides: tuple[tuple[str, int], ...]
+                     ) -> tuple[dict[Opcode, int], dict[OpCategory, int]]:
+    """Partition canonical overrides into opcode- and category-keyed maps.
+
+    Names that are both a category and an opcode mnemonic ("load",
+    "cmov", ...) take the *category* meaning — a latency table entry
+    named "load" reads as "all loads", matching the paper's tables.
+    """
+    by_op: dict[Opcode, int] = {}
+    by_cat: dict[OpCategory, int] = {}
+    for name, cycles in overrides:
+        if name in _CATEGORY_NAMES:
+            by_cat[_CATEGORY_NAMES[name]] = cycles
+        else:
+            by_op[_OPCODE_NAMES[name]] = cycles
+    return by_op, by_cat
 
 
 @dataclass(frozen=True)
@@ -52,13 +117,35 @@ class MachineDescription:
     btb: BTBConfig = field(default_factory=BTBConfig)
     #: bytes per encoded instruction, for I-cache indexing
     instruction_bytes: int = 4
+    #: latency-table overrides as canonical ``((name, cycles), ...)``
+    #: pairs over PA-7100 defaults; names are op categories or opcode
+    #: mnemonics, validated by :func:`normalize_latency_overrides`.
+    latency_overrides: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self):
+        if self.latency_overrides:
+            object.__setattr__(
+                self, "latency_overrides",
+                normalize_latency_overrides(self.latency_overrides))
 
     def latency(self, op: Opcode) -> int:
+        if self.latency_overrides:
+            by_op, by_cat = _split_overrides(self.latency_overrides)
+            if op in by_op:
+                return by_op[op]
+            cat = category(op)
+            if cat in by_cat:
+                return by_cat[cat]
         return _pa7100_latency(op)
 
     def with_issue(self, width: int, branches: int) -> "MachineDescription":
         return replace(self, issue_width=width, branch_issue_limit=branches,
                        name=f"{width}-issue,{branches}-branch")
+
+    def with_latencies(self, overrides) -> "MachineDescription":
+        """Return a copy with ``overrides`` layered on the PA-7100 table."""
+        return replace(self, latency_overrides=normalize_latency_overrides(
+            overrides))
 
     def with_real_caches(self, icache: CacheConfig | None = None,
                          dcache: CacheConfig | None = None
@@ -76,24 +163,29 @@ class MachineDescription:
         differently-named but identical machines must share artifacts.
         """
         from repro.engine.keys import stable_digest
+        overrides = normalize_latency_overrides(self.latency_overrides)
         return stable_digest(
             self.issue_width, self.branch_issue_limit,
             self.predicate_use_delay, self.perfect_caches, self.icache,
-            self.dcache, self.btb, self.instruction_bytes)
+            self.dcache, self.btb, self.instruction_bytes,
+            *((["latencies", overrides],) if overrides else ()))
 
     def schedule_digest(self) -> str:
         """Digest of the parameters that affect *compilation* only.
 
         The list scheduler sees issue width, branch issue limit, the
-        predicate-use delay and instruction encoding size; the memory
-        hierarchy does not reorder code, so machines differing only in
-        caches/BTB share compiled programs and traces (the paper's
-        amortization of one emulation across machine configurations).
+        predicate-use delay, instruction encoding size and the latency
+        table (DAG edge weights); the memory hierarchy does not reorder
+        code, so machines differing only in caches/BTB share compiled
+        programs and traces (the paper's amortization of one emulation
+        across machine configurations).
         """
         from repro.engine.keys import stable_digest
+        overrides = normalize_latency_overrides(self.latency_overrides)
         return stable_digest(
             self.issue_width, self.branch_issue_limit,
-            self.predicate_use_delay, self.instruction_bytes)
+            self.predicate_use_delay, self.instruction_bytes,
+            *((["latencies", overrides],) if overrides else ()))
 
 
 def scalar_machine() -> MachineDescription:

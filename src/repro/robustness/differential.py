@@ -129,7 +129,7 @@ def assert_fastpath_equivalent(compiled, inputs=None, machine=None,
             f"replay to the legacy event sequence",
             workload=workload, model=model, kind="fastpath-trace")
 
-    prep = prepare_sim(decoded, compiled.addresses)
+    prep = prepare_sim(decoded, compiled.addresses, machine)
     legacy_stats = simulate_trace(legacy.trace, compiled.addresses,
                                   machine)
     fast_stats = simulate_columns(fast.trace, prep, machine)

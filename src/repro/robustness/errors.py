@@ -30,6 +30,24 @@ class CompileError(ReproError):
         self.function = function
 
 
+class SpecError(ReproError):
+    """A user-supplied specification is invalid.
+
+    Covers malformed sweep specs (unknown axes, empty grids, bad
+    ranges) and machine descriptions with unknown latency-table keys —
+    rejected *before* any digest is computed, so a typo can never be
+    silently hashed into a never-matching cache key.  Shares exit code
+    11 with :class:`CompileError`: both mean "your input, not the
+    pipeline, is broken".
+    """
+
+    exit_code = 11
+
+    def __init__(self, message: str, *, field: str | None = None):
+        super().__init__(message)
+        self.field = field
+
+
 class PassVerificationError(CompileError):
     """A compiler pass left the IR structurally invalid.
 

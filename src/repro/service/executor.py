@@ -34,6 +34,8 @@ from repro.machine.descriptor import scalar_machine
 from repro.robustness.errors import (DeadlineExceededError,
                                      EmulationTimeout)
 from repro.service.spec import MODEL_NAMES, ServiceJobSpec
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import SweepSpec
 from repro.toolchain import Model
 
 #: spec model identifiers <-> toolchain models (Model.value is a
@@ -103,6 +105,20 @@ def _measure(suite: ExperimentSuite, spec: ServiceJobSpec) -> dict:
             "scale": spec.scale, "workloads": rows}
 
 
+def _tasks_total(spec: ServiceJobSpec) -> int:
+    """Expected progress-bearing task count for ``repro watch``.
+
+    Counts the simulate-granularity tasks the run journals: the
+    figures suite simulates all three models plus the scalar baseline
+    per workload; bench/source runs simulate the requested models plus
+    the baseline per workload.
+    """
+    n_workloads = len(spec.workloads())
+    if spec.kind == "figures":
+        return (len(MODEL_NAMES) + 1) * n_workloads
+    return (len(_models(spec)) + 1) * n_workloads
+
+
 def execute_job(spec: ServiceJobSpec, cache_dir: str, run_id: str,
                 jobs: int = 1,
                 deadline_remaining: float | None = None
@@ -120,22 +136,24 @@ def execute_job(spec: ServiceJobSpec, cache_dir: str, run_id: str,
             elapsed=(spec.deadline or 0.0) - deadline_remaining)
     resume = journal_path(f"{cache_dir}/runs", run_id).exists()
     start = time.monotonic()
+    if spec.kind == "sweep":
+        return _execute_sweep(spec, cache_dir, run_id, jobs,
+                              deadline_remaining, resume, start)
     suite = ExperimentSuite(
         workloads=spec.workloads(), scale=spec.scale,
         max_steps=spec.max_steps, cache_dir=cache_dir, jobs=jobs,
         run_id=run_id, resume=resume,
-        wall_clock_budget=deadline_remaining)
+        wall_clock_budget=deadline_remaining,
+        journal_meta={"kind": spec.kind,
+                      "tasks_total": _tasks_total(spec)})
     try:
         result = _measure(suite, spec)
     except BaseException as exc:
         suite.close_journal(ok=False)
-        if isinstance(exc, EmulationTimeout) \
-                and deadline_remaining is not None:
-            raise DeadlineExceededError(
-                f"deadline of {spec.deadline:g}s expired during "
-                f"emulation: {exc}", deadline=spec.deadline or 0.0,
-                elapsed=exc.elapsed) from exc
-        raise
+        mapped = _map_deadline(exc, spec, deadline_remaining)
+        if mapped is exc:
+            raise
+        raise mapped from exc
     suite.close_journal(ok=True)
     counters = suite.metrics.to_dict()
     return ExecutionOutcome(
@@ -144,4 +162,42 @@ def execute_job(spec: ServiceJobSpec, cache_dir: str, run_id: str,
         crash_evidence=bool(counters.get("pool_rebuilds", 0)
                             or counters.get("worker_crashes", 0)),
         resumed_tasks=len(suite.resumed_verified),
+        wall_seconds=time.monotonic() - start)
+
+
+def _map_deadline(exc: BaseException, spec: ServiceJobSpec,
+                  deadline_remaining: float | None) -> BaseException:
+    """An emulation-watchdog expiry under a job deadline is the job's
+    deadline expiring."""
+    if isinstance(exc, EmulationTimeout) \
+            and deadline_remaining is not None:
+        return DeadlineExceededError(
+            f"deadline of {spec.deadline:g}s expired during "
+            f"emulation: {exc}", deadline=spec.deadline or 0.0,
+            elapsed=exc.elapsed)
+    return exc
+
+
+def _execute_sweep(spec: ServiceJobSpec, cache_dir: str, run_id: str,
+                   jobs: int, deadline_remaining: float | None,
+                   resume: bool, start: float) -> ExecutionOutcome:
+    """Sweep jobs delegate to the sweep runner (which owns its own
+    suite, journal and plan) and return the canonical SweepResult."""
+    sweep_spec = SweepSpec.from_dict(spec.sweep)
+    try:
+        outcome = run_sweep(sweep_spec, cache_dir=cache_dir, jobs=jobs,
+                            run_id=run_id, resume=resume,
+                            wall_clock_budget=deadline_remaining)
+    except BaseException as exc:
+        mapped = _map_deadline(exc, spec, deadline_remaining)
+        if mapped is exc:
+            raise
+        raise mapped from exc
+    counters = outcome.metrics.to_dict()
+    return ExecutionOutcome(
+        result_json=outcome.result.to_json(),
+        counters=counters,
+        crash_evidence=bool(counters.get("pool_rebuilds", 0)
+                            or counters.get("worker_crashes", 0)),
+        resumed_tasks=outcome.resumed_tasks,
         wall_seconds=time.monotonic() - start)

@@ -65,6 +65,12 @@ _WATCH_TYPES = ("run-start", "run-resume", "task-start", "task-finish",
                 "task-fail", "run-finish")
 
 
+def _is_progress(task: str) -> bool:
+    """Tasks that advance the watch progress counter: one per
+    simulated triple (bench/figures) or per sweep point."""
+    return task.startswith(("simulate:", "sweep:"))
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Everything ``repro serve`` configures."""
@@ -420,17 +426,40 @@ class ExperimentService:
         return record
 
     async def _watch(self, record: JobRecord, send) -> None:
-        """Stream a job's progress by tailing its run journal."""
+        """Stream a job's progress by tailing its run journal.
+
+        Beyond the raw journal records, the stream carries progress
+        events at *task granularity*: the run-start meta declares
+        ``tasks_total`` (sweep points, simulate tasks) and every
+        progress-bearing task-finish bumps ``tasks_done``.  The tail
+        starts at offset 0, so a resumed job's earlier completions
+        replay through the same counter and the bar never restarts
+        from zero.
+        """
         jpath = journal_path(
             Path(self.config.cache_dir) / "runs", record.run_id)
         offset = 0
+        tasks_done = 0
+        tasks_total: int | None = None
         await send({"ok": True, "event": "job", "job": record.to_dict()})
         while True:
             records, offset = tail_records(jpath, offset)
             for entry in records:
-                if entry.get("type") in _WATCH_TYPES:
-                    await send({"ok": True, "event": "journal",
-                                "record": entry})
+                if entry.get("type") not in _WATCH_TYPES:
+                    continue
+                await send({"ok": True, "event": "journal",
+                            "record": entry})
+                if entry["type"] == "run-start":
+                    total = entry.get("meta", {}).get("tasks_total")
+                    if isinstance(total, int) and total > 0:
+                        tasks_total = total
+                elif entry["type"] == "task-finish" and _is_progress(
+                        entry.get("task", "")):
+                    tasks_done += 1
+                    await send({"ok": True, "event": "progress",
+                                "tasks_done": tasks_done,
+                                "tasks_total": tasks_total,
+                                "task": entry.get("task", "")})
             if record.terminal:
                 await send({"ok": True, "event": "end",
                             "job": record.to_dict()})

@@ -25,7 +25,7 @@ from repro.robustness.errors import ReproError
 from repro.workloads.base import Workload, get_workload
 
 #: job kinds the service executes
-KINDS = ("source", "bench", "figures")
+KINDS = ("source", "bench", "figures", "sweep")
 
 #: model names accepted in a spec, in canonical order
 MODEL_NAMES = ("superblock", "cmov", "fullpred")
@@ -44,6 +44,9 @@ class ServiceJobSpec:
     source: str | None = None
     #: registered workload name (kind="bench")
     workload: str | None = None
+    #: sweep grid as a :class:`repro.sweep.spec.SweepSpec` dict
+    #: (kind="sweep"); normalized to canonical form at validation
+    sweep: dict | None = None
     models: tuple[str, ...] = MODEL_NAMES
     width: int = 8
     branches: int = 1
@@ -59,6 +62,17 @@ class ServiceJobSpec:
                              f"(expected one of {', '.join(KINDS)})")
         if self.kind == "source" and not (self.source or "").strip():
             raise ReproError("kind='source' requires MiniC source text")
+        if self.kind == "sweep":
+            if not isinstance(self.sweep, dict):
+                raise ReproError("kind='sweep' requires a sweep spec "
+                                 "object (see EXPERIMENTS.md)")
+            from repro.sweep.spec import SweepSpec
+            # Normalize through the sweep validator so two submissions
+            # spelling the same grid differently share one digest.
+            object.__setattr__(
+                self, "sweep", SweepSpec.from_dict(self.sweep).to_dict())
+        elif self.sweep is not None:
+            raise ReproError("'sweep' is only valid with kind='sweep'")
         if self.kind == "bench":
             if not self.workload:
                 raise ReproError("kind='bench' requires a workload name")
@@ -95,7 +109,8 @@ class ServiceJobSpec:
         return stable_digest(
             "service-request", self.kind, self.source, self.workload,
             tuple(sorted(set(self.models))), self.width, self.branches,
-            self.real_caches, self.scale, self.max_steps)
+            self.real_caches, self.scale, self.max_steps,
+            *((self.sweep,) if self.sweep is not None else ()))
 
     # ----- wire format --------------------------------------------------
 
@@ -110,6 +125,8 @@ class ServiceJobSpec:
             data["source"] = self.source
         if self.workload is not None:
             data["workload"] = self.workload
+        if self.sweep is not None:
+            data["sweep"] = self.sweep
         if self.deadline is not None:
             data["deadline"] = self.deadline
         return data
@@ -119,9 +136,9 @@ class ServiceJobSpec:
         if not isinstance(data, dict):
             raise ReproError(f"job spec must be a JSON object, got "
                              f"{type(data).__name__}")
-        known = {"kind", "source", "workload", "models", "width",
-                 "branches", "real_caches", "scale", "max_steps",
-                 "deadline"}
+        known = {"kind", "source", "workload", "sweep", "models",
+                 "width", "branches", "real_caches", "scale",
+                 "max_steps", "deadline"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ReproError(f"unknown job spec fields: "

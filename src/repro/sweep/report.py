@@ -1,0 +1,117 @@
+"""Text rendering for sweep results: surfaces, Pareto fronts, diffs.
+
+Operates on the parsed canonical JSON (``SweepResult.to_dict()``
+shape), so ``repro sweep report``/``diff`` work on stored result files
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+
+def _fmt_group(group: dict) -> str:
+    if not group:
+        return "(whole grid)"
+    return " ".join(f"{key}={value}" for key, value in sorted(
+        group.items()))
+
+
+def _widths_of(surface: dict) -> list[int]:
+    widths: set[int] = set()
+    for per_width in surface["mean_speedup"].values():
+        widths.update(int(w) for w in per_width)
+    return sorted(widths)
+
+
+def render(result: dict) -> str:
+    """Human-readable report for one sweep result dict."""
+    spec = result["spec"]
+    lines = [
+        f"sweep {spec.get('name', 'sweep')}  "
+        f"digest {result['sweep_digest'][:12]}",
+        f"  {len(result['points'])} points | models: "
+        f"{', '.join(spec['models'])} | workloads: "
+        f"{', '.join(sorted(result['baseline_cycles']))}",
+        "",
+        "mean speedup vs 1-issue superblock baseline",
+    ]
+    for surface in result["surfaces"]:
+        widths = _widths_of(surface)
+        lines.append(f"  [{_fmt_group(surface['group'])}]")
+        header = "    {:<12}".format("model") + "".join(
+            f"{'w=' + str(w):>9}" for w in widths)
+        lines.append(header)
+        for model in spec["models"]:
+            per_width = surface["mean_speedup"].get(model, {})
+            cells = "".join(
+                f"{per_width[str(w)]:>9.3f}" if str(w) in per_width
+                else f"{'-':>9}" for w in widths)
+            lines.append(f"    {model:<12}{cells}")
+    lines.append("")
+    lines.append("pareto frontier (cheapest issue width per speedup)")
+    for workload in sorted(result["pareto"]):
+        per_model = result["pareto"][workload]
+        for model in spec["models"]:
+            front = per_model.get(model)
+            if not front:
+                continue
+            stairs = " -> ".join(
+                f"w{step['issue_width']}:{step['speedup']:.3f}"
+                for step in front)
+            lines.append(f"  {workload:<10} {model:<12} {stairs}")
+    return "\n".join(lines) + "\n"
+
+
+# ----- diff -----------------------------------------------------------------
+
+def _index_points(result: dict) -> dict[str, dict]:
+    return {entry["machine_digest"]: entry
+            for entry in result["points"]}
+
+
+def diff(old: dict, new: dict, epsilon: float = 1e-6) -> str:
+    """Compare two sweep results point-for-point.
+
+    Points pair up by machine digest (grid membership), so diffing
+    results from overlapping-but-different specs reports added and
+    removed configurations rather than misaligning indices.  Speedup
+    changes smaller than ``epsilon`` are noise and suppressed.
+    """
+    lines = [f"sweep diff: {old['sweep_digest'][:12]} -> "
+             f"{new['sweep_digest'][:12]}"]
+    old_base = old["baseline_cycles"]
+    new_base = new["baseline_cycles"]
+    for workload in sorted(set(old_base) | set(new_base)):
+        before, after = old_base.get(workload), new_base.get(workload)
+        if before != after:
+            lines.append(f"  baseline {workload}: {before} -> {after} "
+                         f"cycles")
+    old_points = _index_points(old)
+    new_points = _index_points(new)
+    for digest in sorted(set(old_points) - set(new_points)):
+        lines.append(f"  - removed {old_points[digest]['machine']}")
+    for digest in sorted(set(new_points) - set(old_points)):
+        lines.append(f"  + added   {new_points[digest]['machine']}")
+    common = sorted(set(old_points) & set(new_points))
+    changed = 0
+    for digest in common:
+        a, b = old_points[digest], new_points[digest]
+        deltas = []
+        for workload in sorted(set(a["workloads"]) & set(b["workloads"])):
+            for model in sorted(set(a["workloads"][workload])
+                                & set(b["workloads"][workload])):
+                before = a["workloads"][workload][model]["speedup"]
+                after = b["workloads"][workload][model]["speedup"]
+                if abs(after - before) > epsilon:
+                    deltas.append(f"{workload}/{model} "
+                                  f"{before:.3f} -> {after:.3f}")
+        if deltas:
+            changed += 1
+            lines.append(f"  ~ {a['machine']}: " + "; ".join(deltas))
+    if changed == 0 and len(lines) == 1:
+        lines.append("  identical")
+    else:
+        lines.append(f"  {changed} changed, {len(common) - changed} "
+                     f"identical, "
+                     f"{len(set(new_points) - set(old_points))} added, "
+                     f"{len(set(old_points) - set(new_points))} removed")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,173 @@
+"""Sweep aggregation: canonical result JSON, surfaces, Pareto fronts.
+
+A :class:`SweepResult` holds everything a sweep measured, keyed so the
+canonical encoding (:meth:`SweepResult.to_json`) is *byte-identical*
+across ``--jobs`` levels, SIGKILL+resume, and server restarts: sorted
+keys, fixed separators, floats rounded to six places, no timestamps.
+Derived views — mean-speedup surfaces per axis group and per-workload
+Pareto frontiers over (issue width minimized, speedup maximized) — are
+computed from the per-point measurements at build time, so a stored
+result file is self-contained for ``repro sweep report``/``diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.engine.keys import SCHEMA_VERSION
+from repro.robustness.errors import SpecError
+
+#: axes that identify a surface group (everything but issue width)
+GROUP_AXES = ("branch_limit", "caches", "icache_bytes", "dcache_bytes",
+              "miss_penalty", "btb_entries", "btb_penalty", "latencies")
+
+
+def _round(value: float) -> float:
+    return round(float(value), 6)
+
+
+@dataclass
+class SweepResult:
+    """One sweep's measurements plus derived surface/Pareto views."""
+
+    spec: dict
+    sweep_digest: str
+    #: workload -> 1-issue superblock baseline cycles
+    baseline_cycles: dict[str, int]
+    #: one entry per lattice point: {"index", "machine_digest",
+    #: "machine", "axes", "workloads": {wl: {model: {"cycles",
+    #: "speedup"}}}}
+    points: list[dict]
+    surfaces: list[dict] = field(default_factory=list)
+    pareto: dict[str, dict[str, list[dict]]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.surfaces:
+            self.surfaces = build_surfaces(self.points,
+                                           self.spec["models"])
+        if not self.pareto:
+            self.pareto = build_pareto(self.points, self.spec["models"])
+
+    # ----- canonical encoding -------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "sweep",
+            "sweep_digest": self.sweep_digest,
+            "spec": self.spec,
+            "baseline_cycles": dict(sorted(
+                self.baseline_cycles.items())),
+            "points": self.points,
+            "surfaces": self.surfaces,
+            "pareto": self.pareto,
+        }
+
+    def to_json(self) -> str:
+        """Canonical, timestamp-free bytes (plus no trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SweepResult":
+        if not isinstance(data, dict) or data.get("kind") != "sweep":
+            raise SpecError("not a sweep result (expected a JSON object "
+                            "with kind='sweep')")
+        return cls(spec=data["spec"],
+                   sweep_digest=data["sweep_digest"],
+                   baseline_cycles=data["baseline_cycles"],
+                   points=data["points"],
+                   surfaces=data.get("surfaces", []),
+                   pareto=data.get("pareto", {}))
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepResult":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise SpecError(f"cannot read sweep result {path}: {exc}") \
+                from exc
+        except ValueError as exc:
+            raise SpecError(f"invalid JSON in {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+# ----- derived views --------------------------------------------------------
+
+def build_point_entry(point, measurements: dict[str, dict[str, dict]]
+                      ) -> dict:
+    """One canonical ``points`` entry for a :class:`SweepPoint`."""
+    return {
+        "index": point.index,
+        "machine": point.machine.name,
+        "machine_digest": point.machine.digest(),
+        "schedule_digest": point.machine.schedule_digest(),
+        "axes": point.axes_dict(),
+        "workloads": measurements,
+    }
+
+
+def build_surfaces(points: list[dict], models: list[str]) -> list[dict]:
+    """Mean-speedup-vs-issue-width tables, one per axis group.
+
+    Groups are every combination of the non-width axes present in the
+    lattice; within a group, each model maps issue width (as a string
+    key — JSON) to the arithmetic-mean speedup across workloads, the
+    paper's averaging.
+    """
+    groups: dict[tuple, dict] = {}
+    for entry in points:
+        axes = entry["axes"]
+        key = tuple((axis, axes.get(axis)) for axis in GROUP_AXES)
+        group = groups.setdefault(key, {
+            "group": {axis: value for axis, value in key
+                      if value is not None},
+            "mean_speedup": {model: {} for model in models}})
+        width = str(axes["issue_width"])
+        for model in models:
+            speedups = [row[model]["speedup"]
+                        for row in entry["workloads"].values()
+                        if model in row]
+            if speedups:
+                group["mean_speedup"][model][width] = _round(
+                    sum(speedups) / len(speedups))
+    return [groups[key] for key in sorted(
+        groups, key=lambda k: json.dumps(k, sort_keys=True))]
+
+
+def build_pareto(points: list[dict], models: list[str]
+                 ) -> dict[str, dict[str, list[dict]]]:
+    """Per-(workload, model) Pareto frontier: speedup vs issue width.
+
+    A point is on the frontier when no other point achieves at least
+    its speedup at a smaller-or-equal issue width.  Points are swept in
+    (width ascending, speedup descending) order and kept only when they
+    strictly improve the best speedup seen, so each frontier is the
+    minimal staircase of "cheapest width achieving this speedup".
+    """
+    by_workload: dict[str, dict[str, list[tuple]]] = {}
+    for entry in points:
+        width = entry["axes"]["issue_width"]
+        for workload, row in entry["workloads"].items():
+            per_model = by_workload.setdefault(workload, {})
+            for model in models:
+                if model in row:
+                    per_model.setdefault(model, []).append(
+                        (width, row[model]["speedup"], entry["index"]))
+    frontier: dict[str, dict[str, list[dict]]] = {}
+    for workload in sorted(by_workload):
+        frontier[workload] = {}
+        for model, candidates in sorted(by_workload[workload].items()):
+            candidates.sort(key=lambda c: (c[0], -c[1], c[2]))
+            best = float("-inf")
+            front = []
+            for width, speedup, index in candidates:
+                if speedup > best:
+                    best = speedup
+                    front.append({"issue_width": width,
+                                  "speedup": _round(speedup),
+                                  "point": index})
+            frontier[workload][model] = front
+    return frontier

@@ -313,8 +313,8 @@ def run_compiled(compiled: CompiledProgram,
             raise TraceIntegrityError(
                 f"emulation of {compiled.model.value} produced no trace")
         stats = simulate_columns(
-            execution.trace, prepare_sim(decoded, compiled.addresses),
-            machine)
+            execution.trace,
+            prepare_sim(decoded, compiled.addresses, machine), machine)
         return RunResult(compiled=compiled, execution=execution,
                          stats=stats)
     execution = run_program(compiled.program, inputs=inputs,

@@ -69,3 +69,59 @@ def test_machine_latency_delegates():
 
 def test_predicate_use_delay_default():
     assert MachineDescription().predicate_use_delay == 1
+
+
+# ----- latency-table overrides ----------------------------------------------
+
+def test_latency_overrides_by_opcode_and_category():
+    from repro.ir.opcodes import OpCategory, category
+    m = MachineDescription(latency_overrides=(("load", 4), ("mul", 5)))
+    assert m.latency(Opcode.LOAD) == 4
+    assert category(Opcode.LOAD_B) == OpCategory.LOAD
+    assert m.latency(Opcode.LOAD_B) == 4      # "load" is the category
+    assert m.latency(Opcode.MUL) == 5         # "mul" is opcode-specific
+    assert m.latency(Opcode.ADD) == 1         # untouched default
+
+
+def test_opcode_override_beats_category_override():
+    m = MachineDescription(latency_overrides={"load": 4, "load_b": 7})
+    assert m.latency(Opcode.LOAD_B) == 7      # specific opcode wins
+    assert m.latency(Opcode.LOAD) == 4        # category covers the rest
+
+
+def test_latency_overrides_accept_mapping_and_normalize_order():
+    a = MachineDescription(latency_overrides={"mul": 5, "load": 4})
+    b = MachineDescription(latency_overrides=(("load", 4), ("mul", 5)))
+    assert a.latency_overrides == b.latency_overrides
+    assert a.digest() == b.digest()
+    assert a.schedule_digest() == b.schedule_digest()
+
+
+def test_latency_overrides_change_both_digests():
+    base = MachineDescription()
+    tuned = base.with_latencies({"load": 4})
+    assert tuned.digest() != base.digest()
+    # Latencies drive DAG edge weights: schedule-relevant.
+    assert tuned.schedule_digest() != base.schedule_digest()
+
+
+def test_empty_overrides_keep_legacy_digests():
+    assert MachineDescription(latency_overrides=()).digest() \
+        == MachineDescription().digest()
+
+
+def test_unknown_latency_name_is_typed_spec_error():
+    import pytest
+    from repro.robustness.errors import SpecError
+    with pytest.raises(SpecError, match="unknown op class"):
+        MachineDescription(latency_overrides={"ld": 2}).digest()
+    with pytest.raises(SpecError):
+        MachineDescription(latency_overrides={"bogus": 1})
+
+
+def test_latency_cycles_out_of_range_rejected():
+    import pytest
+    from repro.robustness.errors import SpecError
+    for bad in (0, -1, 1025, True, 1.5):
+        with pytest.raises(SpecError):
+            MachineDescription(latency_overrides={"load": bad})

@@ -1,0 +1,66 @@
+"""Rendered sweep reports and point-for-point diffs."""
+
+from repro.sweep import SweepResult, SweepSpec, run_sweep
+from repro.sweep.report import diff, render
+
+
+def _result(**over):
+    spec = SweepSpec(**{**dict(name="r", workloads=("wc",),
+                               models=("superblock", "cmov"),
+                               issue_widths=(1, 2),
+                               caches=("perfect",), scale=0.2,
+                               max_steps=2_000_000), **over})
+    return run_sweep(spec).result
+
+
+def test_render_names_surfaces_and_pareto():
+    text = render(_result().to_dict())
+    assert "mean speedup vs 1-issue superblock baseline" in text
+    assert "w=1" in text and "w=2" in text
+    assert "superblock" in text and "cmov" in text
+    assert "pareto frontier" in text
+    assert "wc" in text
+
+
+def test_surfaces_group_by_non_width_axes():
+    result = _result(caches=("perfect", "real")).to_dict()
+    groups = [s["group"].get("caches") for s in result["surfaces"]]
+    assert sorted(groups) == ["perfect", "real"]
+    for surface in result["surfaces"]:
+        widths = set(surface["mean_speedup"]["superblock"])
+        assert widths == {"1", "2"}
+
+
+def test_pareto_is_a_strictly_improving_staircase():
+    result = _result(issue_widths=(1, 2, 4, 8)).to_dict()
+    for per_model in result["pareto"].values():
+        for front in per_model.values():
+            widths = [step["issue_width"] for step in front]
+            speedups = [step["speedup"] for step in front]
+            assert widths == sorted(widths)
+            assert speedups == sorted(speedups)
+            assert len(set(speedups)) == len(speedups)
+
+
+def test_result_roundtrip_preserves_bytes(tmp_path):
+    result = _result()
+    path = tmp_path / "r.json"
+    path.write_text(result.to_json() + "\n")
+    again = SweepResult.from_file(str(path))
+    assert again.to_json() == result.to_json()
+
+
+def test_diff_identical_results():
+    a = _result()
+    text = diff(a.to_dict(), a.to_dict())
+    assert "identical" in text
+
+
+def test_diff_reports_added_removed_and_changed():
+    a = _result(issue_widths=(1, 2))
+    b = _result(issue_widths=(2, 4))
+    text = diff(a.to_dict(), b.to_dict())
+    assert "+ added" in text and "- removed" in text
+    c = _result(issue_widths=(1, 2), scale=0.3)
+    text = diff(a.to_dict(), c.to_dict())
+    assert "~" in text and "changed" in text

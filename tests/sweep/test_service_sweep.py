@@ -1,0 +1,87 @@
+"""Sweep jobs through the experiment service: submit, watch, dedup."""
+
+import pytest
+
+from repro.robustness.errors import ReproError
+from repro.service.client import ServiceClient
+from repro.service.quota import QuotaConfig
+from repro.service.server import ServiceConfig, ServiceRunner
+from repro.service.spec import ServiceJobSpec
+from repro.sweep import SweepResult, SweepSpec, run_sweep
+
+GRID = dict(name="svc", workloads=["wc"], models=["superblock", "cmov"],
+            issue_widths=[1, 2], caches=["perfect"], scale=0.2,
+            max_steps=2_000_000)
+
+
+def _config(tmp_path, **kwargs):
+    kwargs.setdefault("quota", QuotaConfig(rate=10_000.0, burst=10_000,
+                                           max_concurrent=10_000))
+    kwargs.setdefault("workers", 1)
+    return ServiceConfig(cache_dir=str(tmp_path), **kwargs)
+
+
+def test_sweep_spec_kind_validates_and_digests():
+    spec = ServiceJobSpec(kind="sweep", sweep=dict(GRID))
+    # Normalized to the canonical sweep dict.
+    assert spec.sweep["models"] == ["superblock", "cmov"]
+    same = ServiceJobSpec(kind="sweep", sweep=dict(GRID, name="other"))
+    assert spec.request_digest() != same.request_digest()  # name differs
+    assert ServiceJobSpec(kind="sweep", sweep=dict(GRID)).request_digest() \
+        == spec.request_digest()
+
+
+def test_sweep_field_requires_sweep_kind():
+    with pytest.raises(ReproError, match="only valid with kind='sweep'"):
+        ServiceJobSpec(kind="bench", workload="wc", sweep=dict(GRID))
+    with pytest.raises(ReproError, match="requires a sweep spec"):
+        ServiceJobSpec(kind="sweep")
+
+
+def test_invalid_sweep_grid_rejected_at_admission():
+    with pytest.raises(ReproError):
+        ServiceJobSpec(kind="sweep", sweep=dict(GRID, issue_widths=[0]))
+
+
+def test_sweep_job_round_trip_matches_direct_run(tmp_path):
+    with ServiceRunner(_config(tmp_path / "svc")) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        response = client.submit(
+            ServiceJobSpec(kind="sweep", sweep=dict(GRID)))
+        job_id = response["job"]["job_id"]
+        result_json = client.result(job_id, timeout=120)
+    direct = run_sweep(SweepSpec.from_dict(dict(GRID)),
+                       cache_dir=str(tmp_path / "direct"))
+    assert result_json == direct.result.to_json()
+    parsed = SweepResult.from_dict(__import__("json").loads(result_json))
+    assert len(parsed.points) == 2
+
+
+def test_watch_streams_point_granularity_progress(tmp_path):
+    with ServiceRunner(_config(tmp_path)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        response = client.submit(
+            ServiceJobSpec(kind="sweep", sweep=dict(GRID)))
+        job_id = response["job"]["job_id"]
+        progress = []
+        for event in client.watch(job_id):
+            if event.get("event") == "progress":
+                progress.append(event)
+        # 2 lattice points + the scalar baseline point.
+        assert [p["tasks_done"] for p in progress] == [1, 2, 3]
+        assert all(p["tasks_total"] == 3 for p in progress)
+        assert all(p["task"].startswith("sweep:") for p in progress)
+
+
+def test_bench_job_watch_reports_tasks_total(tmp_path):
+    with ServiceRunner(_config(tmp_path)) as runner:
+        client = ServiceClient("127.0.0.1", runner.port)
+        response = client.submit(ServiceJobSpec(
+            kind="bench", workload="wc", models=("superblock",),
+            scale=0.2, max_steps=2_000_000))
+        job_id = response["job"]["job_id"]
+        progress = [e for e in client.watch(job_id)
+                    if e.get("event") == "progress"]
+        # baseline + one model = 2 simulate tasks.
+        assert progress and progress[-1]["tasks_done"] == 2
+        assert all(p["tasks_total"] == 2 for p in progress)

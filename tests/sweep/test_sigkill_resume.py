@@ -1,0 +1,93 @@
+"""SIGKILL a live `repro sweep run` subprocess, then resume it.
+
+The satellite guarantee: a sweep killed with SIGKILL (no atexit, no
+signal handler, no flushing) resumes from its fsync'd journal to a
+byte-identical SweepResult, recomputing zero completed points.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.engine.recovery.journal import journal_path, replay_journal
+
+SPEC = dict(name="kill", workloads=["wc", "qsort"],
+            models=["superblock", "cmov"], issue_widths=[1, 2],
+            caches=["perfect", "real"], scale=0.3,
+            max_steps=4_000_000)
+RUN_ID = "RKILL-TEST"
+
+
+def _cmd(tmp_path, *extra):
+    return [sys.executable, "-m", "repro", "sweep", "run",
+            str(tmp_path / "spec.json"), "--cache-dir",
+            str(tmp_path / "cache"), "-o", str(tmp_path / "out.json"),
+            *extra]
+
+
+def _env():
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    return env
+
+
+def test_sigkill_mid_sweep_resumes_byte_identical(tmp_path):
+    (tmp_path / "spec.json").write_text(json.dumps(SPEC))
+    jpath = journal_path(tmp_path / "cache" / "runs", RUN_ID)
+
+    proc = subprocess.Popen(_cmd(tmp_path, "--run-id", RUN_ID),
+                            env=_env(), stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    # Kill as soon as the journal proves at least one task finished —
+    # mid-sweep, not before it starts and (at this scale) not after
+    # it ends.
+    deadline = time.monotonic() + 120
+    killed = False
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break  # finished before we could kill: still a valid resume
+        if jpath.exists() and b'"task-finish"' in jpath.read_bytes():
+            proc.kill()  # SIGKILL
+            proc.wait(timeout=30)
+            killed = True
+            break
+        time.sleep(0.01)
+    else:
+        proc.kill()
+        raise AssertionError("sweep never journaled a task-finish")
+    if killed:
+        assert proc.returncode == -signal.SIGKILL
+
+    state = replay_journal(jpath)
+    done_before = set(state.completed)
+
+    resumed = subprocess.run(
+        _cmd(tmp_path, "--resume", RUN_ID), env=_env(),
+        capture_output=True, text=True, timeout=300)
+    assert resumed.returncode == 0, resumed.stderr
+
+    # Zero recompute: no task completed before the kill was started
+    # again after the run-resume record.
+    entries = [json.loads(line) for line in
+               jpath.read_bytes().splitlines() if line.strip()]
+    resume_at = next(i for i, r in enumerate(entries)
+                     if r.get("type") == "run-resume")
+    restarted = [r["task"] for r in entries[resume_at:]
+                 if r.get("type") == "task-start"
+                 and r.get("task") in done_before]
+    assert restarted == []
+    assert replay_journal(jpath).finished
+
+    reference = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "run",
+         str(tmp_path / "spec.json"), "--cache-dir",
+         str(tmp_path / "ref"), "-o", str(tmp_path / "ref.json")],
+        env=_env(), capture_output=True, text=True, timeout=600)
+    assert reference.returncode == 0, reference.stderr
+    assert (tmp_path / "out.json").read_bytes() \
+        == (tmp_path / "ref.json").read_bytes()

@@ -1,0 +1,122 @@
+"""SweepSpec validation, lattice expansion and digest identity."""
+
+import json
+
+import pytest
+
+from repro.robustness.errors import SpecError
+from repro.sweep import SweepSpec
+
+
+def test_defaults_expand_to_issue_width_axis():
+    spec = SweepSpec()
+    points = spec.expand()
+    assert [p.axes_dict()["issue_width"] for p in points] == [1, 2, 4, 8]
+    assert [p.index for p in points] == [0, 1, 2, 3]
+
+
+def test_perfect_cache_collapses_geometry_axes():
+    spec = SweepSpec(issue_widths=(8,), caches=("perfect",),
+                     icache_bytes=(1024, 2048), dcache_bytes=(2048,))
+    assert len(spec.expand()) == 1  # geometry is irrelevant, deduped
+
+
+def test_real_cache_expands_geometry_axes():
+    spec = SweepSpec(issue_widths=(8,), caches=("real",),
+                     icache_bytes=(1024, 2048), miss_penalties=(12, 24))
+    assert len(spec.expand()) == 4
+
+
+def test_lattice_dedups_by_machine_digest():
+    spec = SweepSpec(issue_widths=(1, 2), caches=("perfect", "real"))
+    points = spec.expand()
+    digests = [p.machine.digest() for p in points]
+    assert len(digests) == len(set(digests))
+
+
+def test_point_index_is_stable_identity():
+    a = SweepSpec(issue_widths=(1, 2, 4), caches=("perfect", "real"))
+    b = SweepSpec(issue_widths=(1, 2, 4), caches=("perfect", "real"))
+    assert [(p.index, p.machine.digest()) for p in a.expand()] \
+        == [(p.index, p.machine.digest()) for p in b.expand()]
+
+
+def test_sweep_digest_ignores_name_only():
+    a = SweepSpec(name="a", issue_widths=(1, 2))
+    b = SweepSpec(name="b", issue_widths=(1, 2))
+    c = SweepSpec(name="a", issue_widths=(1, 4))
+    assert a.sweep_digest() == b.sweep_digest()
+    assert a.sweep_digest() != c.sweep_digest()
+
+
+def test_model_order_is_canonicalized():
+    a = SweepSpec(models=("fullpred", "superblock"))
+    b = SweepSpec(models=("superblock", "fullpred"))
+    assert a.models == b.models == ("superblock", "fullpred")
+    assert a.sweep_digest() == b.sweep_digest()
+
+
+def test_latency_sets_become_machine_overrides():
+    spec = SweepSpec(issue_widths=(8,),
+                     latency_sets=(("pa7100", ()),
+                                   ("slowload", (("load", 4),))))
+    points = spec.expand()
+    assert len(points) == 2
+    by_name = {p.axes_dict()["latencies"]: p.machine for p in points}
+    from repro.ir.opcodes import Opcode
+    assert by_name["pa7100"].latency(Opcode.LOAD) == 2
+    assert by_name["slowload"].latency(Opcode.LOAD) == 4
+
+
+@pytest.mark.parametrize("bad", [
+    {"issue_widths": []},
+    {"issue_widths": [0]},
+    {"issue_widths": [1, 1]},
+    {"models": ["superblock", "vliw"]},
+    {"models": []},
+    {"caches": ["write-back"]},
+    {"workloads": ["nosuch"]},
+    {"scale": 0},
+    {"latency_sets": ()},
+    {"latency_sets": (("t", (("ld", 2),)),)},
+    {"btb_penalties": [-1]},
+])
+def test_invalid_specs_raise_typed_spec_error(bad):
+    with pytest.raises(SpecError):
+        SweepSpec(**bad)
+
+
+def test_spec_error_exit_code_is_11():
+    assert SpecError.exit_code == 11
+
+
+def test_grid_size_bound_fails_loudly():
+    with pytest.raises(SpecError, match="exceeds"):
+        SweepSpec(issue_widths=tuple(range(1, 17)),
+                  branch_limits=(1, 2, 3, 4, 5, 6, 7, 8),
+                  btb_entries=(64, 128, 256, 512),
+                  btb_penalties=tuple(range(10)))
+
+
+def test_wire_roundtrip(tmp_path):
+    spec = SweepSpec(name="rt", workloads=("wc",),
+                     models=("superblock", "cmov"), issue_widths=(1, 2),
+                     caches=("perfect", "real"),
+                     latency_sets=(("slow", (("load", 4),)),))
+    again = SweepSpec.from_dict(spec.to_dict())
+    assert again == spec
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    assert SweepSpec.from_file(str(path)) == spec
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(SpecError, match="unknown sweep spec fields"):
+        SweepSpec.from_dict({"issue_width": [1]})
+
+
+def test_from_file_bad_json_is_typed(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{nope")
+    with pytest.raises(SpecError, match="invalid JSON"):
+        SweepSpec.from_file(str(path))
