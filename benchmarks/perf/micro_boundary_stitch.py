@@ -1,0 +1,7 @@
+"""Chunk-boundary state stitching overhead on deliberately tiny chunks.
+Run with ``PYTHONPATH=src python benchmarks/perf/micro_boundary_stitch.py``."""
+
+from repro.fastpath import micro
+
+if __name__ == "__main__":
+    print(micro.render([micro.bench_boundary_stitch()]))

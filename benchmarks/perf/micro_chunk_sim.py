@@ -1,0 +1,7 @@
+"""Chunked cycle simulation: stream scalar loop vs vector backend.
+Run with ``PYTHONPATH=src python benchmarks/perf/micro_chunk_sim.py``."""
+
+from repro.fastpath import micro
+
+if __name__ == "__main__":
+    print(micro.render([micro.bench_chunk_simulate()]))

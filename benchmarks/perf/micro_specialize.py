@@ -1,0 +1,7 @@
+"""Vector-backend specialization cost amortized over trace length.
+Run with ``PYTHONPATH=src python benchmarks/perf/micro_specialize.py``."""
+
+from repro.fastpath import micro
+
+if __name__ == "__main__":
+    print(micro.render([micro.bench_specialize()]))

@@ -156,6 +156,14 @@ def _default_cache_dir() -> str:
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine",
+                        choices=("legacy", "fastpath", "stream",
+                                 "vector"),
+                        default="fastpath",
+                        help="execution backend (default fastpath); "
+                             "every engine is byte-identical — vector "
+                             "is the fastest and shards its trace "
+                             "across --jobs workers")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan pipeline work across N pool processes "
                              "(default 1: serial, in-process)")
@@ -187,7 +195,11 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
                         help="compare stage wall times against a "
                              "baseline bench JSON; exit "
                              f"{_BENCH_REGRESSION_EXIT} if any stage "
-                             "regresses by more than 25%%")
+                             "regresses by more than 25%%.  With "
+                             "--engine vector, additionally require "
+                             f"emulate/simulate to run "
+                             f"{_VECTOR_MIN_SPEEDUP}x faster per "
+                             "invocation than the baseline")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile each pipeline stage; write "
                              "per-stage .pstats and a top-20 cumulative "
@@ -202,6 +214,11 @@ def _cache_dir(args) -> str | None:
 
 #: exit code for a >threshold stage-walltime regression (--compare)
 _BENCH_REGRESSION_EXIT = 3
+
+#: per-invocation emulate/simulate speedup the vector engine must
+#: sustain over the committed fastpath baseline (--engine vector
+#: --compare)
+_VECTOR_MIN_SPEEDUP = 2.5
 
 
 def _attach_profiler(suite, args):
@@ -232,12 +249,13 @@ def _print_metrics(metrics, args, profiler=None) -> int:
             print(f"wrote {path}", file=sys.stderr)
     baseline_path = getattr(args, "compare", None)
     if baseline_path:
-        from repro.engine.metrics import compare_stage_walltimes
+        from repro.engine.metrics import (compare_stage_walltimes,
+                                          vector_speedup_floor)
         import json as _json
         with open(baseline_path) as handle:
             baseline = _json.load(handle)
-        regressions = compare_stage_walltimes(metrics.to_dict(),
-                                              baseline)
+        current = metrics.to_dict()
+        regressions = compare_stage_walltimes(current, baseline)
         if regressions:
             print(f"stage regressions vs {baseline_path}:",
                   file=sys.stderr)
@@ -246,6 +264,21 @@ def _print_metrics(metrics, args, profiler=None) -> int:
             return _BENCH_REGRESSION_EXIT
         print(f"no stage regressions vs {baseline_path}",
               file=sys.stderr)
+        if getattr(args, "engine", None) == "vector":
+            # The vector engine additionally owes a speedup *floor*
+            # over the committed fastpath baseline, not just absence
+            # of regression.
+            floor = vector_speedup_floor(current, baseline,
+                                         min_speedup=_VECTOR_MIN_SPEEDUP)
+            if floor:
+                print(f"vector engine below its "
+                      f"{_VECTOR_MIN_SPEEDUP:.1f}x speedup floor vs "
+                      f"{baseline_path}:", file=sys.stderr)
+                for line in floor:
+                    print(f"  {line}", file=sys.stderr)
+                return _BENCH_REGRESSION_EXIT
+            print(f"vector speedup floor ({_VECTOR_MIN_SPEEDUP:.1f}x) "
+                  f"met vs {baseline_path}", file=sys.stderr)
     return 0
 
 
@@ -327,8 +360,11 @@ def _cmd_run(args) -> int:
     options = _options(args)
     compiled = compile_for_model(base, model, profile, machine, options)
     _print_degradations(compiled)
+    engine = args.engine
+    if engine is None and args.stream:
+        engine = "stream"
     result = run_compiled(compiled, inputs=None, watchdog=_watchdog(args),
-                          stream=args.stream)
+                          engine=engine)
     scalar = run_compiled(
         compile_for_model(base, Model.SUPERBLOCK, profile,
                           scalar_machine(), options),
@@ -363,6 +399,7 @@ def _cmd_bench(args) -> int:
                             paranoid=args.paranoid,
                             wall_clock_budget=args.time_budget,
                             cache_dir=_cache_dir(args), jobs=args.jobs,
+                            engine=args.engine,
                             **_suite_recovery_kwargs(args))
     _announce_run(suite)
     profiler = _attach_profiler(suite, args)
@@ -391,7 +428,8 @@ def _cmd_bench(args) -> int:
 
 
 def _run_differential(workload, machine, args) -> None:
-    """Prove legacy, fastpath and streaming agree on every observable.
+    """Prove legacy, fastpath, streaming and vector agree on every
+    observable.
 
     Raises :class:`~repro.robustness.errors.ModelDivergenceError` (CLI
     exit code 15) on the first divergence.
@@ -408,7 +446,7 @@ def _run_differential(workload, machine, args) -> None:
                                    machine=machine,
                                    workload=workload.name)
         print(f"differential {workload.name}/{model.value}: legacy, "
-              f"fastpath and streaming agree", file=sys.stderr)
+              f"fastpath, streaming and vector agree", file=sys.stderr)
 
 
 def _cmd_report(args) -> int:
@@ -417,6 +455,7 @@ def _cmd_report(args) -> int:
                             paranoid=args.paranoid,
                             wall_clock_budget=args.time_budget,
                             cache_dir=_cache_dir(args), jobs=args.jobs,
+                            engine=args.engine,
                             **_suite_recovery_kwargs(args))
     _announce_run(suite)
     profiler = _attach_profiler(suite, args)
@@ -633,6 +672,7 @@ def _cmd_sweep_run(args) -> int:
                   "workers (--jobs) are not profiled", file=sys.stderr)
     outcome = run_sweep(spec, cache_dir=_cache_dir(args),
                         jobs=args.jobs, metrics=metrics,
+                        engine=args.engine,
                         **_suite_recovery_kwargs(args))
     if outcome.run_id is not None:
         print(f"run id: {outcome.run_id} (resume with --resume "
@@ -859,9 +899,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="compile, emulate and simulate a file")
     p.add_argument("file", help="MiniC source file, or - for stdin")
     p.add_argument("--model", choices=sorted(_MODELS), default="fullpred")
+    p.add_argument("--engine",
+                   choices=("legacy", "fastpath", "stream", "vector"),
+                   default=None,
+                   help="execution backend (default fastpath; all "
+                        "engines are byte-identical)")
     p.add_argument("--stream", action="store_true",
                    help="stream emulation chunks straight into the "
-                        "cycle simulator (no full trace in memory)")
+                        "cycle simulator (no full trace in memory); "
+                        "same as --engine stream")
     _add_machine_args(p)
     _add_robustness_args(p)
     p.set_defaults(func=_cmd_run)
@@ -877,8 +923,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=3,
                    help="timeit repetitions for --micro (default 3)")
     p.add_argument("--differential", action="store_true",
-                   help="after benchmarking, prove legacy, fastpath and "
-                        "streaming engines agree on every observable")
+                   help="after benchmarking, prove the legacy, "
+                        "fastpath, streaming and vector engines agree "
+                        "on every observable")
     _add_machine_args(p)
     _add_robustness_args(p)
     _add_engine_args(p)

@@ -90,6 +90,9 @@ class PipelineMetrics:
     service_jobs_done: int = 0
     #: total service job execution wall time (queue wait excluded)
     service_seconds: float = 0.0
+    #: trace chunks consumed by the vector simulation backend (see
+    #: :mod:`repro.fastpath.vector`); stays 0 on the other engines
+    vector_chunks_total: int = 0
     #: design-space sweep points evaluated (see :mod:`repro.sweep`)
     sweep_points_total: int = 0
     #: sweep points served entirely from the artifact store (no
@@ -132,6 +135,19 @@ class PipelineMetrics:
 
     def add_cycles(self, cycles: int) -> None:
         self.total_cycles_simulated += cycles
+
+    def record_stage(self, stage: str, seconds: float,
+                     invocations: int = 1) -> None:
+        """Credit pre-measured wall time to a stage.
+
+        The fused engines (stream, vector) interleave emulation and
+        simulation inside one call, so they time the simulator feeds
+        themselves and report the split here instead of via
+        :meth:`timer`.
+        """
+        m = self.stages.setdefault(stage, StageMetrics())
+        m.invocations += invocations
+        m.wall_seconds += seconds
 
     def record_retry(self, backoff_seconds: float) -> None:
         self.task_retries += 1
@@ -197,6 +213,14 @@ class PipelineMetrics:
         return self.service_jobs_done / self.service_seconds
 
     @property
+    def vector_chunks_per_second(self) -> float:
+        """Vector-backend chunk throughput over simulate wall time."""
+        sim = self.stages.get("simulate")
+        if sim is None or sim.wall_seconds <= 0:
+            return 0.0
+        return self.vector_chunks_total / sim.wall_seconds
+
+    @property
     def sweep_points_per_second(self) -> float:
         """Sweep throughput over campaign wall time."""
         if self.sweep_seconds <= 0:
@@ -232,6 +256,7 @@ class PipelineMetrics:
         self.breaker_trips += data.get("breaker_trips", 0)
         self.service_jobs_done += data.get("service_jobs_done", 0)
         self.service_seconds += data.get("service_seconds", 0.0)
+        self.vector_chunks_total += data.get("vector_chunks_total", 0)
         self.sweep_points_total += data.get("sweep_points_total", 0)
         self.sweep_points_cached += data.get("sweep_points_cached", 0)
         self.sweep_seconds += data.get("sweep_seconds", 0.0)
@@ -273,6 +298,9 @@ class PipelineMetrics:
             "service_seconds": round(self.service_seconds, 6),
             "service_jobs_per_second": round(
                 self.service_jobs_per_second, 3),
+            "vector_chunks_total": self.vector_chunks_total,
+            "vector_chunks_per_second": round(
+                self.vector_chunks_per_second, 3),
             "sweep_points_total": self.sweep_points_total,
             "sweep_points_cached": self.sweep_points_cached,
             "sweep_seconds": round(self.sweep_seconds, 6),
@@ -354,6 +382,11 @@ class PipelineMetrics:
                 f"{self.service_jobs_done} done in "
                 f"{self.service_seconds:.2f}s "
                 f"({self.service_jobs_per_second:.2f}/s)")
+        if self.vector_chunks_total:
+            lines.append(
+                f"  vector    {self.vector_chunks_total} chunks "
+                f"({self.vector_chunks_per_second:.1f}/s over simulate "
+                f"time)")
         if self.sweep_points_total:
             lines.append(
                 f"  sweep     {self.sweep_points_total} points "
@@ -365,6 +398,42 @@ class PipelineMetrics:
 
 #: bound on the trajectory carried inside a bench JSON file
 _HISTORY_LIMIT = 50
+
+
+def vector_speedup_floor(current: dict, baseline: dict,
+                         min_speedup: float = 2.5,
+                         stages: tuple = ("emulate", "simulate"),
+                         min_seconds: float = 0.05) -> list[str]:
+    """Per-invocation speedup floor for the vector engine.
+
+    ``current`` is a bench-JSON dict from a vector-engine run,
+    ``baseline`` the committed fastpath baseline.  Each listed stage
+    must run at least ``min_speedup`` times faster per invocation than
+    the baseline; stages cheaper than ``min_seconds`` total in the
+    baseline are skipped as noise.  Returns one line per stage missing
+    the floor (empty = gate passed).
+    """
+    failures: list[str] = []
+    for name in stages:
+        base = baseline.get("stages", {}).get(name, {})
+        cur = current.get("stages", {}).get(name, {})
+        base_wall = base.get("wall_seconds", 0.0)
+        base_inv = base.get("invocations", 0)
+        cur_wall = cur.get("wall_seconds", 0.0)
+        cur_inv = cur.get("invocations", 0)
+        if base_wall < min_seconds or not base_inv or not cur_inv:
+            continue
+        base_per = base_wall / base_inv
+        cur_per = cur_wall / cur_inv
+        if cur_per <= 0:
+            continue
+        speedup = base_per / cur_per
+        if speedup < min_speedup:
+            failures.append(
+                f"{name}: {speedup:.2f}x per invocation vs baseline "
+                f"({cur_per * 1000:.2f} ms vs {base_per * 1000:.2f} ms; "
+                f"floor {min_speedup:.1f}x)")
+    return failures
 
 
 def compare_stage_walltimes(current: dict, baseline: dict,

@@ -66,8 +66,21 @@ class PipelineContext:
     #: traces); False falls back to the legacy object-graph loops,
     #: which remain the differential oracle
     fastpath: bool = True
+    #: execution backend by name — "legacy", "fastpath", "stream" or
+    #: "vector"; overrides ``fastpath`` when given.  Every engine
+    #: produces bit-identical artifacts, so cache keys are engine-free
+    #: and warm artifacts are shared across engines.
+    engine: str | None = None
+    #: worker processes for intra-workload trace sharding on the
+    #: vector engine (ignored by the other engines)
+    jobs: int = 1
 
     def __post_init__(self):
+        if self.engine is None:
+            self.engine = "fastpath" if self.fastpath else "legacy"
+        if self.engine not in ("legacy", "fastpath", "stream", "vector"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        self.fastpath = self.engine != "legacy"
         if self.store is not None:
             # One counter object for the whole pipeline, store included.
             self.store.metrics = self.metrics
@@ -82,6 +95,9 @@ class PipelineContext:
         # simulation of that compiled program.
         self._decoded: dict[str, DecodedProgram] = {}
         self._prep: dict[str, SimPrep] = {}
+        # Vector-backend simulator tables (lazy numpy views over the
+        # SimPrep above), keyed the same way.
+        self._vprep: dict[str, object] = {}
 
     # ----- keys ---------------------------------------------------------
 
@@ -137,6 +153,15 @@ class PipelineContext:
                 self._decoded_for(compile_key, compiled),
                 compiled.addresses, machine)
         return prep
+
+    def _vprep_for(self, compile_key: str, compiled: CompiledProgram,
+                   machine: MachineDescription):
+        vprep = self._vprep.get(compile_key)
+        if vprep is None:
+            from repro.fastpath.vector import VectorSimPrep
+            vprep = self._vprep[compile_key] = VectorSimPrep(
+                self._prep_for(compile_key, compiled, machine))
+        return vprep
 
     def frontend_program(self, workload: Workload) -> Program:
         """Optimized baseline IR (cached per source)."""
@@ -210,7 +235,17 @@ class PipelineContext:
                 watchdog = EmulationWatchdog(
                     wall_clock_budget=self.wall_clock_budget)
             with self.metrics.timer("emulate"):
-                if self.fastpath:
+                if self.engine == "vector":
+                    from repro.fastpath.native import run_program_native
+                    execution = run_program_native(
+                        compiled.program,
+                        inputs=workload.inputs(self.scale),
+                        collect_trace=True, max_steps=self.max_steps,
+                        watchdog=watchdog,
+                        decoded=self._decoded_for(
+                            self.compile_key(workload, model, machine),
+                            compiled))
+                elif self.fastpath:
                     execution = run_program_fast(
                         compiled.program,
                         inputs=workload.inputs(self.scale),
@@ -251,23 +286,54 @@ class PipelineContext:
             summary = self.store.get("stats", key)
         if summary is None:
             compiled = self.compiled(workload, model, machine)
-            execution = self.execution(workload, model, machine)
-            if execution.trace is None:
-                raise TraceIntegrityError(
-                    f"{workload.name}/{model.value}: emulation produced "
-                    f"no trace")
-            with self.metrics.timer("simulate"):
-                trace = execution.trace
-                if isinstance(trace, TraceColumns):
-                    stats = simulate_columns(
-                        trace,
-                        self._prep_for(
-                            self.compile_key(workload, model, machine),
-                            compiled, machine),
-                        machine)
-                else:
-                    stats = simulate_trace(trace, compiled.addresses,
-                                           machine)
+            compile_key = self.compile_key(workload, model, machine)
+            if self.engine == "stream" and not self.paranoid:
+                # Fused emulate→simulate: the trace never materializes,
+                # so no execution artifact is produced (or stored — a
+                # trace-less execution must not shadow the shared,
+                # engine-free execution key).  Paranoid mode needs the
+                # trace for integrity replay and takes the unfused path.
+                from repro.fastpath.simulate import \
+                    emulate_and_simulate_stream
+                watchdog = None
+                if self.wall_clock_budget is not None:
+                    watchdog = EmulationWatchdog(
+                        wall_clock_budget=self.wall_clock_budget)
+                execution, stats = emulate_and_simulate_stream(
+                    compiled.program, compiled.addresses, machine,
+                    inputs=workload.inputs(self.scale),
+                    max_steps=self.max_steps, watchdog=watchdog,
+                    decoded=self._decoded_for(compile_key, compiled),
+                    prep=self._prep_for(compile_key, compiled, machine),
+                    metrics=self.metrics)
+            else:
+                execution = self.execution(workload, model, machine)
+                if execution.trace is None:
+                    raise TraceIntegrityError(
+                        f"{workload.name}/{model.value}: emulation "
+                        f"produced no trace")
+                with self.metrics.timer("simulate"):
+                    trace = execution.trace
+                    if isinstance(trace, TraceColumns) \
+                            and self.engine == "vector":
+                        from repro.fastpath.vector import \
+                            simulate_columns_vector
+                        stats = simulate_columns_vector(
+                            trace,
+                            self._vprep_for(compile_key, compiled,
+                                            machine),
+                            machine, jobs=self.jobs,
+                            task_key=machine.schedule_digest(),
+                            metrics=self.metrics)
+                    elif isinstance(trace, TraceColumns):
+                        stats = simulate_columns(
+                            trace,
+                            self._prep_for(compile_key, compiled,
+                                           machine),
+                            machine)
+                    else:
+                        stats = simulate_trace(trace, compiled.addresses,
+                                               machine)
             self.metrics.add_cycles(stats.cycles)
             summary = RunSummary(stats=stats,
                                  return_value=execution.return_value,

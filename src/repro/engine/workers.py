@@ -32,13 +32,18 @@ class JobSpec:
     max_steps: int
     paranoid: bool = False
     wall_clock_budget: float | None = None
+    #: execution backend ("legacy"/"fastpath"/"stream"/"vector");
+    #: workers never shard further (jobs stays 1 — they already run
+    #: inside the pool)
+    engine: str = "fastpath"
 
     def context(self) -> PipelineContext:
         return PipelineContext(
             scale=self.scale, options=self.options,
             max_steps=self.max_steps, paranoid=self.paranoid,
             wall_clock_budget=self.wall_clock_budget,
-            store=ArtifactStore(self.cache_dir))
+            store=ArtifactStore(self.cache_dir),
+            engine=self.engine)
 
 
 def prepare_workload(spec: JobSpec) -> dict:

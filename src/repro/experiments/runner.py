@@ -117,6 +117,10 @@ class ExperimentSuite:
     wall_clock_budget: float | None = None
     cache_dir: str | None = None
     jobs: int = 1
+    #: execution backend for emulate/simulate ("legacy", "fastpath",
+    #: "stream" or "vector"); artifacts are engine-free, so mixing
+    #: engines over one store is safe and byte-identical
+    engine: str = "fastpath"
     run_id: str | None = None
     resume: bool = False
     retry: RetryPolicy | None = None
@@ -137,7 +141,8 @@ class ExperimentSuite:
         self.ctx = PipelineContext(
             scale=self.scale, options=self.options,
             max_steps=self.max_steps, paranoid=self.paranoid,
-            wall_clock_budget=self.wall_clock_budget, store=store)
+            wall_clock_budget=self.wall_clock_budget, store=store,
+            engine=self.engine, jobs=self.jobs)
         self._by_name = {w.name: w for w in self.workloads}
         self.failures: list[WorkloadFailure] = []
         self._failed: set[str] = set()
@@ -261,7 +266,8 @@ class ExperimentSuite:
                        model_name=model.name, machine=machine,
                        scale=self.scale, options=self.options,
                        max_steps=self.max_steps, paranoid=self.paranoid,
-                       wall_clock_budget=self.wall_clock_budget)
+                       wall_clock_budget=self.wall_clock_budget,
+                       engine=self.engine)
 
     def prefetch(self, targets: list[
             tuple[MachineDescription, tuple[Model, ...]]]) -> None:

@@ -1,0 +1,874 @@
+"""Closure-specialized emulator — the vector engine's emulate half.
+
+The flat interpreter (:mod:`repro.fastpath.interp`) still pays, per
+dynamic instruction, for the 11-tuple unpack, the kind dispatch chain,
+the operand-mode tests, and four trace-column appends.  This module
+removes all of that with a per-:class:`DecodedProgram` specialization
+pass that happens once per run, in Python, with no ``compile()`` or
+``exec()``:
+
+* every static instruction becomes a small **closure** with its
+  operand modes, constants, register indices, and comparison resolved
+  at build time — executing one costs a call plus the op body;
+* straight-line stretches of a block become a **run superhandler**
+  that extends the trace columns with a precomputed template (one
+  C-level ``array.extend`` per column per run instead of one append
+  per event) and then calls the bodies in sequence — dynamic facts
+  (load/store addresses, taken branches, nullified guards) patch the
+  freshly extended tail in place;
+* a tiny trampoline (``pc = handlers[pc]()``) runs only at control
+  transfers.
+
+Observables are bit-identical to ``run_program_fast``: same wrap
+arithmetic, predicate truth tables, store-stream signature, profile
+dicts (including insertion order), memory digest, and fault messages.
+The step budget is enforced at control transfers, so a run may execute
+at most one straight-line stretch past the limit before raising the
+same ``StepLimitExceeded`` message; the step *count* reported on
+success is exact (every instruction appends exactly one trace event,
+so ``steps`` is simply the number of events emitted).
+
+Scope: specialization needs a trace (steps ride on it) and has no
+watchdog heartbeat points, so ``run_program_jit`` falls back to
+``run_program_fast`` when a watchdog is attached or no trace is
+wanted — the fuzz harness therefore always exercises the interpreter,
+keeping it a live differential oracle for this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+from array import array
+from typing import TYPE_CHECKING, Callable
+
+from repro.emu.interpreter import StepLimitExceeded, _cdiv, _crem, _w32
+from repro.emu.memory import (GLOBAL_BASE, SAFE_ADDR, EmulationFault,
+                              Memory, layout_globals)
+from repro.emu.trace import ExecutionResult
+from repro.fastpath.columns import TraceColumns
+from repro.fastpath.decode import (
+    K_ADD, K_AND, K_AND_NOT, K_BRANCH, K_CALL, K_CMOV, K_CMP, K_CVT_FI,
+    K_CVT_IF, K_DIV, K_FADD, K_FDIV, K_FMOV, K_FMUL, K_FNEG, K_FSUB,
+    K_JUMP, K_LOAD, K_LOAD_B, K_MOV, K_MUL, K_NEG, K_NOP, K_NOT, K_OR,
+    K_OR_NOT, K_PREDDEF, K_PREDSET, K_REM, K_RET, K_SELECT, K_SHL,
+    K_SHR, K_STORE, K_STORE_B, K_SUB, K_XOR, M_CONST, M_REG,
+    DecodedProgram, decode_program)
+from repro.fastpath.interp import DEFAULT_CHUNK_EVENTS, run_program_fast
+from repro.ir.function import Program
+
+if TYPE_CHECKING:
+    from repro.robustness.watchdog import EmulationWatchdog
+
+_U32 = 0xFFFFFFFF
+_U64 = 0xFFFFFFFFFFFFFFFF
+_SIG_PRIME = 1099511628211
+_SAFE_ADDR = SAFE_ADDR
+
+#: Maximum instructions per run superhandler; longer stretches are
+#: split into chained runs (each with its own trace template).
+_MAX_RUN = 16
+
+#: Python recursion headroom: each emulated call costs a few native
+#: frames (invoke -> trampoline -> run -> call body).
+_RECURSION_LIMIT = 30000
+
+# Trace-state box indices (the box outlives chunk flushes; handlers
+# capture the box, never the arrays).
+_ES, _EF, _EA, _EV, _VAL, _SX, _FX, _AX, _VX, _FLUSHED = range(10)
+
+
+def run_program_jit(program: Program,
+                    inputs: dict[str, list[int | float] | bytes]
+                    | None = None,
+                    collect_trace: bool = False,
+                    max_steps: int = 50_000_000,
+                    watchdog: "EmulationWatchdog | None" = None,
+                    sink: Callable[[TraceColumns], None] | None = None,
+                    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                    decoded: DecodedProgram | None = None
+                    ) -> ExecutionResult:
+    """Drop-in replacement for ``run_program_fast``.
+
+    Falls back to the interpreter when a watchdog is attached (the
+    specialized handlers have no heartbeat points) or when no trace is
+    requested (step accounting rides on the trace columns).
+    """
+    if watchdog is not None or (not collect_trace and sink is None):
+        return run_program_fast(
+            program, inputs=inputs, collect_trace=collect_trace,
+            max_steps=max_steps, watchdog=watchdog, sink=sink,
+            chunk_events=chunk_events, decoded=decoded)
+    if decoded is None:
+        decoded = decode_program(program)
+    memory = Memory()
+    layout = layout_globals(program, memory, inputs)
+    global_end = max((layout[g.name] + g.byte_size
+                      for g in program.globals.values()),
+                     default=GLOBAL_BASE)
+    started = time.monotonic()
+    old_limit = sys.getrecursionlimit()
+    if old_limit < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+    try:
+        (value, steps, suppressed, trace, branch_outcomes, block_counts,
+         signature, out_count) = _execute_jit(
+            decoded, memory, layout, collect_trace, max_steps, sink,
+            chunk_events)
+    finally:
+        if old_limit < _RECURSION_LIMIT:
+            sys.setrecursionlimit(old_limit)
+    wall_time = time.monotonic() - started
+    digest = hashlib.sha256(
+        bytes(memory.data[GLOBAL_BASE:global_end])).hexdigest()
+    return ExecutionResult(
+        return_value=value,
+        dynamic_count=steps,
+        suppressed_count=suppressed,
+        trace=trace,
+        branch_outcomes=branch_outcomes,
+        block_counts=block_counts,
+        output_signature=signature,
+        output_count=out_count,
+        memory_digest=digest,
+        wall_time_seconds=wall_time,
+        heartbeats=[],
+    )
+
+
+def _execute_jit(decoded, memory, layout, collect_trace, max_steps,
+                 sink, chunk_events):
+    functions = decoded.functions
+
+    cols = TraceColumns()
+    tr = [cols.sidx.extend, cols.flags.extend, cols.addr.extend,
+          cols.vidx.extend, cols.values, cols.sidx, cols.flags,
+          cols.addr, cols.vidx, 0]
+    cbox = [cols]
+    chunk = chunk_events if sink is not None else (1 << 62)
+
+    def _flush():
+        old = cbox[0]
+        tr[_FLUSHED] += len(old.sidx)
+        sink(old)
+        c = cbox[0] = TraceColumns()
+        tr[_ES] = c.sidx.extend
+        tr[_EF] = c.flags.extend
+        tr[_EA] = c.addr.extend
+        tr[_EV] = c.vidx.extend
+        tr[_VAL] = c.values
+        tr[_SX] = c.sidx
+        tr[_FX] = c.flags
+        tr[_AX] = c.addr
+        tr[_VX] = c.vidx
+
+    load_word = memory.load_word
+    load_byte = memory.load_byte
+    load_float = memory.load_float
+    store_word = memory.store_word
+    store_byte = memory.store_byte
+    store_float = memory.store_float
+
+    sup = [0]            # suppressed counter
+    so = [0, 0]          # output signature, output count
+    rb = [0]             # return-value box (RET -> invoke)
+    branch_outcomes: dict[int, list[int]] = {}
+    block_counts: dict[tuple[str, str], int] = {}
+    bo = branch_outcomes
+    bc = block_counts
+    INV: dict[str, Callable] = {}
+
+    def build_function(dfn):
+        code = dfn.code
+        nxt = dfn.nxt
+        name = dfn.name
+        consts = [spec[1] if spec[0] == "imm"
+                  else layout[spec[1]] + spec[2]
+                  for spec in dfn.consts_spec]
+        regs: list = [0] * dfn.nregs
+        plist: list = [0] * dfn.npregs
+        zr = [0] * dfn.nregs
+        zp = [0] * dfn.npregs
+        pred_fill = ([0] * dfn.npregs, [1] * dfn.npregs)
+        ncode = len(code)
+        H: list = [None] * (ncode + 1)
+
+        def src(m, i):
+            # Operand accessor closure; constant operands collapse to
+            # their resolved value.
+            if m == M_REG:
+                return lambda: regs[i]
+            if m == M_CONST:
+                v = consts[i]
+                return lambda: v
+            return lambda: plist[i]
+
+        def steps_now():
+            return tr[_FLUSHED] + len(tr[_SX])
+
+        def limit_exceeded():
+            raise StepLimitExceeded(
+                f"exceeded {max_steps} steps in {name}")
+
+        def count_keys(keys):
+            for k in keys:
+                bc[k] = bc.get(k, 0) + 1
+
+        def fell_off():
+            raise EmulationFault(
+                f"fell off the end of function {name}")
+
+        # -- body closures (no return value; trace entry pre-extended
+        #    by the run, K = offset from the current column tail) -----
+
+        def mk_body(t, K):
+            (kind, sidx, d, m0, i0, m1, i1, m2, i2, guard, aux) = t
+            h = None
+            if kind < K_LOAD:
+                h = mk_pure(kind, d, m0, i0, m1, i1, m2, i2, aux)
+            elif kind < K_STORE:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                ld = (load_word if kind == K_LOAD
+                      else load_byte if kind == K_LOAD_B else load_float)
+                spec = aux
+
+                def h():
+                    addr = ga() + gb()
+                    regs[d] = ld(addr, spec)
+                    tr[_AX][-K] = addr
+            elif kind < K_BRANCH:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                gv = src(m2, i2)
+                if kind == K_STORE:
+                    def h():
+                        addr = ga() + gb()
+                        value = gv()
+                        store_word(addr, value)
+                        sval = value & _U32
+                        if addr != _SAFE_ADDR:
+                            so[1] += 1
+                            so[0] = ((so[0] ^ hash((addr, sval)))
+                                     * _SIG_PRIME) & _U64
+                        tr[_AX][-K] = addr
+                        tr[_VX][-K] = len(tr[_VAL])
+                        tr[_VAL].append(sval)
+                elif kind == K_STORE_B:
+                    def h():
+                        addr = ga() + gb()
+                        value = gv()
+                        store_byte(addr, value)
+                        sval = value & 0xFF
+                        if addr != _SAFE_ADDR:
+                            so[1] += 1
+                            so[0] = ((so[0] ^ hash((addr, sval)))
+                                     * _SIG_PRIME) & _U64
+                        tr[_AX][-K] = addr
+                        tr[_VX][-K] = len(tr[_VAL])
+                        tr[_VAL].append(sval)
+                else:
+                    def h():
+                        addr = ga() + gb()
+                        value = gv()
+                        store_float(addr, value)
+                        sval = float(value)
+                        if addr != _SAFE_ADDR:
+                            so[1] += 1
+                            so[0] = ((so[0] ^ hash((addr, sval)))
+                                     * _SIG_PRIME) & _U64
+                        tr[_AX][-K] = addr
+                        tr[_VX][-K] = len(tr[_VAL])
+                        tr[_VAL].append(sval)
+            else:  # pragma: no cover - control ops end runs
+                raise AssertionError("control op in run body")
+
+            if guard >= 0 and h is not None:
+                bh = h
+                g = guard
+
+                def h():
+                    if plist[g]:
+                        bh()
+                    else:
+                        sup[0] += 1
+                        tr[_FX][-K] = 0
+            elif guard >= 0:
+                g = guard
+
+                def h():
+                    if not plist[g]:
+                        sup[0] += 1
+                        tr[_FX][-K] = 0
+            return h
+
+        def mk_pure(kind, d, m0, i0, m1, i1, m2, i2, aux):
+            # Specialized bodies for the hot integer ops when both
+            # operands are register/constant (commutative ops swap a
+            # leading constant); everything else goes through operand
+            # accessor closures.
+            rr = m0 == M_REG and m1 == M_REG
+            rc = m0 == M_REG and m1 == M_CONST
+            cr = m0 == M_CONST and m1 == M_REG
+            if kind == K_ADD or (kind == K_MUL and (rr or rc or cr)):
+                mul = kind == K_MUL
+                if cr:  # commutative: fold to reg-const
+                    m0, i0, m1, i1 = m1, i1, m0, i0
+                    rc, cr = True, False
+                if rr:
+                    if mul:
+                        def h():
+                            regs[d] = (regs[i0] * regs[i1]
+                                       + 0x80000000 & _U32) - 0x80000000
+                    else:
+                        def h():
+                            regs[d] = (regs[i0] + regs[i1]
+                                       + 0x80000000 & _U32) - 0x80000000
+                    return h
+                if rc:
+                    cv = consts[i1]
+                    if mul:
+                        def h():
+                            regs[d] = (regs[i0] * cv
+                                       + 0x80000000 & _U32) - 0x80000000
+                    else:
+                        def h():
+                            regs[d] = (regs[i0] + cv
+                                       + 0x80000000 & _U32) - 0x80000000
+                    return h
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                if mul:
+                    def h():
+                        regs[d] = (ga() * gb()
+                                   + 0x80000000 & _U32) - 0x80000000
+                else:
+                    def h():
+                        regs[d] = (ga() + gb()
+                                   + 0x80000000 & _U32) - 0x80000000
+                return h
+            if kind == K_SUB:
+                if rr:
+                    def h():
+                        regs[d] = (regs[i0] - regs[i1]
+                                   + 0x80000000 & _U32) - 0x80000000
+                    return h
+                if rc:
+                    cv = consts[i1]
+
+                    def h():
+                        regs[d] = (regs[i0] - cv
+                                   + 0x80000000 & _U32) - 0x80000000
+                    return h
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+
+                def h():
+                    regs[d] = (ga() - gb()
+                               + 0x80000000 & _U32) - 0x80000000
+                return h
+            if kind == K_MOV:
+                if m0 == M_REG:
+                    def h():
+                        regs[d] = regs[i0]
+                    return h
+                if m0 == M_CONST:
+                    cv = consts[i0]
+
+                    def h():
+                        regs[d] = cv
+                    return h
+
+                def h():
+                    regs[d] = plist[i0]
+                return h
+            if kind == K_CMP:
+                cmpfn = aux
+                if rr:
+                    def h():
+                        regs[d] = 1 if cmpfn(regs[i0], regs[i1]) else 0
+                    return h
+                if rc:
+                    cv = consts[i1]
+
+                    def h():
+                        regs[d] = 1 if cmpfn(regs[i0], cv) else 0
+                    return h
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+
+                def h():
+                    regs[d] = 1 if cmpfn(ga(), gb()) else 0
+                return h
+            if kind in (K_AND, K_OR, K_XOR):
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                if kind == K_AND:
+                    def h():
+                        regs[d] = ga() & gb()
+                elif kind == K_OR:
+                    def h():
+                        regs[d] = ga() | gb()
+                else:
+                    def h():
+                        regs[d] = ga() ^ gb()
+                return h
+            if kind == K_PREDDEF:
+                cmpfn, p_in_idx, pdspec = aux
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                if len(pdspec) == 1:
+                    pidx, table = pdspec[0]
+                    if p_in_idx < 0:
+                        def h():
+                            nv = table[3 if cmpfn(ga(), gb()) else 2]
+                            if nv is not None:
+                                plist[pidx] = nv
+                    else:
+                        def h():
+                            idx = 2 if plist[p_in_idx] else 0
+                            if cmpfn(ga(), gb()):
+                                idx += 1
+                            nv = table[idx]
+                            if nv is not None:
+                                plist[pidx] = nv
+                    return h
+
+                def h():
+                    idx = 2 if p_in_idx < 0 or plist[p_in_idx] else 0
+                    if cmpfn(ga(), gb()):
+                        idx += 1
+                    for pidx, table in pdspec:
+                        nv = table[idx]
+                        if nv is not None:
+                            plist[pidx] = nv
+                return h
+            if kind == K_CMOV:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                pol = aux
+
+                def h():
+                    if (gb() != 0) == pol:
+                        regs[d] = ga()
+                return h
+            if kind == K_SELECT:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                gc = src(m2, i2)
+
+                def h():
+                    regs[d] = ga() if gc() != 0 else gb()
+                return h
+            if kind == K_SHL:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+
+                def h():
+                    regs[d] = ((ga() << (gb() & 31))
+                               + 0x80000000 & _U32) - 0x80000000
+                return h
+            if kind == K_SHR:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+
+                def h():
+                    regs[d] = ga() >> (gb() & 31)
+                return h
+            if kind == K_NOT:
+                ga = src(m0, i0)
+
+                def h():
+                    regs[d] = (~ga() + 0x80000000 & _U32) - 0x80000000
+                return h
+            if kind == K_NEG:
+                ga = src(m0, i0)
+
+                def h():
+                    regs[d] = (-ga() + 0x80000000 & _U32) - 0x80000000
+                return h
+            if kind == K_MUL:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+
+                def h():
+                    regs[d] = (ga() * gb()
+                               + 0x80000000 & _U32) - 0x80000000
+                return h
+            if kind == K_AND_NOT:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+
+                def h():
+                    regs[d] = 1 if (ga() != 0 and gb() == 0) else 0
+                return h
+            if kind == K_OR_NOT:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+
+                def h():
+                    regs[d] = 1 if (ga() != 0 or gb() == 0) else 0
+                return h
+            if kind in (K_DIV, K_REM):
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                spec = aux
+                div = kind == K_DIV
+
+                def h():
+                    a = ga()
+                    b = gb()
+                    if spec and b == 0:
+                        regs[d] = 0
+                    elif div:
+                        regs[d] = _w32(_cdiv(a, b))
+                    else:
+                        regs[d] = _w32(_crem(a, b))
+                return h
+            if kind in (K_FADD, K_FSUB, K_FMUL):
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                if kind == K_FADD:
+                    def h():
+                        regs[d] = ga() + gb()
+                elif kind == K_FSUB:
+                    def h():
+                        regs[d] = ga() - gb()
+                else:
+                    def h():
+                        regs[d] = ga() * gb()
+                return h
+            if kind == K_FDIV:
+                ga = src(m0, i0)
+                gb = src(m1, i1)
+                spec = aux
+
+                def h():
+                    b = gb()
+                    if b == 0.0:
+                        if spec:
+                            regs[d] = 0.0
+                        else:
+                            raise EmulationFault("float divide by zero")
+                    else:
+                        regs[d] = ga() / b
+                return h
+            if kind == K_FNEG:
+                ga = src(m0, i0)
+
+                def h():
+                    regs[d] = -ga()
+                return h
+            if kind in (K_FMOV, K_CVT_IF):
+                ga = src(m0, i0)
+
+                def h():
+                    regs[d] = float(ga())
+                return h
+            if kind == K_CVT_FI:
+                ga = src(m0, i0)
+
+                def h():
+                    regs[d] = _w32(int(ga()))
+                return h
+            if kind == K_PREDSET:
+                fill = pred_fill[aux]
+
+                def h():
+                    plist[:] = fill
+                return h
+            if kind == K_NOP:
+                return None
+            raise EmulationFault(f"unhandled micro-op kind {kind}")
+
+        # -- control closures (return the next run-start pc) ----------
+
+        def succ_of(pc):
+            """Fall-through successor: (profile_keys, landing_pc)."""
+            ne = nxt[pc]
+            if ne is None:
+                return (), pc + 1
+            return ne
+
+        def mk_branch(t, pc):
+            (kind, sidx, d, m0, i0, m1, i1, m2, i2, guard, aux) = t
+            cmpfn, uid, target, label = aux
+            ga = src(m0, i0)
+            gb = src(m1, i1)
+            fkeys, fpc = succ_of(pc)
+
+            def h():
+                if tr[_FLUSHED] + len(tr[_SX]) > max_steps:
+                    limit_exceeded()
+                taken = cmpfn(ga(), gb())
+                c = bo.get(uid)
+                if c is None:
+                    c = bo[uid] = [0, 0]
+                if taken:
+                    c[1] += 1
+                    tr[_FX][-1] = 3
+                    if target is None:
+                        raise EmulationFault(
+                            f"{name}: branch to unknown label {label!r}")
+                    tkeys, tpc = target
+                    count_keys(tkeys)
+                    if tpc < 0:
+                        fell_off()
+                    return tpc
+                c[0] += 1
+                if fkeys:
+                    count_keys(fkeys)
+                if fpc < 0:
+                    fell_off()
+                return fpc
+
+            if guard < 0:
+                return h
+            bh = h
+            g = guard
+
+            def h():
+                if plist[g]:
+                    return bh()
+                sup[0] += 1
+                tr[_FX][-1] = 0
+                if fkeys:
+                    count_keys(fkeys)
+                if fpc < 0:
+                    fell_off()
+                return fpc
+            return h
+
+        def mk_jump(t, pc):
+            guard = t[9]
+            target, label = t[10]
+
+            def h():
+                if tr[_FLUSHED] + len(tr[_SX]) > max_steps:
+                    limit_exceeded()
+                if target is None:
+                    raise EmulationFault(
+                        f"{name}: jump to unknown label {label!r}")
+                tkeys, tpc = target
+                count_keys(tkeys)
+                if tpc < 0:
+                    fell_off()
+                return tpc
+
+            if guard < 0:
+                return h
+            bh = h
+            g = guard
+            fkeys, fpc = succ_of(pc)
+
+            def h():
+                if plist[g]:
+                    return bh()
+                sup[0] += 1
+                tr[_FX][-1] = 0
+                if fkeys:
+                    count_keys(fkeys)
+                if fpc < 0:
+                    fell_off()
+                return fpc
+            return h
+
+        def mk_call(t, pc):
+            # Calls end runs: the callee's trace events must land
+            # after the call's own event and before any later caller
+            # event, so nothing may be pre-extended past the call.
+            (kind, sidx, d, m0, i0, m1, i1, m2, i2, guard, aux) = t
+            cname, argspec = aux
+            gargs = tuple(src(m, i) for m, i in argspec)
+            fkeys, fpc = succ_of(pc)
+
+            def h():
+                if tr[_FLUSHED] + len(tr[_SX]) > max_steps:
+                    limit_exceeded()
+                rv = INV[cname]([g() for g in gargs])
+                if d >= 0:
+                    regs[d] = rv
+                if fkeys:
+                    count_keys(fkeys)
+                if fpc < 0:
+                    fell_off()
+                return fpc
+
+            if guard < 0:
+                return h
+            bh = h
+            g = guard
+
+            def h():
+                if plist[g]:
+                    return bh()
+                sup[0] += 1
+                tr[_FX][-1] = 0
+                if fkeys:
+                    count_keys(fkeys)
+                if fpc < 0:
+                    fell_off()
+                return fpc
+            return h
+
+        def mk_ret(t, pc):
+            (kind, sidx, d, m0, i0, m1, i1, m2, i2, guard, aux) = t
+            if aux:
+                ga = src(m0, i0)
+
+                def h():
+                    rb[0] = ga()
+                    return -1
+            else:
+                def h():
+                    rb[0] = 0
+                    return -1
+
+            if guard < 0:
+                return h
+            bh = h
+            g = guard
+            fkeys, fpc = succ_of(pc)
+
+            def h():
+                if plist[g]:
+                    return bh()
+                sup[0] += 1
+                tr[_FX][-1] = 0
+                if fkeys:
+                    count_keys(fkeys)
+                if fpc < 0:
+                    fell_off()
+                return fpc
+            return h
+
+        # -- run superhandlers ----------------------------------------
+
+        def mk_run(run_pcs, hc, fall):
+            n = len(run_pcs)
+            ts = array("i", [code[p][1] for p in run_pcs])
+            tf = array("B", [
+                3 if code[p][0] in (K_JUMP, K_CALL, K_RET) else 1
+                for p in run_pcs])
+            ta = array("q", [-1] * n)
+            tv = array("i", [-1] * n)
+            bodies = []
+            for off, p in enumerate(run_pcs):
+                t = code[p]
+                if t[0] in (K_BRANCH, K_JUMP, K_CALL, K_RET):
+                    continue  # trailing control runs via hc
+                b = mk_body(t, n - off)
+                if b is not None:
+                    bodies.append(b)
+            bodies = tuple(bodies)
+            if hc is not None:
+                def h():
+                    if len(tr[_SX]) >= chunk:
+                        _flush()
+                    tr[_ES](ts)
+                    tr[_EF](tf)
+                    tr[_EA](ta)
+                    tr[_EV](tv)
+                    for f in bodies:
+                        f()
+                    return hc()
+                return h
+            fkeys, fpc = fall
+            if fpc < 0:
+                def h():
+                    if len(tr[_SX]) >= chunk:
+                        _flush()
+                    tr[_ES](ts)
+                    tr[_EF](tf)
+                    tr[_EA](ta)
+                    tr[_EV](tv)
+                    for f in bodies:
+                        f()
+                    count_keys(fkeys)
+                    fell_off()
+                return h
+            if fkeys:
+                def h():
+                    if len(tr[_SX]) >= chunk:
+                        _flush()
+                    tr[_ES](ts)
+                    tr[_EF](tf)
+                    tr[_EA](ta)
+                    tr[_EV](tv)
+                    for f in bodies:
+                        f()
+                    count_keys(fkeys)
+                    return fpc
+                return h
+
+            def h():
+                if len(tr[_SX]) >= chunk:
+                    _flush()
+                tr[_ES](ts)
+                tr[_EF](tf)
+                tr[_EA](ta)
+                tr[_EV](tv)
+                for f in bodies:
+                    f()
+                return fpc
+            return h
+
+        # Partition each block into runs.  Every control-flow landing
+        # is a block start (decode resolves chains to non-empty
+        # blocks), and every pc after a run break starts a new run, so
+        # all dispatched pcs have a handler.
+        run_pcs: list[int] = []
+        for pc, t in enumerate(code):
+            run_pcs.append(pc)
+            kind = t[0]
+            is_ctl = kind in (K_BRANCH, K_JUMP, K_CALL, K_RET)
+            block_end = nxt[pc] is not None
+            if is_ctl or block_end or len(run_pcs) >= _MAX_RUN:
+                start = run_pcs[0]
+                if is_ctl:
+                    hc = (mk_branch(t, pc) if kind == K_BRANCH
+                          else mk_jump(t, pc) if kind == K_JUMP
+                          else mk_call(t, pc) if kind == K_CALL
+                          else mk_ret(t, pc))
+                    H[start] = mk_run(run_pcs, hc, None)
+                else:
+                    H[start] = mk_run(run_pcs, None, succ_of(pc))
+                run_pcs = []
+
+        entry_keys, entry_pc = dfn.entry
+        params = dfn.params
+
+        def invoke(args):
+            saved_r = regs[:]
+            saved_p = plist[:]
+            regs[:] = zr
+            plist[:] = zp
+            for ridx, v in zip(params, args):
+                regs[ridx] = v
+            count_keys(entry_keys)
+            if entry_pc < 0:
+                fell_off()
+            pc = entry_pc
+            while pc >= 0:
+                pc = H[pc]()
+            regs[:] = saved_r
+            plist[:] = saved_p
+            return rb[0]
+
+        return invoke
+
+    for fname, dfn in functions.items():
+        INV[fname] = build_function(dfn)
+
+    value = INV[decoded.entry](())
+
+    steps = tr[_FLUSHED] + len(tr[_SX])
+    trace = None
+    if sink is not None:
+        if len(tr[_SX]):
+            sink(cbox[0])
+    elif collect_trace:
+        trace = cbox[0]
+    return (value, steps, sup[0], trace, branch_outcomes, block_counts,
+            so[0], so[1])

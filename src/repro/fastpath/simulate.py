@@ -299,10 +299,20 @@ def emulate_and_simulate_stream(
         watchdog=None,
         chunk_events: int | None = None,
         decoded: DecodedProgram | None = None,
-        prep: SimPrep | None = None
+        prep: SimPrep | None = None,
+        metrics=None
 ) -> "tuple[ExecutionResult, SimulationStats]":
     """Streaming emulate→simulate: the trace is consumed chunk-by-chunk
-    and never materialized (``ExecutionResult.trace`` is ``None``)."""
+    and never materialized (``ExecutionResult.trace`` is ``None``).
+
+    When a :class:`~repro.engine.metrics.PipelineMetrics` is supplied,
+    the fused run times every simulator feed separately and credits the
+    split to the ``emulate`` and ``simulate`` stages (one invocation
+    each), so streamed runs stay comparable with the unfused engines in
+    ``BENCH_pipeline.json``.
+    """
+    from time import perf_counter
+
     from repro.fastpath.interp import DEFAULT_CHUNK_EVENTS, \
         run_program_fast
     if decoded is None:
@@ -310,9 +320,24 @@ def emulate_and_simulate_stream(
     if prep is None:
         prep = prepare_sim(decoded, addresses, machine)
     sim = StreamSimulator(prep, machine)
+    sink = sim.feed
+    sim_seconds = [0.0]
+    if metrics is not None:
+        def sink(cols, _feed=sim.feed, _acc=sim_seconds):
+            start = perf_counter()
+            _feed(cols)
+            _acc[0] += perf_counter() - start
+    begin = perf_counter()
     execution = run_program_fast(
         program, inputs=inputs, max_steps=max_steps, watchdog=watchdog,
-        sink=sim.feed,
+        sink=sink,
         chunk_events=chunk_events or DEFAULT_CHUNK_EVENTS,
         decoded=decoded)
-    return execution, sim.finish()
+    mid = perf_counter()
+    stats = sim.finish()
+    if metrics is not None:
+        sim_wall = sim_seconds[0] + (perf_counter() - mid)
+        metrics.record_stage("emulate", max(mid - begin - sim_seconds[0],
+                                            0.0))
+        metrics.record_stage("simulate", sim_wall)
+    return execution, stats

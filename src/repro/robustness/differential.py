@@ -156,4 +156,23 @@ def assert_fastpath_equivalent(compiled, inputs=None, machine=None,
                 f"on {fname}: {a!r} vs legacy {b!r}",
                 workload=workload, model=model,
                 kind=f"fastpath-stream-{fname}")
+
+    from repro.fastpath.vector import emulate_and_simulate_vector
+    vectored, vector_stats = emulate_and_simulate_vector(
+        compiled.program, compiled.addresses, machine, inputs=inputs,
+        max_steps=max_steps, decoded=decoded, prep=prep,
+        watchdog=watchdog())
+    if vector_stats != legacy_stats:
+        raise ModelDivergenceError(
+            f"{workload}: vector simulation of {model} diverges: "
+            f"{vector_stats} vs legacy {legacy_stats}",
+            workload=workload, model=model, kind="fastpath-vector")
+    for fname in _EXACT_FIELDS:
+        a, b = getattr(vectored, fname), getattr(legacy, fname)
+        if a != b:
+            raise ModelDivergenceError(
+                f"{workload}: vector emulation of {model} diverges "
+                f"on {fname}: {a!r} vs legacy {b!r}",
+                workload=workload, model=model,
+                kind=f"fastpath-vector-{fname}")
     return legacy

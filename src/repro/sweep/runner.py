@@ -65,6 +65,7 @@ class PointJobSpec:
     max_steps: int
     options: ToolchainOptions = field(default_factory=ToolchainOptions)
     wall_clock_budget: float | None = None
+    engine: str = "fastpath"
 
 
 def simulate_point(spec: PointJobSpec) -> dict:
@@ -78,7 +79,8 @@ def simulate_point(spec: PointJobSpec) -> dict:
         scale=spec.scale, options=spec.options,
         max_steps=spec.max_steps,
         wall_clock_budget=spec.wall_clock_budget,
-        store=ArtifactStore(spec.cache_dir))
+        store=ArtifactStore(spec.cache_dir),
+        engine=spec.engine)
     for name in spec.workloads:
         workload = get_workload(name)
         for model_name in spec.model_names:
@@ -105,7 +107,8 @@ def run_sweep(spec: SweepSpec, cache_dir: str | None = None,
               jobs: int = 1, run_id: str | None = None,
               resume: bool = False, retry: RetryPolicy | None = None,
               wall_clock_budget: float | None = None,
-              metrics: PipelineMetrics | None = None) -> SweepOutcome:
+              metrics: PipelineMetrics | None = None,
+              engine: str = "fastpath") -> SweepOutcome:
     """Run one sweep campaign to a :class:`SweepResult`.
 
     ``cache_dir``/``jobs``/``run_id``/``resume``/``retry`` have the
@@ -121,8 +124,8 @@ def run_sweep(spec: SweepSpec, cache_dir: str | None = None,
         if spec.workloads else all_workloads()
     suite = ExperimentSuite(
         workloads=workloads, scale=spec.scale, max_steps=spec.max_steps,
-        cache_dir=cache_dir, jobs=jobs, run_id=run_id, resume=resume,
-        retry=retry, wall_clock_budget=wall_clock_budget,
+        cache_dir=cache_dir, jobs=jobs, engine=engine, run_id=run_id,
+        resume=resume, retry=retry, wall_clock_budget=wall_clock_budget,
         journal_meta={"kind": "sweep", "sweep": spec.name,
                       "sweep_digest": digest,
                       "tasks_total": len(points) + 1})
@@ -226,7 +229,8 @@ def _execute(suite: ExperimentSuite, spec: SweepSpec,
                 model_names=model_names,
                 machine=machine, scale=spec.scale,
                 max_steps=spec.max_steps, options=suite.options,
-                wall_clock_budget=suite.wall_clock_budget),),
+                wall_clock_budget=suite.wall_clock_budget,
+                engine=suite.engine),),
             deps=tuple(deps), workload=None, stage="sweep-point",
             artifacts=tuple(artifacts)))
         job_ids.add(task_id)

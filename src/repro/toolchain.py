@@ -277,7 +277,8 @@ def run_compiled(compiled: CompiledProgram,
                  max_steps: int = 50_000_000,
                  watchdog: EmulationWatchdog | None = None,
                  fastpath: bool = True,
-                 stream: bool = False) -> RunResult:
+                 stream: bool = False,
+                 engine: str | None = None) -> RunResult:
     """Emulate the compiled program and simulate its trace.
 
     ``machine`` may differ from the compile-time machine in memory
@@ -285,22 +286,35 @@ def run_compiled(compiled: CompiledProgram,
     perfect-vs-real-cache comparisons without recompiling.  An optional
     ``watchdog`` bounds emulation wall-clock time on top of ``max_steps``.
 
-    ``fastpath`` selects the pre-decoded columnar path (results are
-    bit-identical to the legacy loops; the trace is a ``TraceColumns``).
-    ``stream`` additionally pipes fixed-size trace chunks straight into
-    the cycle simulator, so the full trace is never materialized and
-    ``RunResult.execution.trace`` is None.
+    ``engine`` picks the execution backend by name — ``"legacy"``,
+    ``"fastpath"``, ``"stream"``, or ``"vector"`` — and overrides the
+    older ``fastpath``/``stream`` flags when given.  All engines
+    produce bit-identical observables; they differ only in speed and
+    whether the full trace is materialized (``stream`` and ``vector``
+    leave ``RunResult.execution.trace`` as None).
     """
     if machine is None:
         machine = compiled.machine
-    if stream:
+    if engine is None:
+        engine = "stream" if stream else (
+            "fastpath" if fastpath else "legacy")
+    if engine == "vector":
+        from repro.fastpath.vector import emulate_and_simulate_vector
+        execution, stats = emulate_and_simulate_vector(
+            compiled.program, compiled.addresses, machine, inputs=inputs,
+            max_steps=max_steps, watchdog=watchdog)
+        return RunResult(compiled=compiled, execution=execution,
+                         stats=stats)
+    if engine == "stream":
         from repro.fastpath.simulate import emulate_and_simulate_stream
         execution, stats = emulate_and_simulate_stream(
             compiled.program, compiled.addresses, machine, inputs=inputs,
             max_steps=max_steps, watchdog=watchdog)
         return RunResult(compiled=compiled, execution=execution,
                          stats=stats)
-    if fastpath:
+    if engine not in ("fastpath", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "fastpath":
         from repro.fastpath.decode import decode_program
         from repro.fastpath.interp import run_program_fast
         from repro.fastpath.simulate import prepare_sim, simulate_columns
