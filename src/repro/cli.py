@@ -17,8 +17,14 @@ Subcommands:
 * ``cache``    — inspect, verify (``fsck``) or clear the artifact store;
 * ``selftest`` — fault-injection campaign proving the checkers work
   (``--chaos`` adds the engine chaos campaign — crash/corruption/
-  resume — and the service chaos campaign: queue saturation, quota
-  exhaustion, breaker trips, kill+resume, dedup storms);
+  resume — the service chaos campaign: queue saturation, quota
+  exhaustion, breaker trips, kill+resume, dedup storms — and the
+  native chaos campaign: corrupted ``.so`` caches, vanishing
+  compilers, kernel segfaults, stale caches across a simulated cc
+  upgrade and parity mismatches, each ending in a byte-identical
+  degraded run or a typed failure);
+* ``native``   — probe the native kernel path (build, sandbox-canary,
+  parity-check) and print the engine-ladder state;
 * ``serve``    — long-lived multi-tenant experiment service: bounded
   admission with load shedding, per-tenant quotas, single-flight
   dedup, a circuit breaker over the worker pool and graceful SIGTERM
@@ -56,6 +62,7 @@ Examples::
     python -m repro cache clear
     python -m repro selftest
     python -m repro selftest --chaos --jobs 2
+    python -m repro native --fresh
     python -m repro sweep run examples/paper_sweep.toml --jobs 4 -o sweep.json
     python -m repro sweep run grid.json --report --resume R20260807-...
     python -m repro sweep report sweep.json
@@ -76,9 +83,12 @@ spec (bad sweep grid, unknown latency op-class name), 12 pass
 verification, 13 emulation timeout, 14 trace integrity, 15 model
 divergence, 16 emulation fault, 17 artifact lock timeout, 18 open
 fuzz findings, 19 service overloaded (load shed), 20 tenant quota
-exceeded, 21 job deadline exceeded.  Codes 13, 14, 17, 19 and 20 are
-transient (retry, honouring any Retry-After hint); the rest are
-permanent.
+exceeded, 21 job deadline exceeded, 22 native kernel build failure,
+23 C toolchain missing, 24 native kernel parity mismatch, 25 native
+kernel crash.  Codes 13, 14, 17, 19, 20, 23 and 25 are transient
+(retry, honouring any Retry-After hint — the native-engine supervisor
+demotes before raising, so a retry lands on the Python engines); the
+rest are permanent.
 """
 
 from __future__ import annotations
@@ -496,7 +506,8 @@ def _cmd_cache(args) -> int:
         return 0
     if args.action == "fsck":
         from repro.engine.recovery.fsck import fsck_store
-        report = fsck_store(store, repair=args.repair)
+        report = fsck_store(store, repair=args.repair,
+                            include_kernels=True)
         print(report.render())
         return 0 if report.clean or args.repair else 1
     removed = store.clear()
@@ -522,7 +533,30 @@ def _cmd_selftest(args) -> int:
               .replace("engine chaos campaign",
                        "service chaos campaign"))
         ok = ok and all(r.ok for r in service)
+        from repro.robustness.chaos import run_native_chaos_campaign
+        native = run_native_chaos_campaign(jobs=args.jobs)
+        print(format_chaos_reports(native)
+              .replace("engine chaos campaign",
+                       "native chaos campaign"))
+        ok = ok and all(r.ok for r in native)
     return 0 if ok else 1
+
+
+def _cmd_native(args) -> int:
+    """Probe, report and (optionally) rebuild the native kernel path."""
+    from repro.fastpath import native, supervisor
+    if getattr(args, "fresh", False):
+        supervisor.reset_for_testing()
+    available = native.available()
+    for line in supervisor.status_lines():
+        print(line)
+    if available:
+        return 0
+    error = supervisor.last_error()
+    if error is not None:
+        print(f"last failure: {error}")
+        return error.exit_code
+    return 0
 
 
 def _cmd_list(_args) -> int:
@@ -966,13 +1000,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection campaign: prove every "
                             "corruption class is caught")
     p.add_argument("--chaos", action="store_true",
-                   help="add the engine chaos campaign: worker "
-                        "crashes, torn/corrupt artifacts, timeouts, "
-                        "disk-full writes and SIGKILL+resume must all "
+                   help="add the engine, service and native chaos "
+                        "campaigns: worker crashes, torn/corrupt "
+                        "artifacts, timeouts, disk-full writes, "
+                        "SIGKILL+resume, kernel segfaults, corrupted "
+                        ".so caches and parity mismatches must all "
                         "recover or fail typed")
     p.add_argument("--jobs", type=int, default=2, metavar="N",
                    help="pool width for the chaos campaign (default 2)")
     p.set_defaults(func=_cmd_selftest)
+
+    p = sub.add_parser("native",
+                       help="probe the native kernel path: build, "
+                            "sandbox-canary and parity-check the C "
+                            "engine, then report the ladder state")
+    p.add_argument("--fresh", action="store_true",
+                   help="drop this process's cached supervisor state "
+                        "first (forces a re-probe; the on-disk .so "
+                        "cache still applies)")
+    p.set_defaults(func=_cmd_native)
 
     p = sub.add_parser("fuzz",
                        help="differential fuzzing: campaign, corpus "

@@ -20,6 +20,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.robustness.errors import (ArtifactLockTimeout, EmulationTimeout,
+                                     NativeKernelCrash,
+                                     NativeToolchainMissing,
                                      QuotaExceededError,
                                      ServiceOverloadedError,
                                      TraceIntegrityError)
@@ -30,6 +32,9 @@ from repro.robustness.errors import (ArtifactLockTimeout, EmulationTimeout,
 #: writes; ``TraceIntegrityError`` is a corrupt-artifact read (the store
 #: quarantined it, a retry recomputes); ``EmulationTimeout`` may be
 #: contention rather than an infinite loop, so it gets its capped tries.
+#: ``NativeKernelCrash``/``NativeToolchainMissing`` are transient
+#: because the supervisor demotes the process before they propagate —
+#: the retry runs on a pure-Python engine and succeeds byte-identically.
 TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
     BrokenProcessPool,
     TraceIntegrityError,
@@ -37,6 +42,8 @@ TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
     ArtifactLockTimeout,
     ServiceOverloadedError,
     QuotaExceededError,
+    NativeKernelCrash,
+    NativeToolchainMissing,
     TimeoutError,
     ConnectionError,
     OSError,

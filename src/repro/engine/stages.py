@@ -74,6 +74,12 @@ class PipelineContext:
     #: worker processes for intra-workload trace sharding on the
     #: vector engine (ignored by the other engines)
     jobs: int = 1
+    #: whether this process may use the native (C) kernels.  Resolved
+    #: once from the supervisor's per-process env snapshot, never from
+    #: ``os.environ`` mid-run — a mid-run env mutation can't produce
+    #: mixed-engine chunks within one workload.  Set False explicitly
+    #: to pin the pure-Python engines regardless of the snapshot.
+    native_enabled: bool | None = None
 
     def __post_init__(self):
         if self.engine is None:
@@ -81,6 +87,9 @@ class PipelineContext:
         if self.engine not in ("legacy", "fastpath", "stream", "vector"):
             raise ValueError(f"unknown engine {self.engine!r}")
         self.fastpath = self.engine != "legacy"
+        if self.native_enabled is None:
+            from repro.fastpath import supervisor
+            self.native_enabled = supervisor.native_enabled()
         if self.store is not None:
             # One counter object for the whole pipeline, store included.
             self.store.metrics = self.metrics
@@ -244,7 +253,8 @@ class PipelineContext:
                         watchdog=watchdog,
                         decoded=self._decoded_for(
                             self.compile_key(workload, model, machine),
-                            compiled))
+                            compiled),
+                        native=self.native_enabled)
                 elif self.fastpath:
                     execution = run_program_fast(
                         compiled.program,
@@ -271,6 +281,7 @@ class PipelineContext:
             check_trace_integrity(
                 execution, self.compiled(workload, model, machine).program)
         self._execution[key] = execution
+        self._drain_native_counters()
         return execution
 
     def run_summary(self, workload: Workload, model: Model,
@@ -324,7 +335,8 @@ class PipelineContext:
                                             machine),
                             machine, jobs=self.jobs,
                             task_key=machine.schedule_digest(),
-                            metrics=self.metrics)
+                            metrics=self.metrics,
+                            native=self.native_enabled)
                     elif isinstance(trace, TraceColumns):
                         stats = simulate_columns(
                             trace,
@@ -341,4 +353,12 @@ class PipelineContext:
             if self.store is not None:
                 self.store.put("stats", key, summary)
         self._summary[key] = summary
+        self._drain_native_counters()
         return summary
+
+    def _drain_native_counters(self) -> None:
+        """Fold the supervisor's degradation telemetry into this run's
+        metrics, so demotions reach ``BENCH_pipeline.json`` and — via
+        the workers' ``to_dict`` round-trip — the service breaker."""
+        from repro.fastpath import supervisor
+        supervisor.drain_into(self.metrics)

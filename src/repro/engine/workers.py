@@ -46,11 +46,24 @@ class JobSpec:
             engine=self.engine)
 
 
+def _finish(ctx: PipelineContext) -> dict:
+    """Serialize a worker context's counters for the parent's merge.
+
+    Drains the native-engine supervisor first, so a demotion that
+    happened in this worker process rides the same ``to_dict`` →
+    ``merge_dict`` round-trip as every other counter and reaches the
+    parent's ``BENCH_pipeline.json`` and the service breaker.
+    """
+    from repro.fastpath import supervisor
+    supervisor.drain_into(ctx.metrics)
+    return ctx.metrics.to_dict()
+
+
 def prepare_workload(spec: JobSpec) -> dict:
     """Stage 1: frontend + profile for one workload (model-agnostic)."""
     ctx = spec.context()
     ctx.profile(get_workload(spec.workload))
-    return ctx.metrics.to_dict()
+    return _finish(ctx)
 
 
 def compile_emulate(spec: JobSpec) -> dict:
@@ -60,7 +73,7 @@ def compile_emulate(spec: JobSpec) -> dict:
     model = Model[spec.model_name]
     ctx.compiled(workload, model, spec.machine)
     ctx.execution(workload, model, spec.machine)
-    return ctx.metrics.to_dict()
+    return _finish(ctx)
 
 
 def simulate(spec: JobSpec) -> dict:
@@ -68,4 +81,4 @@ def simulate(spec: JobSpec) -> dict:
     ctx = spec.context()
     workload = get_workload(spec.workload)
     ctx.run_summary(workload, Model[spec.model_name], spec.machine)
-    return ctx.metrics.to_dict()
+    return _finish(ctx)

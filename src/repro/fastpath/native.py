@@ -2,12 +2,14 @@
 
 The pure-Python fastpath pays ~1µs of interpreter overhead per dynamic
 event; at millions of events per figure cell that dominates wall time.
-This module compiles :data:`repro.fastpath._native_src.C_SOURCE` once
-with the system C compiler into a shared object cached under the
-system temp directory (keyed by source hash, published atomically) and
-binds it with :mod:`ctypes`.  Everything is best-effort: no compiler,
-a failed build, a failed probe, or ``REPRO_NATIVE=0`` all degrade to
-the pure-Python engines with identical results.
+This module binds the supervised kernel shared object with
+:mod:`ctypes`; building, digest verification, the sacrificial-
+subprocess canary, the golden parity replay, and the degradation
+ladder all live in :mod:`repro.fastpath.supervisor`.  Every failure is
+typed and demotes the process one rung — no compiler, a failed build,
+a failed probe, a parity mismatch, a kernel crash, or
+``REPRO_NATIVE=0`` all degrade to the pure-Python engines with
+byte-identical results.
 
 Two kernels:
 
@@ -36,10 +38,6 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
-import os
-import shutil
-import subprocess
-import tempfile
 import threading
 import time
 from typing import TYPE_CHECKING, Callable
@@ -50,7 +48,6 @@ from repro.emu.interpreter import _CMP, StepLimitExceeded
 from repro.emu.memory import (GLOBAL_BASE, SAFE_ADDR, EmulationFault,
                               Memory, layout_globals)
 from repro.emu.trace import ExecutionResult
-from repro.fastpath._native_src import C_SOURCE
 from repro.fastpath.columns import TraceColumns
 from repro.fastpath.decode import (
     K_BRANCH, K_CALL, K_CMOV, K_CMP, K_DIV, K_FDIV, K_FLOAD, K_JUMP,
@@ -91,8 +88,12 @@ _NO_REG_WRITE = frozenset((K_PREDDEF, K_PREDSET, K_NOP, K_STORE,
                            K_CALL, K_RET))
 
 # ----------------------------------------------------------------- #
-# Library build + load                                              #
+# Library build + load (supervised)                                 #
 # ----------------------------------------------------------------- #
+#
+# Building, digest-verifying, sandbox-validating and parity-checking
+# the shared object all live in :mod:`repro.fastpath.supervisor`; this
+# module only binds the validated object and caches the handle.
 
 _lock = threading.Lock()
 _lib = None
@@ -100,82 +101,86 @@ _lib_tried = False
 
 
 def _enabled() -> bool:
-    return os.environ.get("REPRO_NATIVE", "1").lower() not in (
-        "0", "off", "no", "false")
+    """Once-per-process ``REPRO_NATIVE`` snapshot (supervisor-owned).
+
+    Resolved a single time so a mid-run env mutation can never produce
+    mixed-engine chunks within one workload.
+    """
+    from repro.fastpath import supervisor
+    return supervisor.native_enabled()
 
 
-def _compile_library() -> str | None:
-    """Compile the C source to a cached shared object; return its path."""
-    key = hashlib.sha256(C_SOURCE.encode()).hexdigest()[:12]
-    cached = os.path.join(tempfile.gettempdir(), f"repro_native_{key}.so")
-    if os.path.exists(cached):
-        return cached
-    try:
-        with tempfile.TemporaryDirectory() as td:
-            src = os.path.join(td, "repro_native.c")
-            with open(src, "w") as f:
-                f.write(C_SOURCE)
-            built = os.path.join(td, "repro_native.so")
-            for cc in ("cc", "gcc"):
-                try:
-                    proc = subprocess.run(
-                        [cc, "-O2", "-shared", "-fPIC", "-o", built,
-                         src, "-lm"],
-                        capture_output=True, timeout=120)
-                except (OSError, subprocess.SubprocessError):
-                    continue
-                if proc.returncode == 0 and os.path.exists(built):
-                    break
-            else:
-                return None
-            # Publish atomically so concurrent builders never load a
-            # half-written object.
-            tmp = f"{cached}.{os.getpid()}.tmp"
-            shutil.copy(built, tmp)
-            os.replace(tmp, cached)
-    except OSError:
-        return None
-    return cached
+def _bind_library(path: str):
+    """``CDLL`` + probe + argtype binding for a kernel object.
 
-
-def _load_library():
-    path = _compile_library()
-    if path is None:
-        return None
+    Raises :class:`NativeBuildError` when the object cannot be loaded
+    or its probe misbehaves — shared by the in-process loader and the
+    sacrificial-subprocess canary child.
+    """
+    from repro.robustness.errors import NativeBuildError
     try:
         lib = ctypes.CDLL(path)
         lib.native_probe.restype = ctypes.c_int
         lib.native_probe.argtypes = ()
-        if lib.native_probe() != 42:
-            return None
-        p64 = ctypes.POINTER(ctypes.c_int64)
-        lib.sim_scan.restype = None
-        lib.sim_scan.argtypes = (p64, p64)
-        lib.emu_new.restype = ctypes.c_void_p
-        lib.emu_new.argtypes = (p64, p64)
-        lib.emu_run.restype = ctypes.c_int
-        lib.emu_run.argtypes = (ctypes.c_void_p,)
-        lib.emu_free.restype = None
-        lib.emu_free.argtypes = (ctypes.c_void_p,)
-    except OSError:
-        return None
+        probe = lib.native_probe()
+    except (OSError, AttributeError) as exc:
+        raise NativeBuildError(
+            f"kernel object failed to load: {exc}",
+            so_path=path) from exc
+    if probe != 42:
+        raise NativeBuildError(
+            f"kernel probe returned {probe}, expected 42",
+            so_path=path)
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    lib.sim_scan.restype = None
+    lib.sim_scan.argtypes = (p64, p64)
+    lib.emu_new.restype = ctypes.c_void_p
+    lib.emu_new.argtypes = (p64, p64)
+    lib.emu_run.restype = ctypes.c_int
+    lib.emu_run.argtypes = (ctypes.c_void_p,)
+    lib.emu_free.restype = None
+    lib.emu_free.argtypes = (ctypes.c_void_p,)
     return lib
 
 
 def _get_lib():
+    """The validated kernel handle, or None once the process demoted.
+
+    First call per process walks the full supervised path: build (or
+    digest-verified cache load), sacrificial-subprocess canary for
+    never-validated objects, then the in-process golden parity replay.
+    Any typed failure demotes the ladder and this returns None forever
+    after — byte-identical pure-Python engines take over.
+    """
     global _lib, _lib_tried
-    if not _enabled():
+    from repro.fastpath import supervisor
+    from repro.robustness.errors import (NativeEngineError,
+                                         NativeParityError)
+    if not supervisor.native_active():
         return None
     if _lib is None and not _lib_tried:
         with _lock:
             if _lib is None and not _lib_tried:
-                _lib = _load_library()
                 _lib_tried = True
+                path = supervisor.acquire_so()
+                if path is not None:
+                    try:
+                        _lib = _bind_library(path)
+                    except NativeEngineError as exc:
+                        supervisor._record_failure(exc)
+                        _lib = None
+                    if _lib is not None:
+                        try:
+                            supervisor.verify_process_parity(path)
+                        except NativeParityError:
+                            _lib = None
+    if not supervisor.native_active():
+        return None
     return _lib
 
 
 def available() -> bool:
-    """True when the native kernels compiled, loaded, and probed OK."""
+    """True when the native kernels built, validated, and probed OK."""
     return _get_lib() is not None
 
 
@@ -506,7 +511,8 @@ def run_program_native(program: "Program",
                        sink: Callable[[TraceColumns], None]
                        | None = None,
                        chunk_events: int | None = None,
-                       decoded: DecodedProgram | None = None
+                       decoded: DecodedProgram | None = None,
+                       native: bool | None = None
                        ) -> ExecutionResult:
     """Native-kernel equivalent of ``interp.run_program_fast``.
 
@@ -515,9 +521,17 @@ def run_program_native(program: "Program",
     Python engines.  Unsupported modes (and a missing kernel) delegate
     to :func:`repro.fastpath.jitc.run_program_jit`, which itself falls
     back further; results are identical on every path.
+
+    ``native=False`` skips the kernel outright — callers thread the
+    :class:`~repro.engine.stages.PipelineContext`'s once-per-process
+    engine resolution through here instead of re-reading the
+    environment.  A kernel fault mid-run (injected or real) demotes
+    the process and either reruns on the next rung (when no chunk
+    left this function yet) or re-raises the typed, transient
+    :class:`NativeKernelCrash` for the scheduler's retry.
     """
     from repro.fastpath.jitc import run_program_jit
-    lib = _get_lib()
+    lib = None if native is False else _get_lib()
     tracing = collect_trace or sink is not None
     if lib is None or watchdog is not None or not tracing:
         return run_program_jit(program, inputs=inputs,
@@ -584,52 +598,73 @@ def run_program_native(program: "Program",
                                sink=sink, chunk_events=chunk_events,
                                decoded=decoded)
 
+    from repro.fastpath import supervisor
+    from repro.robustness.errors import NativeKernelCrash
+
     signature = 0
     out_count = 0
+    flushed = False
     trace = TraceColumns() if collect_trace else None
     try:
-        while True:
-            rc = lib.emu_run(handle)
-            if rc == _ST_FAULT:
-                _raise_fault(nprog, out, max_steps)
-            tn = int(out[9])
-            nvals = int(out[10])
-            if tn:
-                values = [float(val_f[i]) if val_isf[i]
-                          else int(val_i[i]) for i in range(nvals)]
-                if nvals:
-                    mask = t_vidx[:tn] >= 0
-                    for a, v in zip(t_addr[:tn][mask].tolist(),
-                                    values):
-                        if a != SAFE_ADDR:
-                            out_count += 1
-                            signature = ((signature ^ hash((a, v)))
-                                         * _SIG_PRIME) & _U64
-                if sink is not None:
-                    cols = TraceColumns()
-                    cols.sidx.frombytes(t_sidx[:tn].tobytes())
-                    cols.flags.frombytes(t_flags[:tn].tobytes())
-                    cols.addr.frombytes(t_addr[:tn].tobytes())
-                    cols.vidx.frombytes(t_vidx[:tn].tobytes())
-                    cols.values = values
-                    sink(cols)
-                elif collect_trace:
-                    vbase = len(trace.values)
-                    trace.sidx.frombytes(t_sidx[:tn].tobytes())
-                    trace.flags.frombytes(t_flags[:tn].tobytes())
-                    trace.addr.frombytes(t_addr[:tn].tobytes())
-                    if vbase:
-                        vv = t_vidx[:tn].copy()
-                        vv[vv >= 0] += vbase
-                        trace.vidx.frombytes(vv.tobytes())
-                    else:
-                        trace.vidx.frombytes(t_vidx[:tn].tobytes())
-                    trace.values.extend(values)
-            if rc == _ST_DONE:
-                break
-    finally:
-        lib.emu_free(handle)
-        del membuf
+        try:
+            while True:
+                supervisor.maybe_fault_emu()
+                rc = lib.emu_run(handle)
+                if rc == _ST_FAULT:
+                    _raise_fault(nprog, out, max_steps)
+                tn = int(out[9])
+                nvals = int(out[10])
+                if tn:
+                    values = [float(val_f[i]) if val_isf[i]
+                              else int(val_i[i]) for i in range(nvals)]
+                    if nvals:
+                        mask = t_vidx[:tn] >= 0
+                        for a, v in zip(t_addr[:tn][mask].tolist(),
+                                        values):
+                            if a != SAFE_ADDR:
+                                out_count += 1
+                                signature = ((signature ^ hash((a, v)))
+                                             * _SIG_PRIME) & _U64
+                    if sink is not None:
+                        cols = TraceColumns()
+                        cols.sidx.frombytes(t_sidx[:tn].tobytes())
+                        cols.flags.frombytes(t_flags[:tn].tobytes())
+                        cols.addr.frombytes(t_addr[:tn].tobytes())
+                        cols.vidx.frombytes(t_vidx[:tn].tobytes())
+                        cols.values = values
+                        sink(cols)
+                        flushed = True
+                    elif collect_trace:
+                        vbase = len(trace.values)
+                        trace.sidx.frombytes(t_sidx[:tn].tobytes())
+                        trace.flags.frombytes(t_flags[:tn].tobytes())
+                        trace.addr.frombytes(t_addr[:tn].tobytes())
+                        if vbase:
+                            vv = t_vidx[:tn].copy()
+                            vv[vv >= 0] += vbase
+                            trace.vidx.frombytes(vv.tobytes())
+                        else:
+                            trace.vidx.frombytes(t_vidx[:tn].tobytes())
+                        trace.values.extend(values)
+                if rc == _ST_DONE:
+                    break
+        finally:
+            lib.emu_free(handle)
+            del membuf
+    except NativeKernelCrash as crash:
+        # The emulator kernel faulted mid-run.  Demote the process
+        # first; then either rerun from scratch on the next rung (no
+        # chunk has left this function, so the result is identical) or
+        # surface the typed transient error — the sink already
+        # consumed chunks, and only the caller can restart the stream.
+        supervisor.report_kernel_fault(crash)
+        if flushed:
+            raise
+        return run_program_jit(program, inputs=inputs,
+                               collect_trace=collect_trace,
+                               max_steps=max_steps, watchdog=watchdog,
+                               sink=sink, chunk_events=chunk_events,
+                               decoded=decoded)
 
     wall_time = time.monotonic() - started
     value = float(out_f[0]) if out[2] else int(out[3])
@@ -708,9 +743,15 @@ def sim_scan_chunk(tables: NativeSimTables,
     vector) is read and written in place, so consecutive calls chain
     exactly like consecutive ``feed`` calls.
     """
+    from repro.fastpath import supervisor
     lib = _get_lib()
     if lib is None:
-        raise RuntimeError("native kernels unavailable")
+        from repro.robustness.errors import NativeEngineError
+        raise NativeEngineError("native kernels unavailable")
+    # Injected faults fire *before* the C call, so all carried state
+    # is still at the previous chunk boundary — the caller hands off
+    # to the Python scan and reprocesses this chunk byte-identically.
+    supervisor.maybe_fault_scan()
     cfg[0] = len(sidx)
     ptrs_vec, ptrs = _as_ptrs([
         sidx, flags, addr, tables.pc_addr, tables.lat, tables.flags,

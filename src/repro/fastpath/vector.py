@@ -48,6 +48,7 @@ from repro.fastpath.simulate import (F_CONTROL, F_DYNBRANCH, F_JUMP,
                                      F_LOAD, F_STORE, SimPrep,
                                      prepare_sim)
 from repro.machine.descriptor import MachineDescription
+from repro.robustness.errors import NativeKernelCrash
 from repro.sim.pipeline import SimulationStats
 
 if TYPE_CHECKING:
@@ -560,17 +561,42 @@ class VectorSimulator:
 
     def feed(self, cols: TraceColumns) -> None:
         if self._native:
-            self.chunks_fed += 1
+            from repro.fastpath import supervisor
+            if not supervisor.native_active():
+                # The process demoted since this simulator was built
+                # (e.g. the emulator side faulted mid-run): hand the
+                # carried state to the Python path before the next
+                # scan rather than trusting a rung the supervisor
+                # already revoked.
+                self._disable_native()
+                self.feed_prepassed(prepass_chunk(cols, self.vprep,
+                                                  self.machine))
+                return
             n = len(cols)
             if n == 0:
+                self.chunks_fed += 1
                 return
-            self._scan(self._nt,
-                       np.frombuffer(cols.sidx, dtype=np.int32),
-                       np.frombuffer(cols.flags, dtype=np.uint8),
-                       np.frombuffer(cols.addr, dtype=np.int64),
-                       self._ready_np, self._btb_tags_np,
-                       self._btb_ctr_np, self._ic_np, self._dc_np,
-                       self._st, self._cfg)
+            try:
+                self._scan(self._nt,
+                           np.frombuffer(cols.sidx, dtype=np.int32),
+                           np.frombuffer(cols.flags, dtype=np.uint8),
+                           np.frombuffer(cols.addr, dtype=np.int64),
+                           self._ready_np, self._btb_tags_np,
+                           self._btb_ctr_np, self._ic_np, self._dc_np,
+                           self._st, self._cfg)
+            except NativeKernelCrash as crash:
+                # The scan kernel faulted before touching the carried
+                # state (it is still at the previous chunk boundary):
+                # demote the process, hand the state to the Python
+                # path, and reprocess this chunk — mid-workload
+                # degradation with byte-identical stitched results.
+                from repro.fastpath import supervisor
+                supervisor.report_kernel_fault(crash)
+                self._disable_native()
+                self.feed_prepassed(prepass_chunk(cols, self.vprep,
+                                                  self.machine))
+                return
+            self.chunks_fed += 1
             return
         self.feed_prepassed(prepass_chunk(cols, self.vprep,
                                           self.machine))
@@ -760,18 +786,23 @@ def simulate_columns_vector(cols: TraceColumns,
                             *, chunk_events: int | None = None,
                             jobs: int = 1,
                             task_key: str = "",
-                            metrics=None) -> SimulationStats:
+                            metrics=None,
+                            native: bool | None = None
+                            ) -> SimulationStats:
     """Vector-backend equivalent of ``simulate_columns``.
 
     With ``jobs > 1`` the chunk pre-passes are fanned across the
     engine's process pool (task ids ``vprepass:<task_key>:<index>``)
     and stitched back in order; the result is byte-identical to the
-    serial path at any job count or chunk size.
+    serial path at any job count or chunk size.  ``native=False``
+    (from the :class:`~repro.engine.stages.PipelineContext`'s
+    once-per-process resolution) keeps the scan on the Python path.
     """
     size = chunk_events or DEFAULT_VECTOR_CHUNK
     n = len(cols)
     sharded = jobs > 1 and n > size
-    sim = VectorSimulator(prep, machine, native=not sharded)
+    sim = VectorSimulator(prep, machine,
+                          native=not sharded and native is not False)
     if sharded:
         from repro.engine.scheduler import Job, execute_jobs
         chunks = list(cols.chunks(size))
@@ -802,7 +833,8 @@ def emulate_and_simulate_vector(
         chunk_events: int | None = None,
         decoded: DecodedProgram | None = None,
         prep: "SimPrep | VectorSimPrep" = None,
-        metrics=None
+        metrics=None,
+        native: bool | None = None
 ) -> "tuple[ExecutionResult, SimulationStats]":
     """Streaming emulate→simulate on the vector backend.
 
@@ -811,7 +843,9 @@ def emulate_and_simulate_vector(
     the flat interpreter (always, when a watchdog is attached); the
     simulator side consumes each chunk through the native full scan
     or the vector pre-pass + residual scan.  Observables are
-    byte-identical to the stream engine on every path.
+    byte-identical to the stream engine on every path — including
+    after a mid-stream kernel crash, which demotes the process and
+    restarts the fused run from scratch on the pure-Python rungs.
 
     When a :class:`~repro.engine.metrics.PipelineMetrics` is supplied,
     the fused run times every simulator feed separately, credits the
@@ -825,21 +859,40 @@ def emulate_and_simulate_vector(
         decoded = decode_program(program)
     if prep is None:
         prep = prepare_vector(decoded, addresses, machine)
-    sim = VectorSimulator(prep, machine)
-    sink = sim.feed
     sim_seconds = [0.0]
-    if metrics is not None:
-        def sink(cols, _feed=sim.feed, _acc=sim_seconds):
-            start = perf_counter()
-            _feed(cols)
-            _acc[0] += perf_counter() - start
+
+    def _fresh_sink(use_native: bool):
+        sim = VectorSimulator(prep, machine, native=use_native)
+        sink = sim.feed
+        sim_seconds[0] = 0.0
+        if metrics is not None:
+            def sink(cols, _feed=sim.feed, _acc=sim_seconds):
+                start = perf_counter()
+                _feed(cols)
+                _acc[0] += perf_counter() - start
+        return sim, sink
+
     from repro.fastpath.native import run_program_native
+    sim, sink = _fresh_sink(native is not False)
     begin = perf_counter()
-    execution = run_program_native(
-        program, inputs=inputs, max_steps=max_steps,
-        watchdog=watchdog, sink=sink,
-        chunk_events=chunk_events or DEFAULT_CHUNK_EVENTS,
-        decoded=decoded)
+    try:
+        execution = run_program_native(
+            program, inputs=inputs, max_steps=max_steps,
+            watchdog=watchdog, sink=sink,
+            chunk_events=chunk_events or DEFAULT_CHUNK_EVENTS,
+            decoded=decoded, native=native)
+    except NativeKernelCrash:
+        # The emulator kernel died after chunks already reached the
+        # simulator.  The supervisor demoted the process when the
+        # crash was caught; rerun the whole fused stream on the
+        # Python engines with a fresh simulator — byte-identical.
+        from repro.fastpath.jitc import run_program_jit
+        sim, sink = _fresh_sink(False)
+        execution = run_program_jit(
+            program, inputs=inputs, max_steps=max_steps,
+            watchdog=watchdog, sink=sink,
+            chunk_events=chunk_events or DEFAULT_CHUNK_EVENTS,
+            decoded=decoded)
     mid = perf_counter()
     stats = sim.finish()
     if metrics is not None:

@@ -31,6 +31,12 @@ injection                mechanism                      expected
 ``torn-journal``         partial final journal line     recover
                          (crash mid-append)
 =======================  =============================  ===============
+
+:func:`run_native_chaos_campaign` attacks the C-kernel trust chain the
+same way (corrupted ``.so`` cache, vanishing compiler, sandboxed
+SIGSEGV, stale cache across a simulated compiler upgrade, injected
+parity mismatch, mid-run kernel fault); every injection must end in a
+byte-identical degraded run or a typed taxonomy failure.
 """
 
 from __future__ import annotations
@@ -364,19 +370,280 @@ def _inject_torn_journal() -> ChaosReport:
         f"{len(state.completed)} completed tasks preserved")
 
 
-# ----- the campaign ---------------------------------------------------------
+# ----- native-engine chaos --------------------------------------------------
+#
+# Every injection here attacks the C-kernel trust chain — the .so
+# cache, the compiler, the sandbox canary, the parity replay, or a
+# kernel mid-run — and demands the same two terminal states as the
+# engine campaign: a *byte-identical* degraded run (the ladder ate the
+# fault) or a typed taxonomy failure.  The degraded output is compared
+# against a pure-Python reference of the same campaign kernel, so
+# "recovered" always means "the figures did not move".
 
-def run_chaos_campaign(jobs: int = 2) -> list[ChaosReport]:
-    """Run every injection; one report each, parent never crashes."""
-    injections = [
-        ("worker-crash-retry", lambda: _inject_worker_crash(jobs)),
-        ("artifact-truncate", _inject_artifact_truncate),
-        ("envelope-bit-flip", _inject_envelope_bit_flip),
-        ("slow-task-timeout", _inject_slow_task),
-        ("disk-full-write", _inject_disk_full),
-        ("sigkill-resume", _inject_sigkill_resume),
-        ("torn-journal", _inject_torn_journal),
-    ]
+#: (compiled program, machine, reference observables) — built once
+_NATIVE_CHAOS: tuple | None = None
+
+
+def _native_chaos_program():
+    global _NATIVE_CHAOS
+    if _NATIVE_CHAOS is None:
+        from repro.machine.descriptor import MachineDescription
+        base = frontend(CAMPAIGN_SOURCE)
+        profile = Profile.collect(base, inputs=CAMPAIGN_INPUTS)
+        machine = MachineDescription(
+            issue_width=4, branch_issue_limit=2,
+            name="native-chaos").with_real_caches()
+        compiled = compile_for_model(base, Model.FULLPRED, profile,
+                                     machine)
+        reference = _observables(run_compiled(
+            compiled, inputs=CAMPAIGN_INPUTS, machine=machine,
+            engine="fastpath"))
+        _NATIVE_CHAOS = (compiled, machine, reference)
+    return _NATIVE_CHAOS
+
+
+def _observables(result) -> str:
+    """Every observable a figure could depend on, as one comparable
+    string (the trace itself is engine-internal and may be None)."""
+    ex = result.execution
+    return repr((ex.return_value, ex.dynamic_count, ex.suppressed_count,
+                 ex.output_signature, ex.output_count, ex.memory_digest,
+                 result.stats))
+
+
+def _degraded_run() -> str:
+    """Run the campaign kernel through the vector engine under the
+    *current* supervisor state (healthy, demoted, or mid-injection)."""
+    compiled, machine, _ = _native_chaos_program()
+    return _observables(run_compiled(
+        compiled, inputs=CAMPAIGN_INPUTS, machine=machine,
+        engine="vector"))
+
+
+def _have_cc() -> bool:
+    import shutil
+    return any(shutil.which(c) for c in ("cc", "gcc"))
+
+
+def _skip_no_cc(injection: str, description: str) -> ChaosReport:
+    return _report(injection, description, "recover", True,
+                   "skipped", "no C toolchain in this environment")
+
+
+def _quarantined_kernels(cache_dir: str) -> list[Path]:
+    qdir = Path(cache_dir) / "quarantine"
+    if not qdir.is_dir():
+        return []
+    return [p for p in qdir.iterdir()
+            if not p.name.endswith(".reason")]
+
+
+def _inject_kernel_so_corrupt() -> ChaosReport:
+    description = "cached kernel .so corrupted on disk; load must " \
+                  "quarantine the object, rebuild, and stay " \
+                  "byte-identical"
+    if not _have_cc():
+        return _skip_no_cc("kernel-so-corrupt", description)
+    from repro.fastpath import native, supervisor
+    _, _, reference = _native_chaos_program()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        try:
+            supervisor.reset_for_testing(cache_dir=tmp)
+            path = Path(supervisor.ensure_built())
+            blob = bytearray(path.read_bytes())
+            blob[len(blob) // 2] ^= 0x01
+            path.write_bytes(bytes(blob))
+            supervisor.reset_for_testing(cache_dir=tmp)
+            rebuilt = native.available()
+            counters = supervisor.counters_snapshot()
+            quarantined = _quarantined_kernels(tmp)
+            degraded = _degraded_run()
+            ok = rebuilt \
+                and counters["kernel_cache_quarantined"] >= 1 \
+                and len(quarantined) >= 1 \
+                and degraded == reference
+
+            message = (f"corrupt object quarantined "
+                       f"({len(quarantined)} in quarantine/), rebuilt "
+                       f"and revalidated, output "
+                       f"{'byte-identical' if degraded == reference else 'DIVERGED'}")
+        finally:
+            supervisor.reset_for_testing()
+    return _report("kernel-so-corrupt", description, "recover", ok,
+                   "recovered" if ok else "NOT recovered", message)
+
+
+def _inject_kernel_cc_vanish() -> ChaosReport:
+    description = "C compiler vanishes before the build; typed " \
+                  "NativeToolchainMissing must demote the ladder and " \
+                  "the degraded run must be byte-identical"
+    from repro.fastpath import native, supervisor
+    _, _, reference = _native_chaos_program()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        try:
+            supervisor.reset_for_testing(
+                cache_dir=tmp, compilers=("repro-chaos-missing-cc",))
+            available = native.available()
+            error = supervisor.last_error()
+            events = supervisor.degradation_events()
+            degraded = _degraded_run()
+            ok = not available and error is not None \
+                and type(error).__name__ == "NativeToolchainMissing" \
+                and is_transient(error) \
+                and any(e.from_engine == "native" for e in events) \
+                and degraded == reference
+            message = (f"typed {type(error).__name__} "
+                       f"(exit {getattr(error, 'exit_code', '?')}, "
+                       f"transient), engine now "
+                       f"{supervisor.current_engine()}, output "
+                       f"{'byte-identical' if degraded == reference else 'DIVERGED'}")
+        finally:
+            supervisor.reset_for_testing()
+    return _report("kernel-cc-vanish", description, "recover", ok,
+                   "recovered" if ok else "NOT recovered", message)
+
+
+def _inject_kernel_segv() -> ChaosReport:
+    description = "kernel SIGSEGVs inside the sacrificial sandbox " \
+                  "canary; only the child dies, the parent demotes " \
+                  "with a typed NativeKernelCrash"
+    if not _have_cc():
+        return _skip_no_cc("kernel-segv", description)
+    from repro.fastpath import native, supervisor
+    _, _, reference = _native_chaos_program()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        try:
+            supervisor.reset_for_testing(cache_dir=tmp)
+            supervisor.set_injection("segv-child")
+            available = native.available()
+            error = supervisor.last_error()
+            counters = supervisor.counters_snapshot()
+            degraded = _degraded_run()
+            ok = not available and error is not None \
+                and type(error).__name__ == "NativeKernelCrash" \
+                and getattr(error, "signal", None) == int(signal.SIGSEGV) \
+                and is_transient(error) \
+                and counters["native_kernel_crashes"] >= 1 \
+                and counters["engine_demotions"] >= 1 \
+                and degraded == reference
+            message = (f"child died on signal "
+                       f"{getattr(error, 'signal', '?')}, parent alive, "
+                       f"engine now {supervisor.current_engine()}, "
+                       f"output "
+                       f"{'byte-identical' if degraded == reference else 'DIVERGED'}")
+        finally:
+            supervisor.set_injection(None)
+            supervisor.reset_for_testing()
+    return _report("kernel-segv", description, "recover", ok,
+                   "recovered" if ok else "NOT recovered", message)
+
+
+def _inject_kernel_stale_cc() -> ChaosReport:
+    description = "compiler upgrade between runs; the " \
+                  "fingerprint-keyed cache must rebuild instead of " \
+                  "loading the stale object"
+    if not _have_cc():
+        return _skip_no_cc("kernel-stale-cc", description)
+    from repro.fastpath import native, supervisor
+    _, _, reference = _native_chaos_program()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        try:
+            supervisor.reset_for_testing(cache_dir=tmp,
+                                         fingerprint="chaos-cc 1.0")
+            first_path = supervisor.so_path()
+            first_ok = native.available()
+            first_run = _degraded_run()
+            supervisor.reset_for_testing(cache_dir=tmp,
+                                         fingerprint="chaos-cc 2.0")
+            second_path = supervisor.so_path()
+            second_ok = native.available()
+            second_run = _degraded_run()
+            ok = first_ok and second_ok \
+                and first_path != second_path \
+                and os.path.exists(first_path) \
+                and os.path.exists(second_path) \
+                and first_run == reference and second_run == reference
+            message = ("cache keys diverged, both objects built and "
+                       "validated, outputs "
+                       + ("byte-identical"
+                          if first_run == reference
+                          and second_run == reference else "DIVERGED"))
+        finally:
+            supervisor.reset_for_testing()
+    return _report("kernel-stale-cc", description, "recover", ok,
+                   "recovered" if ok else "NOT recovered", message)
+
+
+def _inject_kernel_parity() -> ChaosReport:
+    description = "golden parity mismatch injected in the sandbox " \
+                  "canary; the object must be quarantined, the " \
+                  "process demoted, the output byte-identical"
+    if not _have_cc():
+        return _skip_no_cc("kernel-parity-mismatch", description)
+    from repro.fastpath import native, supervisor
+    _, _, reference = _native_chaos_program()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        try:
+            supervisor.reset_for_testing(cache_dir=tmp)
+            supervisor.set_injection("parity-child")
+            available = native.available()
+            error = supervisor.last_error()
+            counters = supervisor.counters_snapshot()
+            quarantined = _quarantined_kernels(tmp)
+            degraded = _degraded_run()
+            ok = not available and error is not None \
+                and type(error).__name__ == "NativeParityError" \
+                and counters["native_parity_failures"] >= 1 \
+                and counters["kernel_cache_quarantined"] >= 1 \
+                and len(quarantined) >= 1 \
+                and degraded == reference
+            message = (f"typed NativeParityError, object quarantined "
+                       f"({len(quarantined)} in quarantine/), engine "
+                       f"now {supervisor.current_engine()}, output "
+                       f"{'byte-identical' if degraded == reference else 'DIVERGED'}")
+        finally:
+            supervisor.set_injection(None)
+            supervisor.reset_for_testing()
+    return _report("kernel-parity-mismatch", description, "recover", ok,
+                   "recovered" if ok else "NOT recovered", message)
+
+
+def _inject_kernel_midrun() -> ChaosReport:
+    description = "kernel faults mid-run after passing every canary; " \
+                  "the vector engine must demote in place and finish " \
+                  "byte-identically"
+    if not _have_cc():
+        return _skip_no_cc("kernel-midrun-fault", description)
+    from repro.fastpath import native, supervisor
+    _, _, reference = _native_chaos_program()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        try:
+            supervisor.reset_for_testing(cache_dir=tmp)
+            healthy = native.available()
+            supervisor.set_injection(("scan-fault", 1))
+            degraded = _degraded_run()
+            counters = supervisor.counters_snapshot()
+            events = supervisor.degradation_events()
+            ok = healthy \
+                and counters["native_kernel_crashes"] >= 1 \
+                and counters["engine_demotions"] >= 1 \
+                and any(e.error == "NativeKernelCrash" for e in events) \
+                and degraded == reference
+            message = (f"validated healthy, faulted mid-run, "
+                       f"{counters['engine_demotions']} demotion(s) "
+                       f"recorded, output "
+                       f"{'byte-identical' if degraded == reference else 'DIVERGED'}")
+        finally:
+            supervisor.set_injection(None)
+            supervisor.reset_for_testing()
+    return _report("kernel-midrun-fault", description, "recover", ok,
+                   "recovered" if ok else "NOT recovered", message)
+
+
+# ----- the campaigns --------------------------------------------------------
+
+def _run_injections(injections) -> list[ChaosReport]:
+    """Run each injection; one report each, the parent never crashes."""
     reports: list[ChaosReport] = []
     for name, injector in injections:
         start = time.monotonic()
@@ -394,13 +661,41 @@ def run_chaos_campaign(jobs: int = 2) -> list[ChaosReport]:
     return reports
 
 
+def run_chaos_campaign(jobs: int = 2) -> list[ChaosReport]:
+    """Run every engine injection."""
+    return _run_injections([
+        ("worker-crash-retry", lambda: _inject_worker_crash(jobs)),
+        ("artifact-truncate", _inject_artifact_truncate),
+        ("envelope-bit-flip", _inject_envelope_bit_flip),
+        ("slow-task-timeout", _inject_slow_task),
+        ("disk-full-write", _inject_disk_full),
+        ("sigkill-resume", _inject_sigkill_resume),
+        ("torn-journal", _inject_torn_journal),
+    ])
+
+
+def run_native_chaos_campaign(jobs: int = 2) -> list[ChaosReport]:
+    """Run every native-engine injection (``jobs`` accepted for CLI
+    symmetry; the supervisor is per-process state, so the injections
+    run in this process)."""
+    del jobs
+    return _run_injections([
+        ("kernel-so-corrupt", _inject_kernel_so_corrupt),
+        ("kernel-cc-vanish", _inject_kernel_cc_vanish),
+        ("kernel-segv", _inject_kernel_segv),
+        ("kernel-stale-cc", _inject_kernel_stale_cc),
+        ("kernel-parity-mismatch", _inject_kernel_parity),
+        ("kernel-midrun-fault", _inject_kernel_midrun),
+    ])
+
+
 def format_chaos_reports(reports: list[ChaosReport]) -> str:
     lines = ["", "engine chaos campaign",
-             f"{'injection':<22s}{'expected':<15s}{'outcome':<24s}"
+             f"{'injection':<24s}{'expected':<15s}{'outcome':<24s}"
              f"{'ok':<4s}",
-             "-" * 65]
+             "-" * 67]
     for r in reports:
-        lines.append(f"{r.injection:<22s}{r.expected:<15s}"
+        lines.append(f"{r.injection:<24s}{r.expected:<15s}"
                      f"{r.outcome:<24s}{'yes' if r.ok else 'NO':<4s}")
         if r.message:
             lines.append(f"    {r.message}")

@@ -183,6 +183,95 @@ class QuotaExceededError(ReproError):
         self.kind = kind
 
 
+class NativeEngineError(ReproError):
+    """Base of the native (C) kernel engine's failure taxonomy.
+
+    Everything the native-engine supervisor can report — build
+    failures, missing toolchains, parity mismatches, kernel crashes —
+    derives from this class, so callers that only care about "the
+    native rung is gone" can catch one type while the CLI still maps
+    each subclass to a distinct exit code.
+    """
+
+    def __init__(self, message: str, *, so_path: str | None = None):
+        super().__init__(message)
+        self.so_path = so_path
+
+
+class NativeBuildError(NativeEngineError):
+    """The C compiler ran but failed to produce a loadable kernel.
+
+    Permanent: the same source fed to the same compiler fails the same
+    way on every retry.  ``cc`` names the compiler, ``stderr`` carries
+    its (truncated) diagnostics for the demotion event.
+    """
+
+    exit_code = 22
+
+    def __init__(self, message: str, *, cc: str | None = None,
+                 stderr: str = "", so_path: str | None = None):
+        super().__init__(message, so_path=so_path)
+        self.cc = cc
+        self.stderr = stderr
+
+
+class NativeToolchainMissing(NativeEngineError):
+    """No usable C compiler was found on this host.
+
+    Transient by classification: the toolchain can reappear (PATH
+    fixed, container layer mounted) and a retry lands harmlessly on
+    the demoted pure-Python engines either way.  ``searched`` lists
+    the compiler names that were tried.
+    """
+
+    exit_code = 23
+
+    def __init__(self, message: str,
+                 *, searched: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.searched = searched
+
+
+class NativeParityError(NativeEngineError):
+    """A native kernel's golden-trace observables diverged from the
+    interpreter's.
+
+    Permanent: rebuilding the same source with the same compiler
+    reproduces the same object, so the supervisor quarantines the
+    ``.so`` and demotes the process instead of retrying.  ``expected``
+    and ``actual`` are the golden observable digests.
+    """
+
+    exit_code = 24
+
+    def __init__(self, message: str, *, so_path: str | None = None,
+                 expected: str | None = None, actual: str | None = None):
+        super().__init__(message, so_path=so_path)
+        self.expected = expected
+        self.actual = actual
+
+
+class NativeKernelCrash(NativeEngineError):
+    """A native kernel died hard (SIGSEGV/SIGBUS) or faulted mid-run.
+
+    Raised by the sacrificial-subprocess canary when the child exits
+    on a signal, and by the in-process fault hooks when a kernel scan
+    is aborted mid-chunk.  Transient by classification: the supervisor
+    demotes the process first, so the retry runs on a pure-Python
+    engine and succeeds byte-identically.  ``signal`` is the POSIX
+    signal number when one is known, ``stage`` names the kernel
+    (``emu`` / ``sim-scan`` / ``canary``).
+    """
+
+    exit_code = 25
+
+    def __init__(self, message: str, *, so_path: str | None = None,
+                 signal: int | None = None, stage: str | None = None):
+        super().__init__(message, so_path=so_path)
+        self.signal = signal
+        self.stage = stage
+
+
 class DeadlineExceededError(ReproError):
     """A job's wall-clock deadline expired before it completed.
 

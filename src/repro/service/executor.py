@@ -65,6 +65,18 @@ def result_to_json(result: dict) -> str:
     return json.dumps(result, sort_keys=True, separators=(",", ":"))
 
 
+def _crash_evidence(counters: dict) -> bool:
+    """Pool-sickness signal for the circuit breaker.
+
+    Worker crashes and pool rebuilds are the classic evidence; native
+    kernel crashes count too, so a crash-storming kernel trips the
+    breaker pool→serial exactly like a sick worker pool does.
+    """
+    return bool(counters.get("pool_rebuilds", 0)
+                or counters.get("worker_crashes", 0)
+                or counters.get("native_kernel_crashes", 0))
+
+
 def _models(spec: ServiceJobSpec) -> list[Model]:
     # Canonical order regardless of submission order: the result JSON
     # must not depend on how the client spelled the list.
@@ -159,8 +171,7 @@ def execute_job(spec: ServiceJobSpec, cache_dir: str, run_id: str,
     return ExecutionOutcome(
         result_json=result_to_json(result),
         counters=counters,
-        crash_evidence=bool(counters.get("pool_rebuilds", 0)
-                            or counters.get("worker_crashes", 0)),
+        crash_evidence=_crash_evidence(counters),
         resumed_tasks=len(suite.resumed_verified),
         wall_seconds=time.monotonic() - start)
 
@@ -197,7 +208,6 @@ def _execute_sweep(spec: ServiceJobSpec, cache_dir: str, run_id: str,
     return ExecutionOutcome(
         result_json=outcome.result.to_json(),
         counters=counters,
-        crash_evidence=bool(counters.get("pool_rebuilds", 0)
-                            or counters.get("worker_crashes", 0)),
+        crash_evidence=_crash_evidence(counters),
         resumed_tasks=outcome.resumed_tasks,
         wall_seconds=time.monotonic() - start)

@@ -7,6 +7,11 @@ from repro.robustness.errors import (ArtifactLockTimeout, CompileError,
                                      EmulationTimeout,
                                      FuzzFindingsError,
                                      ModelDivergenceError,
+                                     NativeBuildError,
+                                     NativeEngineError,
+                                     NativeKernelCrash,
+                                     NativeParityError,
+                                     NativeToolchainMissing,
                                      PassVerificationError,
                                      QuotaExceededError, ReproError,
                                      ServiceOverloadedError,
@@ -22,6 +27,8 @@ DOCUMENTED = {
     ModelDivergenceError: 15, ArtifactLockTimeout: 17,
     FuzzFindingsError: 18, ServiceOverloadedError: 19,
     QuotaExceededError: 20, DeadlineExceededError: 21,
+    NativeBuildError: 22, NativeToolchainMissing: 23,
+    NativeParityError: 24, NativeKernelCrash: 25,
 }
 
 
@@ -38,9 +45,14 @@ def test_exit_codes_are_distinct_and_documented():
 
 
 def test_transience_split_matches_the_readme_table():
+    # NativeToolchainMissing / NativeKernelCrash are transient because
+    # the supervisor demotes before raising: the retry lands on the
+    # byte-identical Python engines.  Build and parity failures are
+    # permanent facts about the artifact.
     transient = {EmulationTimeout, TraceIntegrityError,
                  ArtifactLockTimeout, ServiceOverloadedError,
-                 QuotaExceededError}
+                 QuotaExceededError, NativeToolchainMissing,
+                 NativeKernelCrash}
     for cls in DOCUMENTED:
         sample = cls("probe")
         assert is_transient(sample) == (cls in transient), cls
@@ -75,3 +87,19 @@ def test_structured_fields_carry_context():
                                kind="output-stream")
     assert (div.workload, div.model, div.kind) == ("wc", "cmov",
                                                    "output-stream")
+
+
+def test_native_errors_form_their_own_branch():
+    for cls in (NativeBuildError, NativeToolchainMissing,
+                NativeParityError, NativeKernelCrash):
+        assert issubclass(cls, NativeEngineError)
+    build = NativeBuildError("cc exploded", cc="gcc", stderr="boom",
+                             so_path="/tmp/k.so")
+    assert (build.cc, build.stderr, build.so_path) == \
+        ("gcc", "boom", "/tmp/k.so")
+    missing = NativeToolchainMissing("no cc", searched=("cc", "gcc"))
+    assert missing.searched == ("cc", "gcc")
+    parity = NativeParityError("diverged", expected="aa", actual="bb")
+    assert (parity.expected, parity.actual) == ("aa", "bb")
+    crash = NativeKernelCrash("died", signal=11, stage="canary")
+    assert (crash.signal, crash.stage) == (11, "canary")
