@@ -21,8 +21,9 @@ Subcommands:
   exhaustion, breaker trips, kill+resume, dedup storms — and the
   native chaos campaign: corrupted ``.so`` caches, vanishing
   compilers, kernel segfaults, stale caches across a simulated cc
-  upgrade and parity mismatches, each ending in a byte-identical
-  degraded run or a typed failure);
+  upgrade and parity mismatches — and the cluster chaos campaign:
+  SIGKILLed workers mid-shard, zombie fencing, hedge commit races,
+  each ending in a byte-identical degraded run or a typed failure);
 * ``native``   — probe the native kernel path (build, sandbox-canary,
   parity-check) and print the engine-ladder state;
 * ``serve``    — long-lived multi-tenant experiment service: bounded
@@ -33,6 +34,13 @@ Subcommands:
   to a running service; ``--wait`` blocks for the canonical result;
 * ``status``   — one job's record from the service;
 * ``watch``    — stream a job's journal progress until it finishes;
+  a dropped connection reconnects with capped backoff and resumes
+  from the last event seen;
+* ``worker``   — join a distributed sweep campaign over a shared
+  cache dir (or via ``--endpoint`` through a running service): claims
+  shard leases with fencing tokens, heartbeats while executing,
+  commits results into the store; a SIGKILLed worker's shards are
+  reassigned by the coordinator and a fenced zombie cannot commit;
 * ``fuzz``     — differential fuzzing: ``fuzz run`` executes a seeded
   campaign over all three models, ``fuzz replay`` re-checks corpus
   reproducers, ``fuzz corpus`` lists them, ``fuzz seed`` populates the
@@ -65,6 +73,8 @@ Examples::
     python -m repro native --fresh
     python -m repro sweep run examples/paper_sweep.toml --jobs 4 -o sweep.json
     python -m repro sweep run grid.json --report --resume R20260807-...
+    python -m repro worker --cache-dir /shared/cache &
+    python -m repro sweep run grid.toml --cluster --expect-workers 3
     python -m repro sweep report sweep.json
     python -m repro sweep diff old.json new.json
     python -m repro serve --workers 2 --queue-depth 16
@@ -85,10 +95,13 @@ divergence, 16 emulation fault, 17 artifact lock timeout, 18 open
 fuzz findings, 19 service overloaded (load shed), 20 tenant quota
 exceeded, 21 job deadline exceeded, 22 native kernel build failure,
 23 C toolchain missing, 24 native kernel parity mismatch, 25 native
-kernel crash.  Codes 13, 14, 17, 19, 20, 23 and 25 are transient
-(retry, honouring any Retry-After hint — the native-engine supervisor
-demotes before raising, so a retry lands on the Python engines); the
-rest are permanent.
+kernel crash, 26 cluster worker lost mid-shard, 27 shard lease fenced
+(a newer lease superseded this worker's claim).  Codes 13, 14, 17,
+19, 20, 23, 25 and 26 are transient (retry, honouring any Retry-After
+hint — the native-engine supervisor demotes before raising, so a
+retry lands on the Python engines); the rest are permanent — in
+particular 27 means another worker owns the shard now, so the right
+response is to claim new work, not to retry the old lease.
 """
 
 from __future__ import annotations
@@ -539,6 +552,12 @@ def _cmd_selftest(args) -> int:
               .replace("engine chaos campaign",
                        "native chaos campaign"))
         ok = ok and all(r.ok for r in native)
+        from repro.service.chaos import run_cluster_chaos_campaign
+        cluster = run_cluster_chaos_campaign()
+        print(format_chaos_reports(cluster)
+              .replace("engine chaos campaign",
+                       "cluster chaos campaign"))
+        ok = ok and all(r.ok for r in cluster)
     return 0 if ok else 1
 
 
@@ -661,6 +680,19 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.service.cluster import run_worker
+    outcome = run_worker(args.cache_dir, endpoint=args.endpoint,
+                         once=args.once,
+                         idle_timeout=args.idle_timeout,
+                         max_shards=args.max_shards)
+    print(f"worker {outcome.worker_id}: "
+          f"{outcome.shards_completed} shard(s) completed, "
+          f"{outcome.hedges_lost} hedge(s) lost, "
+          f"{outcome.shards_failed} failed", file=sys.stderr)
+    return 0
+
+
 def _cmd_watch(args) -> int:
     client = _service_client(args)
     final = None
@@ -704,10 +736,28 @@ def _cmd_sweep_run(args) -> int:
         if args.jobs > 1:
             print("note: --profile captures in-process work only; pool "
                   "workers (--jobs) are not profiled", file=sys.stderr)
-    outcome = run_sweep(spec, cache_dir=_cache_dir(args),
-                        jobs=args.jobs, metrics=metrics,
-                        engine=args.engine,
-                        **_suite_recovery_kwargs(args))
+    if getattr(args, "cluster", False):
+        from repro.service.cluster import (ClusterConfig,
+                                           run_cluster_sweep)
+        cache_dir = _cache_dir(args)
+        if cache_dir is None:
+            raise ReproError("--cluster needs a cache dir (the shared "
+                             "store is the coordination substrate)")
+        config = ClusterConfig(
+            shard_size=args.shard_size,
+            expect_workers=args.expect_workers,
+            worker_grace=args.worker_grace,
+            lease_timeout=args.lease_timeout,
+            require_workers=args.require_workers)
+        outcome = run_cluster_sweep(spec, cache_dir, config,
+                                    jobs=args.jobs, metrics=metrics,
+                                    engine=args.engine,
+                                    **_suite_recovery_kwargs(args))
+    else:
+        outcome = run_sweep(spec, cache_dir=_cache_dir(args),
+                            jobs=args.jobs, metrics=metrics,
+                            engine=args.engine,
+                            **_suite_recovery_kwargs(args))
     if outcome.run_id is not None:
         print(f"run id: {outcome.run_id} (resume with --resume "
               f"{outcome.run_id})", file=sys.stderr)
@@ -1113,6 +1163,32 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--report", action="store_true", dest="report_text",
                     help="print the rendered surface/Pareto report "
                          "instead of raw JSON")
+    sp.add_argument("--cluster", action="store_true",
+                    help="coordinate the campaign over registered "
+                         "`repro worker` processes sharing the cache "
+                         "dir (lease-based shards, orphan recovery, "
+                         "byte-identical result)")
+    sp.add_argument("--expect-workers", type=int, default=0,
+                    metavar="N",
+                    help="with --cluster: wait for N live workers "
+                         "before falling back (default 0: any)")
+    sp.add_argument("--worker-grace", type=float, default=5.0,
+                    metavar="SECONDS",
+                    help="with --cluster: how long to wait for workers "
+                         "to register before degrading to the "
+                         "in-process pool (default 5)")
+    sp.add_argument("--shard-size", type=int, default=2, metavar="N",
+                    help="with --cluster: lattice points per shard "
+                         "(default 2)")
+    sp.add_argument("--lease-timeout", type=float, default=6.0,
+                    metavar="SECONDS",
+                    help="with --cluster: a shard lease whose "
+                         "heartbeat stalls this long is reassigned "
+                         "(default 6)")
+    sp.add_argument("--require-workers", action="store_true",
+                    help="with --cluster: fail instead of degrading "
+                         "to the in-process pool when no workers "
+                         "register")
     _add_engine_args(sp)
     _add_perf_args(sp)
     sp.set_defaults(func=_cmd_sweep_run)
@@ -1214,6 +1290,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job_id", metavar="JOB_ID")
     _add_service_conn_args(p)
     p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser("worker",
+                       help="join a distributed sweep campaign: claim "
+                            "shard leases, heartbeat, commit results")
+    p.add_argument("--cache-dir", default=_default_cache_dir(),
+                   metavar="DIR",
+                   help="shared store the campaign coordinates "
+                        "through (default $REPRO_CACHE_DIR or "
+                        ".repro-cache)")
+    p.add_argument("--endpoint", default=None, metavar="HOST:PORT",
+                   help="claim shards via a running `repro serve` "
+                        "instead of direct store access")
+    p.add_argument("--once", action="store_true",
+                   help="exit after the first idle claim instead of "
+                        "polling for new campaigns")
+    p.add_argument("--idle-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="exit after this long with nothing to claim "
+                        "(default 60)")
+    p.add_argument("--max-shards", type=int, default=0, metavar="N",
+                   help="exit after completing N shards (default 0: "
+                        "unlimited)")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("list", help="list registered workloads")
     p.set_defaults(func=_cmd_list)

@@ -32,6 +32,9 @@ _U64 = 0xFFFFFFFFFFFFFFFF
 #: FNV-1a 64-bit prime — folds the store stream into an order-sensitive
 #: signature without hashing the full trace.
 _SIG_PRIME = 1099511628211
+#: signature stand-in for NaN store values (quiet-NaN bit pattern);
+#: int hashes are deterministic where hash(nan) is id-based on 3.10+
+_NAN_KEY = 0x7FF8000000000000
 
 
 def _w32(x: int) -> int:
@@ -310,8 +313,12 @@ class Interpreter:
                 # predication nullification trick, not program output.
                 if addr != SAFE_ADDR:
                     self.output_count += 1
+                    # hash(nan) is id-based on 3.10+, so NaN stores
+                    # fold through a fixed int key to keep signatures
+                    # identical across engines, runs and processes.
+                    key = sval if sval == sval else _NAN_KEY
                     self.output_signature = (
-                        (self.output_signature ^ hash((addr, sval)))
+                        (self.output_signature ^ hash((addr, key)))
                         * _SIG_PRIME) & _U64
 
             elif cat is OpCategory.BRANCH:

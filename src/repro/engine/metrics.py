@@ -100,6 +100,14 @@ class PipelineMetrics:
     sweep_points_cached: int = 0
     #: sweep campaign wall time (expand + fan-out + aggregate)
     sweep_seconds: float = 0.0
+    #: cluster shards whose lease was broken (dead worker) and re-issued
+    shards_reassigned: int = 0
+    #: zombie lease operations rejected by a higher fencing epoch
+    leases_fenced: int = 0
+    #: straggler shards duplicated near campaign end (first commit wins)
+    hedged_shards: int = 0
+    #: campaign workers declared dead after missed heartbeats
+    workers_lost: int = 0
     #: engine-ladder demotions (native→jitc→interpreter) recorded by
     #: the native-engine supervisor (see :mod:`repro.fastpath.supervisor`)
     engine_demotions: int = 0
@@ -270,6 +278,10 @@ class PipelineMetrics:
         self.sweep_points_total += data.get("sweep_points_total", 0)
         self.sweep_points_cached += data.get("sweep_points_cached", 0)
         self.sweep_seconds += data.get("sweep_seconds", 0.0)
+        self.shards_reassigned += data.get("shards_reassigned", 0)
+        self.leases_fenced += data.get("leases_fenced", 0)
+        self.hedged_shards += data.get("hedged_shards", 0)
+        self.workers_lost += data.get("workers_lost", 0)
         self.engine_demotions += data.get("engine_demotions", 0)
         self.native_parity_failures += data.get(
             "native_parity_failures", 0)
@@ -323,6 +335,10 @@ class PipelineMetrics:
             "sweep_seconds": round(self.sweep_seconds, 6),
             "sweep_points_per_second": round(
                 self.sweep_points_per_second, 3),
+            "shards_reassigned": self.shards_reassigned,
+            "leases_fenced": self.leases_fenced,
+            "hedged_shards": self.hedged_shards,
+            "workers_lost": self.workers_lost,
             "engine_demotions": self.engine_demotions,
             "native_parity_failures": self.native_parity_failures,
             "native_kernel_crashes": self.native_kernel_crashes,
@@ -414,6 +430,13 @@ class PipelineMetrics:
                 f"({self.sweep_points_cached} warm) in "
                 f"{self.sweep_seconds:.2f}s "
                 f"({self.sweep_points_per_second:.2f}/s)")
+        if self.shards_reassigned or self.leases_fenced \
+                or self.hedged_shards or self.workers_lost:
+            lines.append(
+                f"  cluster   {self.workers_lost} workers lost, "
+                f"{self.shards_reassigned} shards reassigned, "
+                f"{self.hedged_shards} hedged, "
+                f"{self.leases_fenced} leases fenced")
         if self.engine_demotions or self.native_parity_failures \
                 or self.native_kernel_crashes \
                 or self.kernel_cache_quarantined:

@@ -1,0 +1,295 @@
+"""Fencing-token shard leases over a shared artifact store.
+
+The cluster layer (:mod:`repro.service.cluster`) partitions a campaign
+into deterministic shards; this module is the claim/heartbeat/commit
+substrate those shards live on.  Everything is plain files under one
+campaign directory on the store, so the machinery survives SIGKILL of
+any participant and needs no daemon:
+
+``epoch``
+    A store-side **monotonically increasing fencing counter**.  Every
+    lease ever issued for the campaign carries a strictly greater
+    ``epoch`` than every lease before it, so "newer" is a total order
+    that no wall clock participates in.
+``leases/shard-<i>.json``
+    The active lease: owner token (:func:`~repro.engine.recovery.locks.
+    new_owner_token` — the same token type the store's write locks
+    use), fencing epoch, and a heartbeat counter the holder bumps while
+    executing.  Liveness is judged by a :class:`~repro.engine.recovery.
+    locks.LeaseObserver`: a lease is stale only after its ``(epoch,
+    beats)`` identity sat unchanged for the campaign's lease window on
+    the *observer's* monotonic clock.
+``done/shard-<i>.json``
+    The shard's commit marker.  Written exactly once (first commit
+    wins — hedged duplicates lose cleanly) and only by a holder whose
+    lease still carries the current epoch, so a fenced zombie can
+    *prove* nothing: its commit raises :class:`LeaseFencedError` and
+    leaves no marker.
+``events/`` / ``fails/``
+    Append-only evidence: reassignments, fencings, hedges and typed
+    shard failures, deduplicated by ``(kind, shard, epoch)`` so racing
+    observers cannot double-count.
+
+All mutations serialize on a per-shard :class:`FileLock`; all files are
+written atomically (tmp + rename), so lock-free readers never see torn
+state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.engine.recovery.locks import FileLock, new_owner_token
+from repro.robustness.errors import LeaseFencedError
+
+__all__ = ["ShardLease", "ShardLeaseStore", "atomic_write_json",
+           "read_json", "new_owner_token"]
+
+#: how long a shard-mutation lock may be held; mutations are a few
+#: file operations, so a crashed mutator recovers fast
+_MUTATION_LEASE = 5.0
+_MUTATION_TIMEOUT = 30.0
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` so concurrent readers see old or new, never torn."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f"{path.name}.tmp.{os.getpid()}.{os.urandom(4).hex()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def read_json(path: Path) -> dict | None:
+    """Best-effort read; None when absent, torn, or mid-replace."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+@dataclass(frozen=True)
+class ShardLease:
+    """One issued lease: who may execute shard ``shard`` right now."""
+
+    shard: int
+    owner: str
+    #: fencing token — strictly increasing across every lease of the
+    #: campaign; a commit is valid only under the current epoch
+    epoch: int
+    #: heartbeat counter; the holder bumps it while executing
+    beats: int = 0
+    #: True for a straggler-hedge duplicate of an in-flight shard
+    hedge: bool = False
+    pid: int = 0
+
+    def to_dict(self) -> dict:
+        return {"shard": self.shard, "owner": self.owner,
+                "epoch": self.epoch, "beats": self.beats,
+                "hedge": self.hedge, "pid": self.pid}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardLease | None":
+        try:
+            return cls(shard=int(data["shard"]), owner=str(data["owner"]),
+                       epoch=int(data["epoch"]), beats=int(data["beats"]),
+                       hedge=bool(data.get("hedge", False)),
+                       pid=int(data.get("pid", 0)))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+class ShardLeaseStore:
+    """Claim/heartbeat/commit for one campaign's shards, on one root."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    # ----- paths --------------------------------------------------------
+
+    def _slot(self, shard: int, hedge: bool) -> Path:
+        name = f"shard-{shard:05d}" + (".hedge" if hedge else "")
+        return self.root / "leases" / f"{name}.json"
+
+    def _shard_lock(self, shard: int) -> FileLock:
+        return FileLock(self.root / "leases" / f"shard-{shard:05d}.lock",
+                        lease_seconds=_MUTATION_LEASE,
+                        timeout=_MUTATION_TIMEOUT)
+
+    def done_path(self, shard: int) -> Path:
+        return self.root / "done" / f"shard-{shard:05d}.json"
+
+    # ----- fencing epoch ------------------------------------------------
+
+    def next_epoch(self) -> int:
+        """Allocate the next fencing epoch (store-wide total order)."""
+        counter = self.root / "epoch"
+        with FileLock(self.root / "epoch.lock",
+                      lease_seconds=_MUTATION_LEASE,
+                      timeout=_MUTATION_TIMEOUT):
+            try:
+                current = int(counter.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                current = 0
+            issued = current + 1
+            tmp = counter.with_name(
+                f"epoch.tmp.{os.getpid()}.{os.urandom(4).hex()}")
+            tmp.write_text(f"{issued}\n", encoding="utf-8")
+            os.replace(tmp, counter)
+        return issued
+
+    # ----- lease lifecycle ----------------------------------------------
+
+    def read(self, shard: int, hedge: bool = False) -> ShardLease | None:
+        data = read_json(self._slot(shard, hedge))
+        return None if data is None else ShardLease.from_dict(data)
+
+    def claim(self, shard: int, owner: str | None = None,
+              hedge: bool = False) -> ShardLease | None:
+        """Try to lease ``shard``; None when taken or already done.
+
+        The caller that loses a claim race can :meth:`read` the slot to
+        observe the winner's fencing token.
+        """
+        owner = owner or new_owner_token()
+        epoch = self.next_epoch()
+        with self._shard_lock(shard):
+            if self.done_path(shard).exists():
+                return None
+            if self.read(shard, hedge) is not None:
+                return None
+            lease = ShardLease(shard=shard, owner=owner, epoch=epoch,
+                               hedge=hedge, pid=os.getpid())
+            atomic_write_json(self._slot(shard, hedge), lease.to_dict())
+        return lease
+
+    def heartbeat(self, lease: ShardLease) -> ShardLease:
+        """Bump the lease's heartbeat counter; raise if fenced."""
+        with self._shard_lock(lease.shard):
+            current = self.read(lease.shard, lease.hedge)
+            if current is None or current.epoch != lease.epoch:
+                self._fenced(lease, current)
+            renewed = replace(lease, beats=current.beats + 1)
+            atomic_write_json(self._slot(lease.shard, lease.hedge),
+                              renewed.to_dict())
+        return renewed
+
+    def release(self, lease: ShardLease) -> None:
+        """Give the shard back (transient failure); fencing-checked."""
+        with self._shard_lock(lease.shard):
+            current = self.read(lease.shard, lease.hedge)
+            if current is not None and current.epoch == lease.epoch:
+                self._slot(lease.shard, lease.hedge).unlink(
+                    missing_ok=True)
+
+    def break_lease(self, shard: int, epoch: int,
+                    hedge: bool = False) -> bool:
+        """Revoke the lease *iff* it still carries ``epoch``.
+
+        The epoch check makes concurrent breakers safe: only the lease
+        generation the caller judged stale can be broken, never a
+        successor's fresh lease that reused the slot.
+        """
+        with self._shard_lock(shard):
+            current = self.read(shard, hedge)
+            if current is None or current.epoch != epoch:
+                return False
+            self._slot(shard, hedge).unlink(missing_ok=True)
+        return True
+
+    # ----- commit -------------------------------------------------------
+
+    def complete(self, lease: ShardLease, payload: dict) -> bool:
+        """Commit the shard's done marker under ``lease``.
+
+        Returns True when this commit won, False when another holder
+        (the other side of a hedge) already committed.  Raises
+        :class:`LeaseFencedError` — and writes nothing — when the lease
+        was superseded, so a zombie cannot publish a stale shard.
+        """
+        with self._shard_lock(lease.shard):
+            current = self.read(lease.shard, lease.hedge)
+            if current is None or current.epoch != lease.epoch:
+                self._fenced(lease, current)
+            slot = self._slot(lease.shard, lease.hedge)
+            if self.done_path(lease.shard).exists():
+                slot.unlink(missing_ok=True)
+                return False
+            marker = dict(payload)
+            marker.update({"shard": lease.shard, "epoch": lease.epoch,
+                           "owner": lease.owner, "hedge": lease.hedge})
+            atomic_write_json(self.done_path(lease.shard), marker)
+            slot.unlink(missing_ok=True)
+        return True
+
+    def _fenced(self, lease: ShardLease, current: ShardLease | None):
+        holder = None if current is None else current.epoch
+        self.record_event("fenced", lease.shard, lease.epoch)
+        raise LeaseFencedError(
+            f"shard {lease.shard} lease (epoch {lease.epoch}) was "
+            f"superseded" + (f" by epoch {holder}" if holder else
+                             " — lease revoked"),
+            shard=lease.shard, epoch=lease.epoch, holder_epoch=holder)
+
+    def done(self, shard: int) -> dict | None:
+        return read_json(self.done_path(shard))
+
+    def done_shards(self) -> set[int]:
+        out = set()
+        done_dir = self.root / "done"
+        if done_dir.is_dir():
+            for path in done_dir.glob("shard-*.json"):
+                try:
+                    out.add(int(path.stem.split("-")[1]))
+                except (IndexError, ValueError):
+                    continue
+        return out
+
+    # ----- durable evidence ---------------------------------------------
+
+    def record_event(self, kind: str, shard: int, epoch: int,
+                     **extra) -> bool:
+        """Record one ``(kind, shard, epoch)`` event exactly once."""
+        path = self.root / "events" / f"{kind}-s{shard:05d}-e{epoch}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"kind": kind, "shard": shard, "epoch": epoch}
+        payload.update(extra)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, json.dumps(payload, sort_keys=True).encode()
+                     + b"\n")
+        finally:
+            os.close(fd)
+        return True
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        out = []
+        events_dir = self.root / "events"
+        if events_dir.is_dir():
+            for path in sorted(events_dir.glob("*.json")):
+                data = read_json(path)
+                if data is None:
+                    continue
+                if kind is None or data.get("kind") == kind:
+                    out.append(data)
+        return out
+
+    def count_events(self, kind: str) -> int:
+        return len(self.events(kind))
+
+    def record_failure(self, shard: int, epoch: int, error: str,
+                       message: str, transient: bool) -> None:
+        self.record_event("fail", shard, epoch, error=error,
+                          message=message[:500], transient=transient)
+
+    def failure_count(self, shard: int) -> int:
+        return sum(1 for e in self.events("fail")
+                   if e.get("shard") == shard)

@@ -2,17 +2,29 @@
 
 A lock is a sidecar file created with ``O_CREAT | O_EXCL`` (atomic on
 every filesystem the store targets) holding the owner's pid, a random
-ownership token and a lease expiry.  Two writers racing on one artifact
-key serialize on the sidecar; a writer that dies with the lock held is
-recovered by lease expiry (and, on the same host, by a liveness probe of
-the recorded pid), so a SIGKILLed worker never wedges the suite.
+ownership token and the owner's declared lease duration.  Two writers
+racing on one artifact key serialize on the sidecar; a writer that dies
+with the lock held is recovered by lease expiry (and, on the same host,
+by a liveness probe of the recorded pid), so a SIGKILLed worker never
+wedges the suite.
+
+Staleness is judged **monotonic-safe**: the lock file carries the
+holder's lease *duration*, never an absolute wall-clock deadline, and a
+waiter measures that duration on its **own monotonic clock** from the
+moment it first observed the holder's token (:class:`LeaseObserver`).
+Two hosts sharing a store therefore never compare wall clocks — clock
+skew cannot make a live lock look expired, so skew cannot cause a
+double-claim.  The ownership token doubles as the fencing identity: the
+shard-lease machinery in :mod:`repro.engine.recovery.leases` reuses
+:func:`new_owner_token` (plus a store-side monotonically increasing
+epoch) for campaign shards.
 
 Breaking a stale lock is itself racy — two waiters may both decide the
 lock expired — so the breaker *renames* the stale sidecar to a unique
 name before unlinking it: exactly one rename wins, the loser just
 retries.  ``release`` verifies the ownership token first, so an owner
-whose lock was broken (clock skew, absurdly slow write) cannot unlink a
-successor's lock.
+whose lock was broken (absurdly slow write) cannot unlink a successor's
+lock.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Hashable
 
 from repro.robustness.errors import ArtifactLockTimeout
 
@@ -30,6 +43,16 @@ from repro.robustness.errors import ArtifactLockTimeout
 DEFAULT_LEASE_SECONDS = 30.0
 DEFAULT_TIMEOUT = 10.0
 _POLL_INTERVAL = 0.02
+
+
+def new_owner_token() -> str:
+    """A process-unique ownership/fencing token (``pid-random``).
+
+    Shared by :class:`FileLock` sidecars and the shard leases in
+    :mod:`repro.engine.recovery.leases` — one token type for every
+    lease-shaped thing on the store.
+    """
+    return f"{os.getpid()}-{os.urandom(8).hex()}"
 
 
 def _pid_alive(pid: int) -> bool:
@@ -42,6 +65,34 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+class LeaseObserver:
+    """Monotonic-safe staleness judge for leases held by *other* hosts.
+
+    ``stale(key, identity, window)`` is True only after the observer
+    has seen the **same identity** (token, heartbeat count, …) under
+    ``key`` for more than ``window`` seconds of its *own* monotonic
+    clock.  Any identity change resets the observation epoch, so a
+    holder that renews (or a fresh holder reusing the path) is never
+    broken, and no wall-clock value ever crosses a process boundary.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._seen: dict[Hashable, tuple[Hashable, float]] = {}
+
+    def stale(self, key: Hashable, identity: Hashable,
+              window: float) -> bool:
+        now = self._clock()
+        observed = self._seen.get(key)
+        if observed is None or observed[0] != identity:
+            self._seen[key] = (identity, now)
+            return False
+        return (now - observed[1]) > window
+
+    def forget(self, key: Hashable) -> None:
+        self._seen.pop(key, None)
+
+
 @dataclass
 class FileLock:
     """One advisory lock file; reentrant use is a bug, not supported."""
@@ -51,6 +102,8 @@ class FileLock:
     timeout: float = DEFAULT_TIMEOUT
     poll_interval: float = _POLL_INTERVAL
     _token: str | None = field(default=None, repr=False)
+    _observer: LeaseObserver = field(default_factory=LeaseObserver,
+                                     repr=False, compare=False)
 
     def __post_init__(self):
         self.path = Path(self.path)
@@ -71,11 +124,11 @@ class FileLock:
             time.sleep(self.poll_interval)
 
     def _try_acquire(self) -> bool:
-        token = f"{os.getpid()}-{os.urandom(8).hex()}"
+        token = new_owner_token()
         payload = json.dumps({
             "pid": os.getpid(),
             "token": token,
-            "expires": time.time() + self.lease_seconds,
+            "lease": self.lease_seconds,
         }).encode()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
@@ -87,6 +140,7 @@ class FileLock:
         finally:
             os.close(fd)
         self._token = token
+        self._observer.forget(self.path)
         return True
 
     def _read_holder(self) -> dict | None:
@@ -99,11 +153,19 @@ class FileLock:
         holder = self._read_holder()
         if holder is None:
             return
-        expired = holder.get("expires", 0) <= time.time()
         pid = holder.get("pid")
         dead = isinstance(pid, int) and not _pid_alive(pid)
-        if not (expired or dead):
-            return
+        if not dead:
+            # Cross-host (or unprobeable) holder: trust only our own
+            # monotonic clock.  The holder's declared lease duration is
+            # measured from the moment *we* first saw its token.
+            try:
+                window = float(holder.get("lease", DEFAULT_LEASE_SECONDS))
+            except (TypeError, ValueError):
+                window = DEFAULT_LEASE_SECONDS
+            if not self._observer.stale(self.path, holder.get("token"),
+                                        window):
+                return
         # Rename-then-unlink so concurrent breakers cannot unlink a
         # *fresh* lock that re-used the path after the stale one left.
         casualty = self.path.with_name(
@@ -113,6 +175,7 @@ class FileLock:
         except OSError:
             return  # someone else broke it first
         casualty.unlink(missing_ok=True)
+        self._observer.forget(self.path)
 
     # ----- release ------------------------------------------------------
 

@@ -24,7 +24,7 @@ from repro.robustness.errors import (ArtifactLockTimeout, EmulationTimeout,
                                      NativeToolchainMissing,
                                      QuotaExceededError,
                                      ServiceOverloadedError,
-                                     TraceIntegrityError)
+                                     TraceIntegrityError, WorkerLostError)
 
 #: exception classes whose failures are worth retrying.  Order matters
 #: for nothing here — ``is_transient`` checks this tuple before the
@@ -35,6 +35,10 @@ from repro.robustness.errors import (ArtifactLockTimeout, EmulationTimeout,
 #: ``NativeKernelCrash``/``NativeToolchainMissing`` are transient
 #: because the supervisor demotes the process before they propagate —
 #: the retry runs on a pure-Python engine and succeeds byte-identically.
+#: ``WorkerLostError`` is a reassigned cluster shard: the shard is
+#: deterministic ``(campaign_digest, index)`` work, so a retry by any
+#: worker reproduces it exactly.  ``LeaseFencedError`` is deliberately
+#: *not* here — the fenced worker's view is stale forever.
 TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
     BrokenProcessPool,
     TraceIntegrityError,
@@ -44,6 +48,7 @@ TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
     QuotaExceededError,
     NativeKernelCrash,
     NativeToolchainMissing,
+    WorkerLostError,
     TimeoutError,
     ConnectionError,
     OSError,

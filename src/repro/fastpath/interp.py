@@ -40,6 +40,9 @@ if TYPE_CHECKING:  # avoid an emu <-> robustness import cycle
 _U32 = 0xFFFFFFFF
 _U64 = 0xFFFFFFFFFFFFFFFF
 _SIG_PRIME = 1099511628211
+#: signature stand-in for NaN store values (quiet-NaN bit pattern);
+#: int hashes are deterministic where hash(nan) is id-based on 3.10+
+_NAN_KEY = 0x7FF8000000000000
 #: Stores to $safe_addr are the partial-predication nullification
 #: trick, excluded from the output signature (as in the legacy loop).
 _SAFE_ADDR = SAFE_ADDR
@@ -420,7 +423,9 @@ def _execute(decoded, memory, layout, collect_trace, max_steps,
                 sval = float(value)
             if addr != _SAFE_ADDR:
                 out_count += 1
-                signature = ((signature ^ hash((addr, sval)))
+                # NaN folds through _NAN_KEY: hash(nan) is id-based
+                key = sval if sval == sval else _NAN_KEY
+                signature = ((signature ^ hash((addr, key)))
                              * _SIG_PRIME) & _U64
             if tracing:
                 ap_s(sidx); ap_f(1); ap_a(addr)

@@ -65,6 +65,10 @@ _U32 = 0xFFFFFFFF
 _U64 = 0xFFFFFFFFFFFFFFFF
 _SIG_PRIME = 1099511628211
 _SAFE_ADDR = SAFE_ADDR
+#: signature stand-in for NaN store values (quiet-NaN bit
+#: pattern); int hashes are deterministic where hash(nan)
+#: is id-based on 3.10+
+_NAN_KEY = 0x7FF8000000000000
 
 #: Maximum instructions per run superhandler; longer stretches are
 #: split into chained runs (each with its own trace template).
@@ -276,7 +280,10 @@ def _execute_jit(decoded, memory, layout, collect_trace, max_steps,
                         sval = float(value)
                         if addr != _SAFE_ADDR:
                             so[1] += 1
-                            so[0] = ((so[0] ^ hash((addr, sval)))
+                            # NaN folds through _NAN_KEY: hash(nan)
+                            # is id-based on 3.10+
+                            key = sval if sval == sval else _NAN_KEY
+                            so[0] = ((so[0] ^ hash((addr, key)))
                                      * _SIG_PRIME) & _U64
                         tr[_AX][-K] = addr
                         tr[_VX][-K] = len(tr[_VAL])

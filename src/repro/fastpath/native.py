@@ -60,6 +60,10 @@ if TYPE_CHECKING:
 
 _U64 = 0xFFFFFFFFFFFFFFFF
 _SIG_PRIME = 1099511628211
+#: signature stand-in for NaN store values (quiet-NaN bit
+#: pattern); int hashes are deterministic where hash(nan)
+#: is id-based on 3.10+
+_NAN_KEY = 0x7FF8000000000000
 
 # emu_run statuses / fault codes — keep in sync with _native_src.
 _ST_DONE = 0
@@ -623,7 +627,11 @@ def run_program_native(program: "Program",
                                         values):
                             if a != SAFE_ADDR:
                                 out_count += 1
-                                signature = ((signature ^ hash((a, v)))
+                                # NaN folds through _NAN_KEY:
+                                # hash(nan) is id-based on 3.10+
+                                key = v if v == v else _NAN_KEY
+                                signature = ((signature
+                                              ^ hash((a, key)))
                                              * _SIG_PRIME) & _U64
                     if sink is not None:
                         cols = TraceColumns()

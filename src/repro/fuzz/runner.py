@@ -33,6 +33,20 @@ from repro.fuzz.triage import CrashSignature, TriageBucket, dedupe
 CHUNK_SIZE = 4
 
 
+def shard_ranges(total: int, size: int) -> list[tuple[int, int]]:
+    """Deterministic ``(start, count)`` partition of ``total`` items.
+
+    The ``(seed, index)`` work-partitioning template: item ``i`` lands
+    in the same shard at any worker count, so fuzz chunking and the
+    cluster coordinator's campaign sharding
+    (:mod:`repro.service.cluster`) both derive identical work sets in
+    every process from ``(identity, index)`` alone.
+    """
+    size = max(1, int(size))
+    return [(start, min(size, total - start))
+            for start in range(0, max(0, total), size)]
+
+
 @dataclass(frozen=True)
 class FuzzChunkSpec:
     """Picklable description of one chunk of a campaign."""
@@ -129,8 +143,7 @@ def run_campaign(master_seed: int, budget: int, *, jobs: int = 1,
     start = time.perf_counter()
 
     scheduled = []
-    for chunk_start in range(0, budget, CHUNK_SIZE):
-        count = min(CHUNK_SIZE, budget - chunk_start)
+    for chunk_start, count in shard_ranges(budget, CHUNK_SIZE):
         spec = FuzzChunkSpec(master_seed=master_seed,
                              start_index=chunk_start, count=count,
                              config=config)

@@ -290,6 +290,51 @@ class DeadlineExceededError(ReproError):
         self.elapsed = elapsed
 
 
+class WorkerLostError(ReproError):
+    """A campaign worker stopped heartbeating and its shard lease was
+    broken.
+
+    Raised (and journaled) by the cluster coordinator when it reassigns
+    an orphaned shard.  Transient by classification: the shard is
+    deterministic ``(campaign_digest, shard_index)`` work, so any other
+    worker — or the coordinator itself — re-executes it to the same
+    bytes.
+    """
+
+    exit_code = 26
+
+    def __init__(self, message: str, *, worker_id: str | None = None,
+                 shard: int | None = None, epoch: int | None = None):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.shard = shard
+        self.epoch = epoch
+
+
+class LeaseFencedError(ReproError):
+    """A worker's shard lease was superseded by a higher fencing epoch.
+
+    Raised when a paused-then-resumed (zombie) worker tries to
+    heartbeat or commit a shard whose lease was already broken and
+    re-issued.  Permanent *for the fenced worker*: its view of the
+    shard is stale by definition, so it must abandon the shard (and the
+    typed CLI exit makes a fenced ``repro worker`` process stop rather
+    than fight the successor).  The campaign itself is unharmed — the
+    successor's lease carries a strictly greater epoch and its commit
+    wins.
+    """
+
+    exit_code = 27
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 epoch: int | None = None,
+                 holder_epoch: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+        self.epoch = epoch
+        self.holder_epoch = holder_epoch
+
+
 # ----- classification -------------------------------------------------------
 
 def _classified_bases() -> tuple[type[BaseException], ...]:

@@ -23,6 +23,25 @@ exhaustion``                 cap and the token bucket
                              submissions -> one execution,
                              identical bytes for all
 ===========================  ==============================  ==============
+
+A second campaign, :func:`run_cluster_chaos_campaign`, attacks the
+distributed sweep layer (:mod:`repro.service.cluster`) with the same
+contract:
+
+===========================  ==============================  ==============
+injection                    mechanism                       expected
+===========================  ==============================  ==============
+``cluster-worker-loss``      SIGKILL a worker mid-shard;     recover
+                             coordinator breaks the lease,
+                             reassigns, result stays
+                             byte-identical to single-node
+``cluster-zombie-fencing``   a fenced zombie tries to        typed-failure
+                             commit a stale lease; rejected
+                             typed, successor untouched
+``cluster-hedge-dedup``      hedge and primary race to       recover
+                             commit one shard; exactly one
+                             done marker survives
+===========================  ==============================  ==============
 """
 
 from __future__ import annotations
@@ -31,6 +50,8 @@ import json
 import multiprocessing
 import os
 import signal
+import subprocess
+import sys
 import tempfile
 import threading
 import time
@@ -330,7 +351,185 @@ def _inject_dedup_storm() -> ChaosReport:
         f"observers share one record and its result bytes")
 
 
+# ----- cluster injections ---------------------------------------------------
+
+_CLUSTER_SPEC_KWARGS = dict(name="chaos-cluster", scale=0.05,
+                            max_steps=2_000_000, workloads=("wc",),
+                            models=("superblock",), issue_widths=(2, 4))
+
+_VICTIM_WORKER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.service.cluster import ClusterOps
+ops = ClusterOps({cache!r})
+worker_id = ops.register()
+work = None
+deadline = time.monotonic() + 30
+while work is None and time.monotonic() < deadline:
+    work = ops.claim(worker_id)
+    time.sleep(0.05)
+assert work is not None, "never saw the campaign"
+print("CLAIMED", work["shard"], flush=True)
+time.sleep(300)  # hang mid-shard, never heartbeating, until SIGKILL
+"""
+
+
+def _repro_src_dir() -> str:
+    import repro
+    return os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+
+
+def _inject_cluster_worker_loss() -> ChaosReport:
+    description = "a worker SIGKILLed mid-shard must have its lease " \
+                  "broken and the shard reassigned; the campaign " \
+                  "result stays byte-identical to single-node"
+    from repro.engine.metrics import PipelineMetrics
+    from repro.service.cluster import (ClusterConfig, ClusterOps,
+                                       campaign_dir, open_campaign,
+                                       run_cluster_sweep)
+    from repro.sweep.runner import run_sweep
+    from repro.sweep.spec import SweepSpec
+
+    spec = SweepSpec(**_CLUSTER_SPEC_KWARGS)
+    with tempfile.TemporaryDirectory(prefix="repro-clu-chaos-") as tmp:
+        cache = os.path.join(tmp, "cache")
+        config = ClusterConfig(worker_grace=5.0, lease_timeout=2.0)
+        open_campaign(cache, spec, config, "fastpath")
+        victim = subprocess.Popen(
+            [sys.executable, "-c",
+             _VICTIM_WORKER.format(src=_repro_src_dir(), cache=cache)],
+            stdout=subprocess.PIPE, text=True)
+        claimed = victim.stdout.readline().startswith("CLAIMED")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=_DEADLINE_SECONDS)
+
+        # A stand-in registration keeps the coordinator monitoring
+        # until the loss is on record; then it retires and the
+        # coordinator finishes the remaining shards itself.
+        ops = ClusterOps(cache)
+        stand_in = ops.register(worker_id="stand-in", pid=os.getpid())
+        cdir = campaign_dir(cache, spec.sweep_digest())
+
+        def retire_after_loss() -> None:
+            deadline = time.monotonic() + _DEADLINE_SECONDS
+            while time.monotonic() < deadline:
+                if list((cdir / "events").glob("lost-*.json")):
+                    ops.unregister(stand_in)
+                    return
+                time.sleep(0.05)
+
+        retirer = threading.Thread(target=retire_after_loss,
+                                   daemon=True)
+        retirer.start()
+        metrics = PipelineMetrics()
+        out = run_cluster_sweep(spec, cache, config, metrics=metrics)
+        retirer.join(timeout=_DEADLINE_SECONDS)
+        reference = run_sweep(spec, cache_dir=os.path.join(tmp, "ref"),
+                              jobs=2)
+        identical = out.result.to_json() == reference.result.to_json()
+        ok = claimed and identical and metrics.shards_reassigned >= 1 \
+            and metrics.workers_lost >= 1
+    return _report(
+        "cluster-worker-loss", description, "recover", ok,
+        "recovered" if ok else "NOT recovered",
+        f"victim {'claimed then SIGKILLed' if claimed else 'NEVER claimed'}, "
+        f"{metrics.shards_reassigned} shard(s) reassigned, "
+        f"{metrics.workers_lost} worker(s) lost, result "
+        f"{'byte-identical' if identical else 'DIVERGED'} vs "
+        f"single-node")
+
+
+def _inject_cluster_zombie_fencing() -> ChaosReport:
+    description = "a fenced zombie committing a stale lease must be " \
+                  "rejected with the typed fencing error and must not " \
+                  "disturb the successor's commit"
+    from repro.engine.recovery.leases import ShardLeaseStore
+    from repro.robustness.errors import LeaseFencedError
+
+    with tempfile.TemporaryDirectory(prefix="repro-clu-chaos-") as tmp:
+        store = ShardLeaseStore(os.path.join(tmp, "campaign"))
+        zombie = store.claim(0, owner="zombie")
+        broken = store.break_lease(0, zombie.epoch)
+        successor = store.claim(0, owner="successor")
+        fenced = None
+        try:
+            store.complete(zombie, {"points": [0], "by": "zombie"})
+        except LeaseFencedError as exc:
+            fenced = exc
+        untouched = store.done(0) is None
+        committed = store.complete(successor,
+                                   {"points": [0], "by": "successor"})
+        marker = store.done(0)
+        ok = (broken and fenced is not None
+              and fenced.exit_code == 27
+              and fenced.holder_epoch == successor.epoch
+              and untouched and committed
+              and marker["by"] == "successor"
+              and store.count_events("fenced") == 1)
+    return _report(
+        "cluster-zombie-fencing", description, "typed-failure", ok,
+        "typed-failure" if ok else "NOT fenced cleanly",
+        f"zombie commit {'rejected typed' if fenced else 'NOT rejected'} "
+        f"(LeaseFencedError, exit 27), done marker held by "
+        f"{marker['by'] if marker else 'NOBODY'}")
+
+
+def _inject_cluster_hedge_dedup() -> ChaosReport:
+    description = "a hedge and its primary racing to commit one shard " \
+                  "must produce exactly one done marker " \
+                  "(first commit wins, loser loses cleanly)"
+    from repro.engine.recovery.leases import ShardLeaseStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-clu-chaos-") as tmp:
+        store = ShardLeaseStore(os.path.join(tmp, "campaign"))
+        primary = store.claim(0, owner="slow")
+        hedge = store.claim(0, owner="fast", hedge=True)
+        no_second_hedge = store.claim(0, owner="late", hedge=True) is None
+        hedge_won = store.complete(hedge, {"points": [0], "by": "fast"})
+        primary_lost = store.complete(
+            primary, {"points": [0], "by": "slow"}) is False
+        marker = store.done(0)
+        slots_clear = store.read(0) is None \
+            and store.read(0, hedge=True) is None
+        ok = (hedge is not None and no_second_hedge and hedge_won
+              and primary_lost and marker["by"] == "fast"
+              and slots_clear)
+    return _report(
+        "cluster-hedge-dedup", description, "recover", ok,
+        "recovered" if ok else "NOT deduped",
+        f"hedge committed first, primary "
+        f"{'lost cleanly' if primary_lost else 'DOUBLE-committed'}, "
+        f"one done marker by {marker['by'] if marker else 'NOBODY'}, "
+        f"lease slots {'cleared' if slots_clear else 'LEAKED'}")
+
+
 # ----- the campaign ---------------------------------------------------------
+
+def run_cluster_chaos_campaign() -> list[ChaosReport]:
+    """Run every cluster injection; parent never crashes."""
+    injections = [
+        ("cluster-worker-loss", _inject_cluster_worker_loss),
+        ("cluster-zombie-fencing", _inject_cluster_zombie_fencing),
+        ("cluster-hedge-dedup", _inject_cluster_hedge_dedup),
+    ]
+    reports: list[ChaosReport] = []
+    for name, injector in injections:
+        start = time.monotonic()
+        try:
+            report = injector()
+        except Exception as exc:  # noqa: BLE001 — campaign must finish
+            report = _report(name, "injection harness", "recover",
+                             False, f"unhandled {type(exc).__name__}",
+                             str(exc)[:300])
+        elapsed = time.monotonic() - start
+        if elapsed > _DEADLINE_SECONDS:
+            report.ok = False
+            report.message += f" [exceeded {_DEADLINE_SECONDS:g}s " \
+                              f"deadline]"
+        reports.append(report)
+    return reports
+
 
 def run_service_chaos_campaign() -> list[ChaosReport]:
     """Run every service injection; parent never crashes."""

@@ -40,6 +40,10 @@ def _raise_remote(payload: dict) -> None:
     raise exc
 
 
+class _WatchDropped(Exception):
+    """Internal: a watch connection died mid-stream (retryable)."""
+
+
 class ServiceClient:
     """Talks the JSON-lines protocol to one server endpoint."""
 
@@ -52,6 +56,9 @@ class ServiceClient:
                                  "service/service.json")
             host, port = read_endpoint(cache_dir)
         self.host, self.port, self.timeout = host, int(port), timeout
+        #: kept so a reconnecting watch can re-read the endpoint file
+        #: after a server restart rebinds the port
+        self.cache_dir = cache_dir
 
     # ----- transport ----------------------------------------------------
 
@@ -112,22 +119,89 @@ class ServiceClient:
         """The job record dict for ``job_id``."""
         return self._request({"op": "status", "job_id": job_id})["job"]
 
-    def watch(self, job_id: str) -> Iterator[dict]:
-        """Stream a job's journal events; ends after the ``end`` event."""
-        with self._connect() as sock:
+    def watch(self, job_id: str, *, reconnect: bool = True,
+              max_attempts: int = 8, backoff_base: float = 0.2,
+              backoff_cap: float = 5.0) -> Iterator[dict]:
+        """Stream a job's journal events; ends after the ``end`` event.
+
+        A dropped connection (server restart, network blip) is retried
+        with capped exponential backoff instead of losing the stream:
+        the client re-reads the endpoint file when it knows the cache
+        dir, then resumes with ``from_index`` set to the last journal
+        index it saw, so no event is replayed and none is lost.  Typed
+        server errors (unknown job, shed) still raise immediately.
+        ``max_attempts`` counts *consecutive* failed reconnects; any
+        successfully received event resets the budget.
+        """
+        last_index = 0
+        attempts = 0
+        while True:
+            try:
+                for event in self._watch_once(job_id, last_index):
+                    attempts = 0
+                    index = event.get("index")
+                    if isinstance(index, int) and index > last_index:
+                        last_index = index
+                    yield event
+                    if event.get("event") == "end":
+                        return
+                # Server closed mid-stream without the terminal event.
+                raise _WatchDropped("stream closed before job end")
+            except _WatchDropped as drop:
+                attempts += 1
+                if not reconnect or attempts > max_attempts:
+                    raise ReproError(
+                        f"watch stream for job {job_id} dropped "
+                        f"({drop}) and could not be re-established "
+                        f"after {attempts} attempt(s)") from None
+                time.sleep(min(backoff_cap,
+                               backoff_base * (2 ** (attempts - 1))))
+                self._refresh_endpoint()
+
+    def _watch_once(self, job_id: str,
+                    from_index: int) -> Iterator[dict]:
+        """One watch connection; :class:`_WatchDropped` on transport loss."""
+        try:
+            sock = self._connect()
+        except ReproError as exc:
+            raise _WatchDropped(str(exc)) from None
+        with sock:
             sock.settimeout(None)  # journal gaps outlast the default
-            sock.sendall(json.dumps({"op": "watch", "job_id": job_id})
-                         .encode() + b"\n")
-            stream = sock.makefile("rb")
-            while True:
-                event = self._read_line(stream)
-                if event is None:
-                    return
-                if not event.get("ok"):
-                    _raise_remote(event)
-                yield event
-                if event.get("event") == "end":
-                    return
+            try:
+                sock.sendall(json.dumps(
+                    {"op": "watch", "job_id": job_id,
+                     "from_index": from_index}).encode() + b"\n")
+                stream = sock.makefile("rb")
+                while True:
+                    line = stream.readline()
+                    if not line:
+                        return
+                    try:
+                        event = json.loads(line)
+                    except ValueError as exc:
+                        # torn line from a dying server, not a protocol
+                        # violation — reconnect rather than raise
+                        raise _WatchDropped(
+                            f"malformed event: {exc}") from None
+                    if not isinstance(event, dict):
+                        return
+                    if not event.get("ok"):
+                        _raise_remote(event)
+                    yield event
+                    if event.get("event") == "end":
+                        return
+            except OSError as exc:
+                raise _WatchDropped(str(exc)) from None
+
+    def _refresh_endpoint(self) -> None:
+        """Re-read the endpoint file — a restarted server rebinds."""
+        if self.cache_dir is None:
+            return
+        try:
+            host, port = read_endpoint(self.cache_dir)
+        except ReproError:
+            return
+        self.host, self.port = host, int(port)
 
     def wait(self, job_id: str, timeout: float | None = None,
              poll: float = 0.2) -> dict:
@@ -158,3 +232,42 @@ class ServiceClient:
             _raise_remote({"error": error.get("type"),
                            "message": error.get("message")})
         return job["result_json"]
+
+    # ----- cluster worker operations ------------------------------------
+
+    def register_worker(self, worker_id: str | None = None,
+                        pid: int | None = None) -> str:
+        """Join the worker registry; returns the (possibly assigned) id."""
+        return self._request({"op": "register", "worker_id": worker_id,
+                              "pid": pid})["worker_id"]
+
+    def worker_beat(self, worker_id: str) -> None:
+        self._request({"op": "heartbeat", "worker_id": worker_id})
+
+    def unregister_worker(self, worker_id: str) -> None:
+        self._request({"op": "release", "worker_id": worker_id,
+                       "unregister": True})
+
+    def claim_shard(self, worker_id: str) -> dict | None:
+        """Claim the next available shard; None when nothing to do."""
+        return self._request({"op": "claim",
+                              "worker_id": worker_id}).get("work")
+
+    def shard_heartbeat(self, campaign: str, lease: dict) -> dict:
+        """Renew a shard lease; raises LeaseFencedError when superseded."""
+        return self._request({"op": "heartbeat", "campaign": campaign,
+                              "lease": lease})["lease"]
+
+    def shard_complete(self, campaign: str, lease: dict,
+                       payload: dict) -> bool:
+        """Commit a shard result; False when a hedge twin won the race."""
+        return self._request({"op": "complete", "campaign": campaign,
+                              "lease": lease,
+                              "payload": payload})["won"]
+
+    def shard_fail(self, campaign: str, lease: dict, *, error: str,
+                   message: str, transient: bool) -> None:
+        """Record a typed shard failure and give the lease back."""
+        self._request({"op": "release", "campaign": campaign,
+                       "lease": lease, "error": error,
+                       "message": message, "transient": transient})

@@ -74,7 +74,8 @@ def _crash_evidence(counters: dict) -> bool:
     """
     return bool(counters.get("pool_rebuilds", 0)
                 or counters.get("worker_crashes", 0)
-                or counters.get("native_kernel_crashes", 0))
+                or counters.get("native_kernel_crashes", 0)
+                or counters.get("workers_lost", 0))
 
 
 def _models(spec: ServiceJobSpec) -> list[Model]:
@@ -193,12 +194,28 @@ def _execute_sweep(spec: ServiceJobSpec, cache_dir: str, run_id: str,
                    jobs: int, deadline_remaining: float | None,
                    resume: bool, start: float) -> ExecutionOutcome:
     """Sweep jobs delegate to the sweep runner (which owns its own
-    suite, journal and plan) and return the canonical SweepResult."""
+    suite, journal and plan) and return the canonical SweepResult.
+
+    When registered cluster workers are alive on this store, the sweep
+    routes through the cluster coordinator instead — the workers
+    execute the shards, and the final aggregation pass over the warm
+    store keeps the result byte-identical to the in-process path.
+    """
+    from repro.service.cluster import (ClusterConfig, live_worker_ids,
+                                       run_cluster_sweep)
     sweep_spec = SweepSpec.from_dict(spec.sweep)
     try:
-        outcome = run_sweep(sweep_spec, cache_dir=cache_dir, jobs=jobs,
-                            run_id=run_id, resume=resume,
-                            wall_clock_budget=deadline_remaining)
+        if live_worker_ids(cache_dir):
+            outcome = run_cluster_sweep(
+                sweep_spec, cache_dir,
+                ClusterConfig(expect_workers=0, worker_grace=0.0),
+                jobs=jobs, run_id=run_id, resume=resume,
+                wall_clock_budget=deadline_remaining)
+        else:
+            outcome = run_sweep(
+                sweep_spec, cache_dir=cache_dir, jobs=jobs,
+                run_id=run_id, resume=resume,
+                wall_clock_budget=deadline_remaining)
     except BaseException as exc:
         mapped = _map_deadline(exc, spec, deadline_remaining)
         if mapped is exc:

@@ -24,8 +24,15 @@ Protocol (one JSON object per line; every response carries ``ok``)::
 
     {"op": "submit", "tenant": "t", "spec": {...}}
     {"op": "status", "job_id": "J..."}
-    {"op": "watch",  "job_id": "J..."}      # streams events until "end"
+    {"op": "watch",  "job_id": "J...", "from_index": 0}  # streams events
     {"op": "stats"} | {"op": "ping"} | {"op": "drain"}
+
+Campaign workers (``repro worker --endpoint``) speak four more ops —
+``register``, ``claim``, ``heartbeat``, ``complete`` (plus ``release``
+for typed shard failures) — thin wrappers over
+:class:`repro.service.cluster.ClusterOps`: the authoritative lease
+state lives on the shared store, so a worker talking through the
+socket and a worker mutating the store directly are interchangeable.
 
 Errors come back typed: ``{"ok": false, "error": "<taxonomy class>",
 "message": ..., "exit_code": N, "retry_after": seconds}``.
@@ -50,6 +57,7 @@ from repro.engine.recovery.journal import journal_path, tail_records
 from repro.robustness.errors import (ReproError, ServiceOverloadedError,
                                      classify_exception)
 from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.cluster import ClusterOps, live_worker_ids
 from repro.service.executor import ExecutionOutcome, execute_job
 from repro.service.quota import QuotaConfig, QuotaManager
 from repro.service.singleflight import (DONE, FAILED, QUEUED, RUNNING,
@@ -121,6 +129,7 @@ class ExperimentService:
         self.registry = SingleFlight(done_limit=config.done_limit)
         self.quotas = QuotaManager(config=config.quota, clock=clock)
         self.breaker = CircuitBreaker(config=config.breaker, clock=clock)
+        self.cluster = ClusterOps(config.cache_dir)
         self._executor = executor
         self._queue: asyncio.Queue[JobRecord | None] = asyncio.Queue()
         self._inflight: set[str] = set()
@@ -400,7 +409,12 @@ class ExperimentService:
             record = self._record_for(request)
             await send({"ok": True, "job": record.to_dict()})
         elif op == "watch":
-            await self._watch(self._record_for(request), send)
+            try:
+                from_index = max(0, int(request.get("from_index") or 0))
+            except (TypeError, ValueError):
+                from_index = 0
+            await self._watch(self._record_for(request), send,
+                              from_index)
         elif op == "stats":
             await send({"ok": True, "metrics": self.metrics.to_dict(),
                         "service": {
@@ -410,10 +424,52 @@ class ExperimentService:
                             "active": self.registry.active_count,
                             "draining": self._draining,
                             "breaker": self.breaker.state,
-                            "breaker_trips": self.breaker.trips}})
+                            "breaker_trips": self.breaker.trips,
+                            "cluster_workers": await asyncio.to_thread(
+                                live_worker_ids,
+                                self.config.cache_dir)}})
         elif op == "drain":
             self.begin_drain()
             await send({"ok": True, "draining": True})
+        elif op == "register":
+            worker_id = await asyncio.to_thread(
+                self.cluster.register, request.get("worker_id"),
+                request.get("pid"))
+            await send({"ok": True, "worker_id": worker_id})
+        elif op == "claim":
+            worker_id = str(request.get("worker_id") or "")
+            work = await asyncio.to_thread(self.cluster.claim, worker_id)
+            await send({"ok": True, "work": work})
+        elif op == "heartbeat":
+            if request.get("worker_id"):
+                await asyncio.to_thread(self.cluster.beat_worker,
+                                        str(request["worker_id"]))
+            lease = request.get("lease")
+            if lease is not None:
+                lease = await asyncio.to_thread(
+                    self.cluster.heartbeat,
+                    str(request.get("campaign") or ""), lease)
+            await send({"ok": True, "lease": lease})
+        elif op == "complete":
+            won = await asyncio.to_thread(
+                self.cluster.complete,
+                str(request.get("campaign") or ""),
+                request.get("lease") or {}, request.get("payload") or {})
+            await send({"ok": True, "won": won})
+        elif op == "release":
+            if request.get("unregister"):
+                await asyncio.to_thread(
+                    self.cluster.unregister,
+                    str(request.get("worker_id") or ""))
+            elif request.get("lease") is not None:
+                await asyncio.to_thread(
+                    self.cluster.fail,
+                    str(request.get("campaign") or ""),
+                    request.get("lease"),
+                    str(request.get("error") or "ReproError"),
+                    str(request.get("message") or ""),
+                    bool(request.get("transient", True)))
+            await send({"ok": True})
         else:
             await send(self._error_payload(
                 ReproError(f"unknown op {op!r}")))
@@ -425,7 +481,8 @@ class ExperimentService:
             raise ReproError(f"unknown job id {job_id!r}")
         return record
 
-    async def _watch(self, record: JobRecord, send) -> None:
+    async def _watch(self, record: JobRecord, send,
+                     from_index: int = 0) -> None:
         """Stream a job's progress by tailing its run journal.
 
         Beyond the raw journal records, the stream carries progress
@@ -435,20 +492,31 @@ class ExperimentService:
         starts at offset 0, so a resumed job's earlier completions
         replay through the same counter and the bar never restarts
         from zero.
+
+        Every journal event carries a 1-based stream ``index``; a
+        reconnecting watcher passes the last index it saw as
+        ``from_index`` and the replay is suppressed up to there (the
+        progress counters still advance silently, so the first visible
+        progress event is numerically correct).
         """
         jpath = journal_path(
             Path(self.config.cache_dir) / "runs", record.run_id)
         offset = 0
+        sent = 0
         tasks_done = 0
         tasks_total: int | None = None
-        await send({"ok": True, "event": "job", "job": record.to_dict()})
+        await send({"ok": True, "event": "job", "job": record.to_dict(),
+                    "from_index": from_index})
         while True:
             records, offset = tail_records(jpath, offset)
             for entry in records:
                 if entry.get("type") not in _WATCH_TYPES:
                     continue
-                await send({"ok": True, "event": "journal",
-                            "record": entry})
+                sent += 1
+                visible = sent > from_index
+                if visible:
+                    await send({"ok": True, "event": "journal",
+                                "record": entry, "index": sent})
                 if entry["type"] == "run-start":
                     total = entry.get("meta", {}).get("tasks_total")
                     if isinstance(total, int) and total > 0:
@@ -456,10 +524,11 @@ class ExperimentService:
                 elif entry["type"] == "task-finish" and _is_progress(
                         entry.get("task", "")):
                     tasks_done += 1
-                    await send({"ok": True, "event": "progress",
-                                "tasks_done": tasks_done,
-                                "tasks_total": tasks_total,
-                                "task": entry.get("task", "")})
+                    if visible:
+                        await send({"ok": True, "event": "progress",
+                                    "tasks_done": tasks_done,
+                                    "tasks_total": tasks_total,
+                                    "task": entry.get("task", "")})
             if record.terminal:
                 await send({"ok": True, "event": "end",
                             "job": record.to_dict()})

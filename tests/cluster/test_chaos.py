@@ -1,0 +1,48 @@
+"""Cluster chaos campaign: every injection recovers or fails typed."""
+
+import pytest
+
+from repro.robustness.chaos import format_chaos_reports
+from repro.service.chaos import run_cluster_chaos_campaign
+
+EXPECTED_INJECTIONS = {
+    "cluster-worker-loss", "cluster-zombie-fencing",
+    "cluster-hedge-dedup",
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_cluster_chaos_campaign()
+
+
+def test_campaign_covers_every_injection_kind(reports):
+    assert {r.injection for r in reports} == EXPECTED_INJECTIONS
+
+
+def test_every_injection_recovers_or_fails_typed(reports):
+    bad = [r for r in reports if not r.ok]
+    assert not bad, format_chaos_reports(bad)
+
+
+def test_worker_loss_reassigns_and_stays_byte_identical(reports):
+    loss = next(r for r in reports
+                if r.injection == "cluster-worker-loss")
+    assert loss.ok and loss.expected == "recover"
+    assert "byte-identical" in loss.message
+    assert "reassigned" in loss.message
+
+
+def test_zombie_fencing_is_a_typed_failure(reports):
+    fenced = next(r for r in reports
+                  if r.injection == "cluster-zombie-fencing")
+    assert fenced.ok and fenced.expected == "typed-failure"
+    assert "exit 27" in fenced.message
+    assert "successor" in fenced.message
+
+
+def test_hedge_race_commits_exactly_once(reports):
+    hedge = next(r for r in reports
+                 if r.injection == "cluster-hedge-dedup")
+    assert hedge.ok and hedge.expected == "recover"
+    assert "one done marker" in hedge.message

@@ -1,0 +1,157 @@
+"""Shard-lease substrate: fencing epochs, commit-once, hedging races."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine.recovery.leases import ShardLease, ShardLeaseStore
+from repro.robustness.errors import LeaseFencedError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ShardLeaseStore(tmp_path / "campaign")
+
+
+def test_epochs_are_store_wide_and_strictly_increasing(store):
+    issued = [store.next_epoch() for _ in range(5)]
+    assert issued == sorted(issued)
+    assert len(set(issued)) == 5
+    lease_a = store.claim(0, owner="a")
+    lease_b = store.claim(1, owner="b")
+    assert lease_b.epoch > lease_a.epoch > issued[-1]
+
+
+def test_claim_heartbeat_complete_round_trip(store):
+    lease = store.claim(3, owner="w1")
+    assert (lease.shard, lease.owner, lease.beats) == (3, "w1", 0)
+    renewed = store.heartbeat(lease)
+    renewed = store.heartbeat(renewed)
+    assert renewed.beats == 2
+    assert renewed.epoch == lease.epoch
+    assert store.complete(renewed, {"points": [6, 7]}) is True
+    marker = store.done(3)
+    assert marker["points"] == [6, 7]
+    assert marker["epoch"] == lease.epoch
+    assert store.read(3) is None  # slot cleared on commit
+    # Done shards can never be re-claimed.
+    assert store.claim(3, owner="w2") is None
+
+
+def test_claim_is_exclusive_and_loser_observes_winner(store):
+    winner = store.claim(0, owner="winner")
+    assert store.claim(0, owner="loser") is None
+    observed = store.read(0)
+    assert observed.owner == "winner"
+    assert observed.epoch == winner.epoch
+
+
+def test_fenced_commit_raises_and_writes_nothing(store):
+    zombie = store.claim(0, owner="zombie")
+    assert store.break_lease(0, zombie.epoch) is True
+    successor = store.claim(0, owner="successor")
+    assert successor.epoch > zombie.epoch
+    with pytest.raises(LeaseFencedError) as exc:
+        store.complete(zombie, {"points": [0]})
+    assert exc.value.exit_code == 27
+    assert exc.value.holder_epoch == successor.epoch
+    assert store.done(0) is None  # the zombie proved nothing
+    assert store.count_events("fenced") == 1
+    # The successor's commit is untouched by the zombie's attempt.
+    assert store.complete(successor, {"points": [0]}) is True
+    assert store.done(0)["owner"] == "successor"
+
+
+def test_fenced_heartbeat_raises(store):
+    zombie = store.claim(0, owner="zombie")
+    store.break_lease(0, zombie.epoch)
+    store.claim(0, owner="successor")
+    with pytest.raises(LeaseFencedError):
+        store.heartbeat(zombie)
+
+
+def test_break_lease_checks_the_epoch(store):
+    first = store.claim(0, owner="w1")
+    # A breaker acting on stale knowledge cannot break a fresh lease.
+    assert store.break_lease(0, first.epoch - 1) is False
+    assert store.read(0) is not None
+    assert store.break_lease(0, first.epoch) is True
+    fresh = store.claim(0, owner="w2")
+    assert store.break_lease(0, first.epoch) is False  # successor safe
+    assert store.read(0).epoch == fresh.epoch
+
+
+def test_hedge_is_a_separate_slot_and_first_commit_wins(store):
+    primary = store.claim(0, owner="slow")
+    hedge = store.claim(0, owner="fast", hedge=True)
+    assert hedge is not None and hedge.hedge
+    assert hedge.epoch > primary.epoch
+    # Only one hedge per shard.
+    assert store.claim(0, owner="other", hedge=True) is None
+    assert store.complete(hedge, {"points": [0], "by": "fast"}) is True
+    # The primary arrives second: clean loss, marker untouched.
+    assert store.complete(primary, {"points": [0], "by": "slow"}) is False
+    assert store.done(0)["by"] == "fast"
+    assert store.read(0) is None and store.read(0, hedge=True) is None
+
+
+def test_release_is_epoch_checked(store):
+    old = store.claim(0, owner="w1")
+    store.break_lease(0, old.epoch)
+    fresh = store.claim(0, owner="w2")
+    old_release = store.release(old)  # no-op: epoch superseded
+    assert old_release is None
+    assert store.read(0).epoch == fresh.epoch
+    store.release(fresh)
+    assert store.read(0) is None
+
+
+def test_events_are_deduped_by_kind_shard_epoch(store):
+    assert store.record_event("lost", 2, 7, worker="w1") is True
+    assert store.record_event("lost", 2, 7, worker="w2") is False
+    assert store.record_event("lost", 2, 8) is True
+    assert store.count_events("lost") == 2
+    store.record_failure(2, 9, "EmulationTimeout", "m" * 1000, True)
+    (fail,) = store.events("fail")
+    assert fail["transient"] is True
+    assert len(fail["message"]) == 500
+    assert store.failure_count(2) == 1
+
+
+_CONTENDER = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.engine.recovery.leases import ShardLeaseStore
+store = ShardLeaseStore({root!r})
+lease = store.claim(0, owner=sys.argv[1])
+if lease is None:
+    holder = store.read(0)
+    print(json.dumps({{"won": False,
+                       "observed_owner": holder.owner,
+                       "observed_epoch": holder.epoch}}))
+else:
+    print(json.dumps({{"won": True, "owner": lease.owner,
+                       "epoch": lease.epoch}}))
+"""
+
+
+def test_two_processes_contend_for_one_shard(tmp_path):
+    """The contention satellite, with real OS processes: exactly one
+    claim wins, and the loser can read the winner's fencing token."""
+    import repro
+    src = str(next(p for p in map(str, repro.__path__)))
+    root = str(tmp_path / "campaign")
+    script = _CONTENDER.format(src=src[: -len("/repro")], root=root)
+    procs = [subprocess.Popen([sys.executable, "-c", script, name],
+                              stdout=subprocess.PIPE, text=True)
+             for name in ("alpha", "beta")]
+    reports = [json.loads(p.communicate(timeout=60)[0]) for p in procs]
+    assert all(p.returncode == 0 for p in procs)
+    winners = [r for r in reports if r["won"]]
+    losers = [r for r in reports if not r["won"]]
+    assert len(winners) == 1 and len(losers) == 1
+    # The loser observed the winner's identity — fencing in action.
+    assert losers[0]["observed_owner"] == winners[0]["owner"]
+    assert losers[0]["observed_epoch"] == winners[0]["epoch"]

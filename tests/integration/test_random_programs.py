@@ -39,7 +39,9 @@ def expressions(draw, depth=2):
         return f"({left} {op} {right})"
     if choice == 4:
         idx = draw(expressions(depth=0))
-        return f"{_ARR}[({idx}) % 16]"
+        # MiniC `%` truncates like C, so a bare `idx % 16` can go
+        # negative; the double-mod keeps the index in bounds.
+        return f"{_ARR}[(({idx}) % 16 + 16) % 16]"
     return f"(({left}) % 7 + 7) % 7"
 
 
@@ -66,7 +68,7 @@ def statements(draw, depth=2):
     if kind == 1:
         idx = draw(expressions(depth=0))
         expr = draw(expressions(depth=1))
-        return f"{_ARR}[({idx}) % 16] = {expr};"
+        return f"{_ARR}[(({idx}) % 16 + 16) % 16] = {expr};"
     if kind == 2:
         cond = draw(conditions())
         then = draw(statements(depth=depth - 1))

@@ -6,6 +6,7 @@ from repro.robustness.errors import (ArtifactLockTimeout, CompileError,
                                      DeadlineExceededError,
                                      EmulationTimeout,
                                      FuzzFindingsError,
+                                     LeaseFencedError,
                                      ModelDivergenceError,
                                      NativeBuildError,
                                      NativeEngineError,
@@ -15,7 +16,8 @@ from repro.robustness.errors import (ArtifactLockTimeout, CompileError,
                                      PassVerificationError,
                                      QuotaExceededError, ReproError,
                                      ServiceOverloadedError,
-                                     TraceIntegrityError)
+                                     TraceIntegrityError,
+                                     WorkerLostError)
 
 ALL = (ReproError, CompileError, PassVerificationError, EmulationTimeout,
        TraceIntegrityError, ModelDivergenceError)
@@ -29,6 +31,7 @@ DOCUMENTED = {
     QuotaExceededError: 20, DeadlineExceededError: 21,
     NativeBuildError: 22, NativeToolchainMissing: 23,
     NativeParityError: 24, NativeKernelCrash: 25,
+    WorkerLostError: 26, LeaseFencedError: 27,
 }
 
 
@@ -49,10 +52,13 @@ def test_transience_split_matches_the_readme_table():
     # the supervisor demotes before raising: the retry lands on the
     # byte-identical Python engines.  Build and parity failures are
     # permanent facts about the artifact.
+    # WorkerLostError is transient (the shard is simply reassigned);
+    # LeaseFencedError is permanent by design — a fenced zombie must
+    # claim *new* work, never retry its superseded lease.
     transient = {EmulationTimeout, TraceIntegrityError,
                  ArtifactLockTimeout, ServiceOverloadedError,
                  QuotaExceededError, NativeToolchainMissing,
-                 NativeKernelCrash}
+                 NativeKernelCrash, WorkerLostError}
     for cls in DOCUMENTED:
         sample = cls("probe")
         assert is_transient(sample) == (cls in transient), cls
